@@ -1,0 +1,206 @@
+// Command sensorplace runs the DAC 2015 sensor-placement methodology on
+// user-supplied voltage samples, so the library can be applied to data from
+// any power-grid simulator or silicon instrumentation without writing Go.
+//
+// Inputs are two CSV files with one header row and one row per simultaneous
+// sample (see internal/traceio): -x holds the candidate-site voltages, -f
+// the monitored-node voltages. The tool selects sensors by group lasso —
+// either at a fixed budget (-lambda) or targeting a sensor count (-count) —
+// refits the unbiased prediction model, reports held-out accuracy, and
+// optionally writes the runtime model as JSON (-model) for deployment.
+//
+//	sensorplace -x candidates.csv -f blocks.csv -count 4 -model model.json
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"voltsense/internal/core"
+	"voltsense/internal/lasso"
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+	"voltsense/internal/traceio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sensorplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("sensorplace", flag.ContinueOnError)
+	xPath := fs.String("x", "", "CSV of candidate-site voltage samples (required)")
+	fPath := fs.String("f", "", "CSV of monitored-node voltage samples (required)")
+	lambda := fs.Float64("lambda", 0, "group-lasso budget λ (mutually exclusive with -count)")
+	count := fs.Int("count", 0, "target sensor count (mutually exclusive with -lambda)")
+	threshold := fs.Float64("threshold", core.DefaultThreshold, "group-norm selection threshold T")
+	holdout := fs.Float64("holdout", 0.25, "fraction of samples reserved for accuracy reporting")
+	modelPath := fs.String("model", "", "write the fitted runtime model as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *xPath == "" || *fPath == "" {
+		fs.Usage()
+		return errors.New("both -x and -f are required")
+	}
+	if (*lambda > 0) == (*count > 0) {
+		return errors.New("specify exactly one of -lambda or -count")
+	}
+	if *holdout < 0 || *holdout >= 1 {
+		return fmt.Errorf("-holdout %v out of [0, 1)", *holdout)
+	}
+
+	xf, err := os.Open(*xPath)
+	if err != nil {
+		return err
+	}
+	defer xf.Close()
+	ff, err := os.Open(*fPath)
+	if err != nil {
+		return err
+	}
+	defer ff.Close()
+	rawX, xNames, err := traceio.ReadMatrixCSV(xf)
+	if err != nil {
+		return fmt.Errorf("reading -x: %w", err)
+	}
+	rawF, _, err := traceio.ReadMatrixCSV(ff)
+	if err != nil {
+		return fmt.Errorf("reading -f: %w", err)
+	}
+	if rawX.Cols() != rawF.Cols() {
+		return fmt.Errorf("-x has %d samples, -f has %d", rawX.Cols(), rawF.Cols())
+	}
+	full := &core.Dataset{X: rawX, F: rawF}
+	fmt.Fprintf(out, "loaded %d candidates x %d samples, %d monitored nodes\n",
+		full.X.Rows(), full.X.Cols(), full.F.Rows())
+
+	train, test := split(full, *holdout)
+
+	var selected []int
+	switch {
+	case *lambda > 0:
+		pl, err := core.PlaceSensors(train, core.Config{Lambda: *lambda, Threshold: *threshold})
+		if err != nil {
+			return err
+		}
+		selected = pl.Selected
+		fmt.Fprintf(out, "λ=%g selected %d sensors\n", *lambda, len(selected))
+	default:
+		sel, mu, err := placeForCount(train, *count, *threshold)
+		if err != nil {
+			return err
+		}
+		selected = sel
+		fmt.Fprintf(out, "count targeting reached %d sensors (μ=%.4g)\n", len(selected), mu)
+	}
+	if len(selected) == 0 {
+		return errors.New("no sensors selected; increase -lambda or check the data")
+	}
+	fmt.Fprintf(out, "selected candidate indices: %v\n", selected)
+	names := make([]string, len(selected))
+	for i, s := range selected {
+		names[i] = xNames[s]
+	}
+	fmt.Fprintf(out, "selected candidate names:   %v\n", names)
+
+	pred, err := core.BuildPredictor(train, selected)
+	if err != nil {
+		return err
+	}
+	if test != nil {
+		rel := ols.RelativeError(pred.PredictDataset(test), test.F)
+		fmt.Fprintf(out, "held-out relative prediction error: %.4f%%\n", 100*rel)
+	}
+	if *modelPath != "" {
+		mf, err := os.Create(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		if err := pred.Save(mf); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "runtime model written to %s\n", *modelPath)
+	}
+	return nil
+}
+
+// split reserves the trailing holdout fraction for testing.
+func split(ds *core.Dataset, holdout float64) (train, test *core.Dataset) {
+	n := ds.X.Cols()
+	nTest := int(float64(n) * holdout)
+	if nTest < 1 {
+		return ds, nil
+	}
+	trainCols := make([]int, 0, n-nTest)
+	testCols := make([]int, 0, nTest)
+	for j := 0; j < n-nTest; j++ {
+		trainCols = append(trainCols, j)
+	}
+	for j := n - nTest; j < n; j++ {
+		testCols = append(testCols, j)
+	}
+	return ds.Subset(trainCols), ds.Subset(testCols)
+}
+
+// placeForCount bisects the penalized multiplier to land q sensors,
+// trimming to the strongest groups when the count cannot land exactly.
+func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, error) {
+	if q < 1 || q > ds.X.Rows() {
+		return nil, 0, fmt.Errorf("count %d out of range 1..%d", q, ds.X.Rows())
+	}
+	z, _ := mat.Standardize(ds.X)
+	g, _ := mat.Standardize(ds.F)
+	muMax := 0.0
+	u := make([]float64, g.Rows())
+	for j := 0; j < z.Rows(); j++ {
+		zj := z.Row(j)
+		for i := range u {
+			u[i] = mat.Dot(g.Row(i), zj)
+		}
+		if n := mat.Norm2(u); n > muMax {
+			muMax = n
+		}
+	}
+	opts := lasso.Options{MaxIter: 3000, Tol: 1e-7}
+	lo, hi := 0.0, muMax
+	var best *lasso.Result
+	bestCount := -1
+	var bestMu float64
+	for it := 0; it < 40; it++ {
+		mu := (lo + hi) / 2
+		r, err := lasso.SolvePenalized(z, g, mu, opts)
+		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+			return nil, mu, err
+		}
+		n := len(r.Select(threshold))
+		if n >= q && (bestCount < 0 || n < bestCount) {
+			best, bestCount, bestMu = r, n, mu
+		}
+		if n == q {
+			break
+		}
+		if n > q {
+			lo = mu
+		} else {
+			hi = mu
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("could not reach %d sensors", q)
+	}
+	sel := best.Select(threshold)
+	if len(sel) > q {
+		sort.Slice(sel, func(a, b int) bool { return best.GroupNorms[sel[a]] > best.GroupNorms[sel[b]] })
+		sel = sel[:q]
+		sort.Ints(sel)
+	}
+	return sel, bestMu, nil
+}

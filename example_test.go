@@ -1,0 +1,250 @@
+package voltsense_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"voltsense"
+)
+
+// ExamplePlaceSensors demonstrates the methodology on synthetic data: two
+// of five candidate sites drive the monitored voltages, and group lasso
+// finds exactly those two.
+func ExamplePlaceSensors() {
+	rng := rand.New(rand.NewSource(1))
+	const m, k, n = 5, 3, 400
+	x := voltsense.ZeroMatrix(m, n)
+	f := voltsense.ZeroMatrix(k, n)
+	for j := 0; j < n; j++ {
+		// Candidates 1 and 3 carry independent droop signals; the rest are
+		// uninformative noise sites.
+		d1, d3 := rng.NormFloat64(), rng.NormFloat64()
+		for i := 0; i < m; i++ {
+			switch i {
+			case 1:
+				x.Set(i, j, 0.95+0.02*d1)
+			case 3:
+				x.Set(i, j, 0.95+0.02*d3)
+			default:
+				x.Set(i, j, 0.95+0.01*rng.NormFloat64())
+			}
+		}
+		for i := 0; i < k; i++ {
+			f.Set(i, j, 0.90+0.015*d1+0.010*d3)
+		}
+	}
+	ds := &voltsense.Dataset{X: x, F: f}
+	pl, err := voltsense.PlaceSensors(ds, voltsense.PlacementConfig{Lambda: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("selected sensors:", pl.Selected)
+	// Output:
+	// selected sensors: [1 3]
+}
+
+// ExampleBuildPredictor fits the unbiased runtime model on the selected
+// sensors and predicts a monitored voltage from raw readings.
+func ExampleBuildPredictor() {
+	// Monitored voltage = 0.4*x0 + 0.6*x1 - 0.05, exactly linear.
+	x := voltsense.MatrixFromRows([][]float64{
+		{0.90, 0.95, 1.00, 0.92, 0.97, 0.94},
+		{0.93, 0.91, 0.99, 0.96, 0.90, 0.98},
+	})
+	f := voltsense.ZeroMatrix(1, 6)
+	for j := 0; j < 6; j++ {
+		f.Set(0, j, 0.4*x.At(0, j)+0.6*x.At(1, j)-0.05)
+	}
+	pred, err := voltsense.BuildPredictor(&voltsense.Dataset{X: x, F: f}, []int{0, 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	got := pred.Predict([]float64{0.95, 0.95})
+	fmt.Printf("predicted %.4f V\n", got[0])
+	// Output:
+	// predicted 0.9000 V
+}
+
+// ExampleScoreDetection computes the paper's three error rates from truth
+// and alarm streams.
+func ExampleScoreDetection() {
+	truth := []bool{true, true, false, false, true, false, false, false}
+	alarm := []bool{true, false, false, true, true, false, false, false}
+	r := voltsense.ScoreDetection(truth, alarm)
+	fmt.Printf("ME=%.3f WAE=%.3f TE=%.3f\n", r.ME, r.WAE, r.TE)
+	// Output:
+	// ME=0.333 WAE=0.200 TE=0.250
+}
+
+// ExampleEmergencyTruth flags voltage maps containing an emergency.
+func ExampleEmergencyTruth() {
+	v := voltsense.MatrixFromRows([][]float64{
+		{0.92, 0.83, 0.95},
+		{0.91, 0.90, 0.84},
+	})
+	fmt.Println(voltsense.EmergencyTruth(v, voltsense.DefaultVth))
+	// Output:
+	// [false true true]
+}
+
+// ExamplePlaceEagleEye shows the baseline covering training emergencies
+// with directly-thresholded sensors.
+func ExamplePlaceEagleEye() {
+	f := voltsense.MatrixFromRows([][]float64{{0.80, 0.82, 0.95, 0.96}})
+	x := voltsense.MatrixFromRows([][]float64{
+		{0.80, 0.90, 0.95, 0.95}, // covers emergency sample 0
+		{0.90, 0.82, 0.95, 0.95}, // covers emergency sample 1
+		{0.95, 0.95, 0.95, 0.95}, // covers nothing
+	})
+	p := voltsense.PlaceEagleEye(x, f, voltsense.DefaultVth, 2)
+	fmt.Println("sensors:", p.Selected, "coverage:", p.Coverage)
+	// Output:
+	// sensors: [0 1] coverage: 1
+}
+
+// ExampleSweepLambda runs the budget/accuracy sweep of the paper's Section
+// 2.4 and reports the shape of the tradeoff.
+func ExampleSweepLambda() {
+	rng := rand.New(rand.NewSource(2))
+	const m, k, n = 8, 2, 600
+	x := voltsense.ZeroMatrix(m, n)
+	f := voltsense.ZeroMatrix(k, n)
+	for j := 0; j < n; j++ {
+		var drivers [3]float64
+		for d := range drivers {
+			drivers[d] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			if i < 3 {
+				x.Set(i, j, 0.95+0.02*drivers[i])
+			} else {
+				x.Set(i, j, 0.95+0.01*rng.NormFloat64())
+			}
+		}
+		f.Set(0, j, 0.9+0.01*drivers[0]+0.008*drivers[1])
+		f.Set(1, j, 0.9+0.01*drivers[1]+0.008*drivers[2])
+	}
+	full := &voltsense.Dataset{X: x, F: f}
+	train := full.Subset(seq(0, 400))
+	test := full.Subset(seq(400, 600))
+	pts, err := voltsense.SweepLambda(train, test, []float64{0.3, 3}, voltsense.PlacementConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("small budget sensors:", pts[0].NumSensors)
+	fmt.Println("large budget sensors:", pts[1].NumSensors)
+	fmt.Println("error improved:", pts[1].RelError < pts[0].RelError)
+	// Output:
+	// small budget sensors: 2
+	// large budget sensors: 3
+	// error improved: true
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ExampleMonitorConfig shows the runtime monitor reacting to a droop in
+// streamed predictions.
+func ExampleMonitorConfig() {
+	// A stub predictor that passes its single reading through.
+	pred := passthrough{}
+	mon, err := voltsense.NewMonitor(pred, 1, voltsense.MonitorConfig{Vth: 0.85}, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for cycle, v := range []float64{0.95, 0.80, 0.95, 0.95, 0.95} {
+		for _, e := range mon.Process(cycle, []float64{v}) {
+			fmt.Printf("cycle %d: %v at %.2f V\n", e.Cycle, e.Kind, e.Voltage)
+		}
+	}
+	// Output:
+	// cycle 1: raised at 0.80 V
+	// cycle 3: cleared at 0.95 V
+}
+
+type passthrough struct{}
+
+func (passthrough) Predict(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// ExampleScoreDetection_perfect shows that a perfect detector scores zero
+// on every rate.
+func ExampleScoreDetection_perfect() {
+	truth := []bool{true, false, true}
+	r := voltsense.ScoreDetection(truth, truth)
+	fmt.Println(r.ME == 0 && r.WAE == 0 && r.TE == 0)
+	// Output:
+	// true
+}
+
+// ExampleTrainMapGenerator reconstructs a full field from two sensors when
+// the field is linear in them.
+func ExampleTrainMapGenerator() {
+	rng := rand.New(rand.NewSource(3))
+	const nodes, n = 6, 200
+	sensors := voltsense.ZeroMatrix(2, n)
+	field := voltsense.ZeroMatrix(nodes, n)
+	for j := 0; j < n; j++ {
+		a, b := 0.9+0.03*rng.NormFloat64(), 0.9+0.03*rng.NormFloat64()
+		sensors.Set(0, j, a)
+		sensors.Set(1, j, b)
+		for i := 0; i < nodes; i++ {
+			w := float64(i) / float64(nodes-1)
+			field.Set(i, j, (1-w)*a+w*b)
+		}
+	}
+	gen, err := voltsense.TrainMapGenerator(sensors, field)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := gen.Generate([]float64{0.90, 0.88})
+	fmt.Printf("ends: %.3f %.3f, midpoint ≈ %.3f\n", m[0], m[nodes-1], m[2])
+	// Output:
+	// ends: 0.900 0.880, midpoint ≈ 0.892
+}
+
+// ExampleSavePredictor round-trips a runtime model through its JSON form.
+func ExampleSavePredictor() {
+	x := voltsense.MatrixFromRows([][]float64{
+		{0.90, 0.95, 1.00, 0.92, 0.97},
+	})
+	f := voltsense.ZeroMatrix(1, 5)
+	for j := 0; j < 5; j++ {
+		f.Set(0, j, 0.5*x.At(0, j)+0.4)
+	}
+	pred, err := voltsense.BuildPredictor(&voltsense.Dataset{X: x, F: f}, []int{0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var buf strings.Builder
+	if err := voltsense.SavePredictor(&buf, pred); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	loaded, err := voltsense.LoadPredictor(strings.NewReader(buf.String()))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.3f\n", loaded.Predict([]float64{1.0})[0])
+	// Output:
+	// 0.900
+}
+
+var _ = math.Pi // keep math imported for future examples

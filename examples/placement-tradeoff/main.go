@@ -1,0 +1,47 @@
+// Placement tradeoff: sweep the group-lasso budget λ and watch the paper's
+// Table 1 tradeoff emerge — more sensors buy prediction accuracy — then pick
+// the cheapest placement meeting an accuracy target, the workflow the
+// paper's Section 2.4 prescribes for designers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltsense"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep λ on core 0 only: each point selects sensors on the training
+	// maps and scores prediction error on the held-out maps.
+	train, _ := p.CoreDataset(0, p.Train)
+	test, _ := p.CoreDataset(0, p.TestAll())
+	lambdas := []float64{1, 2, 3, 4, 6, 8}
+	points, err := voltsense.SweepLambda(train, test, lambdas, voltsense.PlacementConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %10s %14s\n", "lambda", "sensors", "rel error (%)")
+	for _, pt := range points {
+		fmt.Printf("%8.1f %10d %14.4f\n", pt.LambdaF, pt.NumSensors, 100*pt.RelError)
+	}
+
+	// Designer's rule: cheapest placement with error below 0.25%.
+	const target = 0.0025
+	for _, pt := range points {
+		if pt.RelError < target && pt.Predictor != nil {
+			fmt.Printf("\nchosen: λ=%.1f → %d sensors/core, rel error %.4f%% (target %.2f%%)\n",
+				pt.LambdaF, pt.NumSensors, 100*pt.RelError, 100*target)
+			fmt.Printf("selected candidate sites: %v\n", pt.Predictor.Selected)
+			return
+		}
+	}
+	fmt.Println("\nno sweep point met the target; extend the λ range")
+}

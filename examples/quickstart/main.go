@@ -1,0 +1,49 @@
+// Quickstart: build the experimental substrate, place two noise sensors per
+// core with group lasso, refit the unbiased prediction model, and check how
+// well the predicted block voltages track the simulator on held-out data —
+// the end-to-end workflow of the DAC 2015 methodology in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltsense"
+)
+
+func main() {
+	// The quick pipeline simulates the 8-core chip running all 19 synthetic
+	// PARSEC-like benchmarks and collects training + held-out voltage maps.
+	fmt.Println("building pipeline (this simulates 19 benchmarks; ~10s)...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip: %d blocks, %d sensor candidate sites, %d training maps\n",
+		p.Chip.NumBlocks(), len(p.Grid.Candidates), p.Train.N())
+
+	// Step 1 — sensor placement: two sensors per core via group lasso.
+	_, sensors, err := p.ChipPlacementCount(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d sensors across the blank area\n", len(sensors))
+
+	// Step 2 — prediction model: unbiased OLS refit on the raw data.
+	pred, err := p.BuildChipPredictor(sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3 — runtime: predict every block's supply voltage from the
+	// sensors alone, on data the model never saw.
+	test := p.TestAll()
+	fmt.Printf("aggregated relative prediction error: %.3f%%\n", 100*p.RelErrorOn(pred, test))
+
+	// Step 4 — emergency detection from the predictions.
+	truth := voltsense.EmergencyTruth(test.CritV, voltsense.DefaultVth)
+	alarms := voltsense.PredictionAlarms(p.PredictTest(pred, test), voltsense.DefaultVth)
+	rates := voltsense.ScoreDetection(truth, alarms)
+	fmt.Printf("emergency detection: %v over %d held-out maps (%d emergencies)\n",
+		rates, rates.Samples, rates.Emergencies)
+}

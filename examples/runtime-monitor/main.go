@@ -1,0 +1,76 @@
+// Runtime monitor: the deployment story. After design-time placement and
+// model fitting, stream a live power-grid transient through the runtime
+// monitor — each simulation step plays the role of one sensor sampling
+// cycle — and watch per-block emergency alarms fire and clear, with a
+// throttle hook standing in for the DVFS/issue controller the paper's
+// introduction surveys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltsense"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Design time: place 3 sensors per core, fit the runtime model.
+	_, sensors, err := p.ChipPlacementCount(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := p.BuildChipPredictor(sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	throttles := 0
+	mon, err := voltsense.NewMonitor(pred, p.Chip.NumBlocks(),
+		voltsense.MonitorConfig{Vth: voltsense.DefaultVth},
+		voltsense.ThrottleFunc(func(cycle int, blocks []int) {
+			throttles++
+			if throttles <= 5 {
+				fmt.Printf("  cycle %4d: THROTTLE blocks %v\n", cycle, blocks)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Runtime: replay a held-out benchmark and feed the monitor only the
+	// placed sensors' readings, exactly what real hardware would see.
+	bench := p.BusiestBenchmark()
+	s := p.TestByBench[bench]
+	fmt.Printf("monitoring %s with %d sensors over %d sampling cycles\n",
+		p.Bench[bench].Name, len(sensors), s.N())
+	readings := make([]float64, len(sensors))
+	events := 0
+	for cycle := 0; cycle < s.N(); cycle++ {
+		for i, idx := range sensors {
+			readings[i] = s.CandV.At(idx, cycle)
+		}
+		for _, e := range mon.Process(cycle, readings) {
+			events++
+			if events <= 10 {
+				blk := p.Chip.Blocks[e.Block]
+				fmt.Printf("  cycle %4d: %s block %s/core%d at %.3f V\n",
+					e.Cycle, e.Kind, blk.Name, blk.Core, e.Voltage)
+			}
+		}
+	}
+
+	st := mon.Stats()
+	fmt.Printf("\nsession: %d cycles, %d alarms, %d block-cycles in emergency, %d throttles\n",
+		st.Cycles, st.Alarms, st.EmergencyCycles, throttles)
+	if st.WorstBlock >= 0 {
+		blk := p.Chip.Blocks[st.WorstBlock]
+		fmt.Printf("worst predicted voltage: %.3f V at %s/core%d\n",
+			st.WorstVoltage, blk.Name, blk.Core)
+	}
+}

@@ -1,0 +1,76 @@
+// Voltage map: the title's "full-chip voltage map generation". Train a
+// per-node model on the placed sensors, reconstruct the blank-area voltage
+// field of the worst held-out moment, and render measured vs reconstructed
+// maps side by side as ASCII heat fields.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltsense"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Place 3 sensors per core and train the full-map generator: one linear
+	// model row per grid node, all driven by the same few sensors.
+	_, sensors, err := p.ChipPlacementCount(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := voltsense.TrainMapGenerator(
+		p.Train.CandV.SelectRows(sensors), p.Train.CandV)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the held-out moment with the deepest droop anywhere on chip.
+	bench := p.BusiestBenchmark()
+	s := p.TestByBench[bench]
+	col, worst := 0, 2.0
+	for j := 0; j < s.N(); j++ {
+		for i := 0; i < s.CritV.Rows(); i++ {
+			if v := s.CritV.At(i, j); v < worst {
+				col, worst = j, v
+			}
+		}
+	}
+	fmt.Printf("benchmark %s, worst held-out droop %.3f V\n", p.Bench[bench].Name, worst)
+
+	// Reconstruct that moment's map from the sensor readings alone.
+	reading := make([]float64, len(sensors))
+	for i, idx := range sensors {
+		reading[i] = s.CandV.At(idx, col)
+	}
+	pred := gen.Generate(reading)
+	truth := s.CandV.Col(col)
+
+	vdd := p.Grid.Cfg.VDD
+	full := make([]float64, p.Grid.NumNodes())
+	render := func(field []float64, title string) {
+		for i := range full {
+			full[i] = vdd
+		}
+		for i, nd := range p.Grid.Candidates {
+			full[nd] = field[i]
+		}
+		fmt.Println(title)
+		fmt.Print(voltsense.RenderMap(p.Grid, full, voltsense.DefaultVth, vdd))
+	}
+	render(truth, "measured blank-area field (dark = deep droop):")
+	render(pred, fmt.Sprintf("reconstructed from %d sensors:", len(sensors)))
+
+	var maxErr float64
+	for i := range pred {
+		if d := pred[i] - truth[i]; d > maxErr || -d > maxErr {
+			maxErr = max(d, -d)
+		}
+	}
+	fmt.Printf("worst node reconstruction error: %.4f V\n", maxErr)
+}

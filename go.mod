@@ -1,0 +1,3 @@
+module voltsense
+
+go 1.22

@@ -1,0 +1,199 @@
+// Package banded implements symmetric banded matrices and a banded Cholesky
+// factorization.
+//
+// The power-delivery mesh in voltsense is a regular 2-D grid, so the system
+// matrix (G + C/h) of the backward-Euler transient solve is symmetric
+// positive definite with bandwidth equal to the grid width. Factoring it once
+// in banded form and reusing the factor for every time step is the fast path
+// of the transient engine; the iterative solver in package sparse is kept as
+// an independent cross-check.
+package banded
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite mirrors mat.ErrNotPositiveDefinite for the banded
+// factorization.
+var ErrNotPositiveDefinite = errors.New("banded: matrix is not positive definite")
+
+// SymBanded is a symmetric n-by-n matrix with half-bandwidth bw, storing the
+// diagonal and the bw sub-diagonals. Element (i, j) with i >= j and
+// i-j <= bw lives at data[i*(bw+1) + (i-j)].
+type SymBanded struct {
+	n, bw int
+	data  []float64
+}
+
+// NewSymBanded returns a zero symmetric banded matrix of order n with
+// half-bandwidth bw.
+func NewSymBanded(n, bw int) *SymBanded {
+	if n < 0 || bw < 0 {
+		panic(fmt.Sprintf("banded: invalid size n=%d bw=%d", n, bw))
+	}
+	if bw >= n && n > 0 {
+		bw = n - 1
+	}
+	return &SymBanded{n: n, bw: bw, data: make([]float64, n*(bw+1))}
+}
+
+// Order returns n.
+func (s *SymBanded) Order() int { return s.n }
+
+// Bandwidth returns the half-bandwidth.
+func (s *SymBanded) Bandwidth() int { return s.bw }
+
+// At returns element (i, j). Entries outside the band are zero.
+func (s *SymBanded) At(i, j int) float64 {
+	s.check(i, j)
+	if i < j {
+		i, j = j, i
+	}
+	if i-j > s.bw {
+		return 0
+	}
+	return s.data[i*(s.bw+1)+(i-j)]
+}
+
+// Set assigns element (i, j) (and by symmetry (j, i)). Setting outside the
+// band panics.
+func (s *SymBanded) Set(i, j int, v float64) {
+	s.check(i, j)
+	if i < j {
+		i, j = j, i
+	}
+	if i-j > s.bw {
+		panic(fmt.Sprintf("banded: Set(%d,%d) outside bandwidth %d", i, j, s.bw))
+	}
+	s.data[i*(s.bw+1)+(i-j)] = v
+}
+
+// Add accumulates v into element (i, j) (and (j, i)).
+func (s *SymBanded) Add(i, j int, v float64) {
+	s.Set(i, j, s.At(i, j)+v)
+}
+
+func (s *SymBanded) check(i, j int) {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(fmt.Sprintf("banded: index (%d,%d) out of range %d", i, j, s.n))
+	}
+}
+
+// Clone returns a deep copy.
+func (s *SymBanded) Clone() *SymBanded {
+	d := make([]float64, len(s.data))
+	copy(d, s.data)
+	return &SymBanded{n: s.n, bw: s.bw, data: d}
+}
+
+// MulVec returns s * x using the symmetric band structure.
+func (s *SymBanded) MulVec(x []float64) []float64 {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("banded: MulVec length %d, want %d", len(x), s.n))
+	}
+	y := make([]float64, s.n)
+	w := s.bw + 1
+	for i := 0; i < s.n; i++ {
+		// Diagonal.
+		y[i] += s.data[i*w] * x[i]
+		// Sub-diagonal entries (i, i-d) contribute to rows i and i-d.
+		lo := i - s.bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			v := s.data[i*w+(i-j)]
+			if v == 0 {
+				continue
+			}
+			y[i] += v * x[j]
+			y[j] += v * x[i]
+		}
+	}
+	return y
+}
+
+// CholFactor is the banded Cholesky factor L (same band structure) of a
+// symmetric positive definite banded matrix: A = L Lᵀ.
+type CholFactor struct {
+	n, bw int
+	data  []float64 // same layout as SymBanded
+}
+
+// Factor computes the banded Cholesky factorization of s. s is not modified.
+func Factor(s *SymBanded) (*CholFactor, error) {
+	n, bw := s.n, s.bw
+	w := bw + 1
+	l := make([]float64, len(s.data))
+	copy(l, s.data)
+	for j := 0; j < n; j++ {
+		d := l[j*w]
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l[j*w] = d
+		hi := j + bw
+		if hi >= n {
+			hi = n - 1
+		}
+		for i := j + 1; i <= hi; i++ {
+			l[i*w+(i-j)] /= d
+		}
+		// Rank-1 update of the trailing band: A[i][k] -= L[i][j]*L[k][j].
+		for k := j + 1; k <= hi; k++ {
+			lkj := l[k*w+(k-j)]
+			if lkj == 0 {
+				continue
+			}
+			for i := k; i <= hi; i++ {
+				l[i*w+(i-k)] -= l[i*w+(i-j)] * lkj
+			}
+		}
+	}
+	return &CholFactor{n: n, bw: bw, data: l}, nil
+}
+
+// Solve returns x with A x = b, overwriting nothing; b is not modified.
+func (c *CholFactor) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("banded: Solve length %d, want %d", len(b), c.n))
+	}
+	x := make([]float64, c.n)
+	copy(x, b)
+	c.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites b with the solution of A x = b. It allocates
+// nothing, which matters in the per-time-step inner loop of the transient
+// engine.
+func (c *CholFactor) SolveInPlace(b []float64) {
+	n, bw, w := c.n, c.bw, c.bw+1
+	// Forward: L y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			s -= c.data[i*w+(i-j)] * b[j]
+		}
+		b[i] = s / c.data[i*w]
+	}
+	// Backward: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		hi := i + bw
+		if hi >= n {
+			hi = n - 1
+		}
+		for k := i + 1; k <= hi; k++ {
+			s -= c.data[k*w+(k-i)] * b[k]
+		}
+		b[i] = s / c.data[i*w]
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// syntheticDataset builds a dataset where the K outputs are driven by the
+// candidate sites in trueIdx plus noise, mimicking the correlated-grid
+// setting: the informative sites carry independent latent drivers, every
+// other candidate is an uninformative noise site.
+func syntheticDataset(rng *rand.Rand, m, k, n int, trueIdx []int, noise float64) *Dataset {
+	x := mat.Zeros(m, n)
+	latent := mat.Zeros(len(trueIdx), n)
+	for i := 0; i < len(trueIdx); i++ {
+		for j := 0; j < n; j++ {
+			latent.Set(i, j, rng.NormFloat64())
+		}
+	}
+	isTrue := map[int]int{}
+	for i, t := range trueIdx {
+		isTrue[t] = i
+	}
+	for r := 0; r < m; r++ {
+		if li, ok := isTrue[r]; ok {
+			for j := 0; j < n; j++ {
+				x.Set(r, j, 1.0+0.05*latent.At(li, j)+0.001*rng.NormFloat64())
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			x.Set(r, j, 1.0+0.03*rng.NormFloat64())
+		}
+	}
+	f := mat.Zeros(k, n)
+	wOut := mat.Zeros(k, len(trueIdx))
+	for i := 0; i < k; i++ {
+		for l := 0; l < len(trueIdx); l++ {
+			wOut.Set(i, l, 0.5+rng.Float64())
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < len(trueIdx); l++ {
+				s += wOut.At(i, l) * latent.At(l, j)
+			}
+			f.Set(i, j, 0.9+0.04*s+noise*rng.NormFloat64())
+		}
+	}
+	return &Dataset{X: x, F: f}
+}
+
+// splitDataset generates one dataset from a single planted model and splits
+// it into train/test halves, so both splits share the generating process.
+func splitDataset(rng *rand.Rand, m, k, nTrain, nTest int, trueIdx []int, noise float64) (*Dataset, *Dataset) {
+	full := syntheticDataset(rng, m, k, nTrain+nTest, trueIdx, noise)
+	trainCols := make([]int, nTrain)
+	for i := range trainCols {
+		trainCols[i] = i
+	}
+	testCols := make([]int, nTest)
+	for i := range testCols {
+		testCols[i] = nTrain + i
+	}
+	return full.Subset(trainCols), full.Subset(testCols)
+}
+
+func TestDatasetCheck(t *testing.T) {
+	if err := (&Dataset{}).Check(); err == nil {
+		t.Error("nil matrices should fail Check")
+	}
+	d := &Dataset{X: mat.Zeros(2, 3), F: mat.Zeros(1, 4)}
+	if err := d.Check(); err == nil {
+		t.Error("sample mismatch should fail Check")
+	}
+	d = &Dataset{X: mat.Zeros(2, 0), F: mat.Zeros(1, 0)}
+	if err := d.Check(); err == nil {
+		t.Error("empty dataset should fail Check")
+	}
+	d = &Dataset{X: mat.Zeros(2, 3), F: mat.Zeros(1, 3)}
+	if err := d.Check(); err != nil {
+		t.Errorf("valid dataset failed Check: %v", err)
+	}
+}
+
+func TestDatasetSubset(t *testing.T) {
+	d := &Dataset{
+		X: mat.FromRows([][]float64{{1, 2, 3}}),
+		F: mat.FromRows([][]float64{{4, 5, 6}}),
+	}
+	s := d.Subset([]int{2, 0})
+	if s.X.At(0, 0) != 3 || s.F.At(0, 1) != 4 {
+		t.Fatalf("Subset wrong: X=%v F=%v", s.X.Data(), s.F.Data())
+	}
+}
+
+func TestPlaceSensorsFindsDrivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueIdx := []int{3, 11, 17}
+	ds := syntheticDataset(rng, 24, 6, 800, trueIdx, 0.001)
+	pl, err := PlaceSensors(ds, Config{Lambda: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Selected) == 0 {
+		t.Fatal("no sensors selected")
+	}
+	// Each true driver should be selected (possibly with a few extras).
+	sel := map[int]bool{}
+	for _, s := range pl.Selected {
+		sel[s] = true
+	}
+	for _, ti := range trueIdx {
+		if !sel[ti] {
+			t.Errorf("true driver %d not selected; got %v", ti, pl.Selected)
+		}
+	}
+}
+
+func TestGroupNormsBimodal(t *testing.T) {
+	// The paper's Figure 1: selected norms far above T, rejected far below.
+	rng := rand.New(rand.NewSource(2))
+	ds := syntheticDataset(rng, 30, 5, 800, []int{5, 20}, 0.001)
+	pl, err := PlaceSensors(ds, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, n := range pl.GroupNorms {
+		selected := false
+		for _, s := range pl.Selected {
+			if s == m {
+				selected = true
+			}
+		}
+		if selected && n < 10*pl.Threshold {
+			t.Errorf("selected candidate %d has norm %v, barely above T", m, n)
+		}
+	}
+}
+
+func TestPredictorBeatsGLDirect(t *testing.T) {
+	// The reason Section 2.3 exists: the OLS refit must beat the biased
+	// Eq. 14 model on held-out data.
+	rng := rand.New(rand.NewSource(3))
+	trueIdx := []int{4, 9}
+	train, test := splitDataset(rng, 16, 4, 700, 300, trueIdx, 0.002)
+
+	pl, err := PlaceSensors(train, Config{Lambda: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Selected) == 0 {
+		t.Fatal("no sensors selected")
+	}
+	pred, err := BuildPredictor(train, pl.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glp, err := BuildGLDirect(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOLS := ols.RelativeError(pred.PredictDataset(test), test.F)
+	errGL := ols.RelativeError(glp.PredictDataset(test), test.F)
+	if errOLS >= errGL {
+		t.Fatalf("OLS refit error %v not better than GL-direct %v", errOLS, errGL)
+	}
+	if errOLS > 0.02 {
+		t.Errorf("refit error %v unexpectedly large", errOLS)
+	}
+}
+
+func TestPredictConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := syntheticDataset(rng, 12, 3, 500, []int{2, 7}, 0.002)
+	pl, err := PlaceSensors(ds, Config{Lambda: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := BuildPredictor(ds, pl.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ds.X.Col(10)
+	fromAll := pred.PredictFromCandidates(all)
+	sub := make([]float64, len(pl.Selected))
+	for i, s := range pl.Selected {
+		sub[i] = all[s]
+	}
+	direct := pred.Predict(sub)
+	matPred := pred.PredictDataset(ds)
+	for i := range fromAll {
+		if math.Abs(fromAll[i]-direct[i]) > 1e-12 {
+			t.Fatal("PredictFromCandidates disagrees with Predict")
+		}
+		if math.Abs(matPred.At(i, 10)-direct[i]) > 1e-12 {
+			t.Fatal("PredictDataset disagrees with Predict")
+		}
+	}
+}
+
+func TestBuildPredictorRejectsEmptySelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := syntheticDataset(rng, 8, 2, 100, []int{1}, 0.01)
+	if _, err := BuildPredictor(ds, nil); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+}
+
+func TestPlaceSensorsNegativeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := syntheticDataset(rng, 8, 2, 100, []int{1}, 0.01)
+	if _, err := PlaceSensors(ds, Config{Lambda: -1}); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+func TestSweepLambdaMonotoneSensors(t *testing.T) {
+	// Paper Table 1: sensor count grows with λ, error shrinks.
+	rng := rand.New(rand.NewSource(7))
+	trueIdx := []int{2, 6, 10, 14, 18}
+	train, test := splitDataset(rng, 22, 5, 900, 400, trueIdx, 0.002)
+	pts, err := SweepLambda(train, test, []float64{0.05, 0.2, 1, 4}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NumSensors < pts[i-1].NumSensors {
+			t.Errorf("sensor count dropped: λ=%v→%d after λ=%v→%d",
+				pts[i].LambdaF, pts[i].NumSensors, pts[i-1].LambdaF, pts[i-1].NumSensors)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.NumSensors <= first.NumSensors {
+		t.Errorf("sweep did not grow the sensor set: %d → %d", first.NumSensors, last.NumSensors)
+	}
+	if last.RelError >= first.RelError {
+		t.Errorf("error did not improve across sweep: %v → %v", first.RelError, last.RelError)
+	}
+}
+
+func TestBuildGLDirectRejectsEmpty(t *testing.T) {
+	pl := &Placement{}
+	if _, err := BuildGLDirect(pl); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// predictorJSON is the stable serialized form of a Predictor: everything the
+// runtime needs to evaluate Eq. 20 on hardware sensor readings.
+type predictorJSON struct {
+	Format   string      `json:"format"` // "voltsense-predictor/v1"
+	Selected []int       `json:"selected_sensors"`
+	Alpha    [][]float64 `json:"alpha"` // K rows of Q coefficients
+	C        []float64   `json:"c"`     // K intercepts
+}
+
+const predictorFormat = "voltsense-predictor/v1"
+
+// Save writes the predictor as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	k := p.Model.Alpha.Rows()
+	pj := predictorJSON{
+		Format:   predictorFormat,
+		Selected: p.Selected,
+		Alpha:    make([][]float64, k),
+		C:        p.Model.C,
+	}
+	for i := 0; i < k; i++ {
+		row := make([]float64, p.Model.Alpha.Cols())
+		copy(row, p.Model.Alpha.Row(i))
+		pj.Alpha[i] = row
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pj); err != nil {
+		return fmt.Errorf("core: saving predictor: %w", err)
+	}
+	return nil
+}
+
+// LoadPredictor reads a predictor saved by Save, validating its shape.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var pj predictorJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("core: loading predictor: %w", err)
+	}
+	if pj.Format != predictorFormat {
+		return nil, fmt.Errorf("core: unknown predictor format %q", pj.Format)
+	}
+	k := len(pj.Alpha)
+	if k == 0 {
+		return nil, fmt.Errorf("core: predictor has no outputs")
+	}
+	q := len(pj.Alpha[0])
+	if q == 0 || q != len(pj.Selected) {
+		return nil, fmt.Errorf("core: predictor has %d coefficients per row but %d sensors", q, len(pj.Selected))
+	}
+	if len(pj.C) != k {
+		return nil, fmt.Errorf("core: %d intercepts for %d outputs", len(pj.C), k)
+	}
+	alpha := mat.Zeros(k, q)
+	for i, row := range pj.Alpha {
+		if len(row) != q {
+			return nil, fmt.Errorf("core: ragged alpha row %d", i)
+		}
+		copy(alpha.Row(i), row)
+	}
+	sel := make([]int, len(pj.Selected))
+	copy(sel, pj.Selected)
+	return &Predictor{Selected: sel, Model: &ols.Model{Alpha: alpha, C: pj.C}}, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := syntheticDataset(rng, 10, 4, 300, []int{2, 7}, 0.002)
+	pl, err := PlaceSensors(ds, Config{Lambda: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := BuildPredictor(ds, pl.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Selected) != len(pred.Selected) {
+		t.Fatalf("selected %v, want %v", got.Selected, pred.Selected)
+	}
+	// Predictions must be bit-identical... JSON float round-trips exactly
+	// for the default encoder? It prints shortest repr which parses back
+	// exactly, so yes.
+	x := make([]float64, len(pred.Selected))
+	for i := range x {
+		x[i] = 0.9 + 0.01*float64(i)
+	}
+	a, b := pred.Predict(x), got.Predict(x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-15 {
+			t.Fatalf("prediction drifted after round-trip: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "hello",
+		"wrong format": `{"format":"other/v9","selected_sensors":[0],"alpha":[[1]],"c":[0]}`,
+		"no outputs":   `{"format":"voltsense-predictor/v1","selected_sensors":[],"alpha":[],"c":[]}`,
+		"shape":        `{"format":"voltsense-predictor/v1","selected_sensors":[0,1],"alpha":[[1]],"c":[0]}`,
+		"ragged":       `{"format":"voltsense-predictor/v1","selected_sensors":[0,1],"alpha":[[1,2],[3]],"c":[0,0]}`,
+		"intercepts":   `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1]],"c":[0,1]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadPredictor(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSavedFormIsVersioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := syntheticDataset(rng, 6, 2, 200, []int{1}, 0.002)
+	pred, err := BuildPredictor(ds, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"voltsense-predictor/v1"`) {
+		t.Fatal("saved predictor missing format tag")
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+// The quick pipeline is expensive to build (~seconds), so every test in this
+// package shares one instance.
+var (
+	quickOnce sync.Once
+	quickPipe *Pipeline
+	quickErr  error
+)
+
+func quick(t *testing.T) *Pipeline {
+	t.Helper()
+	quickOnce.Do(func() {
+		quickPipe, quickErr = New(QuickConfig())
+	})
+	if quickErr != nil {
+		t.Fatalf("building quick pipeline: %v", quickErr)
+	}
+	return quickPipe
+}
+
+// TestCalibrationDiagnostics prints the physical operating point; run with
+// -v to inspect. The assertions pin the regime the detection experiments
+// need: droops deep enough that emergencies occur, shallow enough that they
+// are not constant.
+func TestCalibrationDiagnostics(t *testing.T) {
+	p := quick(t)
+
+	// Voltage statistics over training critical nodes.
+	crit := p.Train.CritV
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum float64
+	n := 0
+	for i := 0; i < crit.Rows(); i++ {
+		for _, v := range crit.Row(i) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			sum += v
+			n++
+		}
+	}
+	t.Logf("critical-node voltages: min=%.4f mean=%.4f max=%.4f", lo, sum/float64(n), hi)
+
+	trainFrac := p.EmergencyFraction(p.Train)
+	testFrac := p.EmergencyFraction(p.TestAll())
+	t.Logf("emergency fraction: train=%.3f test=%.3f (Vth=%.2f)", trainFrac, testFrac, p.Cfg.Vth)
+
+	if trainFrac < 0.05 {
+		t.Errorf("emergencies too rare (%.3f); droops too shallow for detection experiments", trainFrac)
+	}
+	if trainFrac > 0.80 {
+		t.Errorf("emergencies near-constant (%.3f); droops too deep", trainFrac)
+	}
+	if lo < 0.5 {
+		t.Errorf("min voltage %.3f implausibly deep", lo)
+	}
+
+	// Candidate (BA) nodes droop less than FA critical nodes on average —
+	// the mismatch that motivates the paper.
+	candMean := mat.Mean(mat.RowMeans(p.Train.CandV))
+	critMean := sum / float64(n)
+	t.Logf("mean candidate V = %.4f, mean critical V = %.4f", candMean, critMean)
+	if candMean <= critMean {
+		t.Errorf("blank area droops more than function area: cand=%.4f crit=%.4f", candMean, critMean)
+	}
+}
+
+// TestCandidateCriticalCorrelation verifies the premise the methodology
+// rests on: blank-area candidate voltages strongly correlate with nearby
+// critical nodes.
+func TestCandidateCriticalCorrelation(t *testing.T) {
+	p := quick(t)
+	// For core 0: best candidate correlation with each block's critical
+	// node should be high.
+	ds, _ := p.CoreDataset(0, p.Train)
+	weak := 0
+	for k := 0; k < ds.F.Rows(); k++ {
+		fRow := ds.F.Row(k)
+		best := 0.0
+		for m := 0; m < ds.X.Rows(); m++ {
+			if c := math.Abs(mat.Correlation(ds.X.Row(m), fRow)); c > best {
+				best = c
+			}
+		}
+		if best < 0.8 {
+			weak++
+		}
+	}
+	if weak > ds.F.Rows()/4 {
+		t.Errorf("%d of %d blocks lack a well-correlated candidate", weak, ds.F.Rows())
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestClosedLoopThrottlingReducesEmergencies(t *testing.T) {
+	p := quick(t)
+	bench := p.BusiestBenchmark()
+	d, err := p.ClosedLoop(bench, 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: open %d vs closed %d emergency steps (%d alarms, %d throttled core-steps)",
+		d.Bench, d.OpenEmergencySteps, d.ClosedEmergencySteps, d.Alarms, d.ThrottleSteps)
+	if d.OpenEmergencySteps == 0 {
+		t.Skip("no emergencies in the open-loop window")
+	}
+	if d.Alarms == 0 {
+		t.Fatal("monitor never alarmed despite open-loop emergencies")
+	}
+	// Throttling must substantially reduce emergency exposure.
+	if d.ClosedEmergencySteps*2 > d.OpenEmergencySteps {
+		t.Errorf("closed loop removed under half the emergencies: %d -> %d",
+			d.OpenEmergencySteps, d.ClosedEmergencySteps)
+	}
+	// The throttle must actually release: a loop that pins every core at
+	// the floor for the whole run is a thermostat stuck on.
+	if total := d.Steps * len(p.Chip.Cores); d.ThrottleSteps >= total*95/100 {
+		t.Errorf("throttled %d of %d core-steps; the throttle never releases",
+			d.ThrottleSteps, total)
+	}
+}
+
+func TestClosedLoopBadBench(t *testing.T) {
+	p := quick(t)
+	if _, err := p.ClosedLoop(99, 2, 50); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"voltsense/internal/detect"
+	"voltsense/internal/mat"
+)
+
+// CorrProfile is the empirical premise check behind the whole methodology
+// (the paper's citation [13]): supply noise at nearby nodes is strongly
+// correlated, and the correlation decays with distance. Bin b covers
+// distances [b·BinMM, (b+1)·BinMM).
+type CorrProfile struct {
+	BinMM    float64
+	MeanCorr []float64 // mean |correlation| per distance bin
+	Count    []int     // candidate-critical pairs per bin
+}
+
+// CorrelationProfile measures |corr(candidate, critical)| as a function of
+// their die distance over the training samples, using every critical node
+// against every candidate.
+func (p *Pipeline) CorrelationProfile(binMM float64) (*CorrProfile, error) {
+	if binMM <= 0 {
+		return nil, fmt.Errorf("experiments: bin width %v must be positive", binMM)
+	}
+	maxDist := math.Hypot(p.Chip.Width, p.Chip.Height)
+	nBins := int(maxDist/binMM) + 1
+	prof := &CorrProfile{
+		BinMM:    binMM,
+		MeanCorr: make([]float64, nBins),
+		Count:    make([]int, nBins),
+	}
+	for b, critNode := range p.CritNodes {
+		cx, cy := p.Grid.NodePos(critNode)
+		fRow := p.Train.CritV.Row(b)
+		for ci, candNode := range p.Grid.Candidates {
+			x, y := p.Grid.NodePos(candNode)
+			d := math.Hypot(x-cx, y-cy)
+			bin := int(d / binMM)
+			c := math.Abs(mat.Correlation(p.Train.CandV.Row(ci), fRow))
+			prof.MeanCorr[bin] += c
+			prof.Count[bin]++
+		}
+	}
+	for i := range prof.MeanCorr {
+		if prof.Count[i] > 0 {
+			prof.MeanCorr[i] /= float64(prof.Count[i])
+		}
+	}
+	// Trim empty tail bins.
+	last := len(prof.Count) - 1
+	for last > 0 && prof.Count[last] == 0 {
+		last--
+	}
+	prof.MeanCorr = prof.MeanCorr[:last+1]
+	prof.Count = prof.Count[:last+1]
+	return prof, nil
+}
+
+// Render draws the profile as a text bar chart.
+func (c *CorrProfile) Render() string {
+	var b strings.Builder
+	b.WriteString("mean |corr(candidate, critical)| vs distance\n")
+	for i, v := range c.MeanCorr {
+		if c.Count[i] == 0 {
+			continue
+		}
+		bars := int(v * 50)
+		fmt.Fprintf(&b, "%5.1f-%5.1f mm %s %.3f (n=%d)\n",
+			float64(i)*c.BinMM, float64(i+1)*c.BinMM, strings.Repeat("#", bars), v, c.Count[i])
+	}
+	return b.String()
+}
+
+// CSV emits the profile series.
+func (c *CorrProfile) CSV() string {
+	var b strings.Builder
+	b.WriteString("dist_lo_mm,dist_hi_mm,mean_abs_corr,pairs\n")
+	for i, v := range c.MeanCorr {
+		fmt.Fprintf(&b, "%.2f,%.2f,%.4f,%d\n",
+			float64(i)*c.BinMM, float64(i+1)*c.BinMM, v, c.Count[i])
+	}
+	return b.String()
+}
+
+// PerBlockRates is the finer-grained detection accounting extension: rates
+// computed over (sample, block) pairs instead of whole-chip samples.
+type PerBlockRates struct {
+	SensorsPerCore int
+	ChipLevel      detect.Rates // the paper's accounting, pooled test set
+	PerBlock       detect.Rates // (sample, block) accounting
+}
+
+// Table2PerBlock computes the per-block extension of Table 2 on the pooled
+// held-out set at q sensors per core.
+func (p *Pipeline) Table2PerBlock(q int) (*PerBlockRates, error) {
+	_, union, err := p.ChipPlacementCount(q)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.BuildChipPredictor(union)
+	if err != nil {
+		return nil, err
+	}
+	test := p.TestAll()
+	predicted := p.PredictTest(pred, test)
+	truth := detect.TruthFromVoltages(test.CritV, p.Cfg.Vth)
+	return &PerBlockRates{
+		SensorsPerCore: q,
+		ChipLevel:      detect.Score(truth, detect.AlarmsFromPredictions(predicted, p.Cfg.Vth)),
+		PerBlock:       detect.ScorePerBlock(test.CritV, predicted, p.Cfg.Vth),
+	}, nil
+}

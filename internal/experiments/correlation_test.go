@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorrelationProfileDecays(t *testing.T) {
+	p := quick(t)
+	prof, err := p.CorrelationProfile(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", prof.Render())
+	if len(prof.MeanCorr) < 5 {
+		t.Fatalf("only %d bins", len(prof.MeanCorr))
+	}
+	// The first bin (nearest candidates) must dominate the farthest
+	// populated bin — the locality premise.
+	first := prof.MeanCorr[0]
+	last := 0.0
+	for i := len(prof.MeanCorr) - 1; i >= 0; i-- {
+		if prof.Count[i] > 50 {
+			last = prof.MeanCorr[i]
+			break
+		}
+	}
+	if first < 0.85 {
+		t.Errorf("nearest-bin correlation %.3f too weak for the methodology's premise", first)
+	}
+	if first <= last {
+		t.Errorf("no decay: first bin %.3f vs far bin %.3f", first, last)
+	}
+}
+
+func TestCorrelationProfileBadBin(t *testing.T) {
+	p := quick(t)
+	if _, err := p.CorrelationProfile(0); err == nil {
+		t.Fatal("expected error for zero bin width")
+	}
+}
+
+func TestCorrelationProfileCSV(t *testing.T) {
+	p := quick(t)
+	prof, err := p.CorrelationProfile(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(prof.CSV(), "dist_lo_mm,") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestTable2PerBlock(t *testing.T) {
+	p := quick(t)
+	d, err := p.Table2PerBlock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chip-level: %v", d.ChipLevel)
+	t.Logf("per-block : %v", d.PerBlock)
+	if d.PerBlock.Samples != d.ChipLevel.Samples*p.Chip.NumBlocks() {
+		t.Errorf("per-block samples %d, want %d x %d",
+			d.PerBlock.Samples, d.ChipLevel.Samples, p.Chip.NumBlocks())
+	}
+	// Per-block emergencies are rarer events than chip-level ones, so the
+	// block-level TE must not exceed the chip-level TE.
+	if d.PerBlock.TE > d.ChipLevel.TE {
+		t.Errorf("per-block TE %.4f > chip-level TE %.4f", d.PerBlock.TE, d.ChipLevel.TE)
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	p := quick(t)
+	d, err := p.Table1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Rows) != len(p.Cfg.Lambdas) {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	// Paper shape: sensor count grows with λ (small numerical dips at the
+	// selection threshold are tolerated), relative error shrinks, and error
+	// is already below 1% at the smallest λ.
+	for i := 1; i < len(d.Rows); i++ {
+		floor := d.Rows[i-1].TotalSensors * 85 / 100
+		if d.Rows[i].TotalSensors < floor {
+			t.Errorf("sensor count dropped at λ=%v: %d after %d",
+				d.Rows[i].Lambda, d.Rows[i].TotalSensors, d.Rows[i-1].TotalSensors)
+		}
+	}
+	first, last := d.Rows[0], d.Rows[len(d.Rows)-1]
+	if first.TotalSensors == 0 {
+		t.Fatalf("smallest λ=%v selected nothing", first.Lambda)
+	}
+	if last.TotalSensors <= first.TotalSensors {
+		t.Errorf("λ sweep did not grow the sensor set: %d → %d", first.TotalSensors, last.TotalSensors)
+	}
+	if last.RelErrorPercent >= first.RelErrorPercent {
+		t.Errorf("error did not shrink across sweep: %.3f%% → %.3f%%",
+			first.RelErrorPercent, last.RelErrorPercent)
+	}
+	if first.RelErrorPercent > 1.0 {
+		t.Errorf("relative error at smallest λ = %.3f%%, paper reports < 1%%", first.RelErrorPercent)
+	}
+}
+
+func TestFigure1NormsBimodal(t *testing.T) {
+	p := quick(t)
+	d, err := p.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	for li, l := range d.Lambdas {
+		sel := map[int]bool{}
+		for _, s := range d.Selected[li] {
+			sel[s] = true
+		}
+		if len(sel) == 0 {
+			t.Fatalf("λ=%v selected nothing", l)
+		}
+		// Selected norms must clear T with margin; rejected norms must sit
+		// well below it (the paper's 1e-5..1e-10 cloud).
+		for m, n := range d.Norms[li] {
+			if sel[m] {
+				if n < 5*d.Threshold {
+					t.Errorf("λ=%v: selected candidate %d has marginal norm %v", l, m, n)
+				}
+			} else if n > d.Threshold {
+				t.Errorf("λ=%v: rejected candidate %d has norm %v above T", l, m, n)
+			}
+		}
+	}
+	// More budget → more sensors (λ=10 vs λ=30).
+	if len(d.Selected[1]) <= len(d.Selected[0]) {
+		t.Errorf("λ=30 selected %d sensors, λ=10 selected %d; want growth",
+			len(d.Selected[1]), len(d.Selected[0]))
+	}
+}
+
+func TestFigure2PredictionTracksReality(t *testing.T) {
+	p := quick(t)
+	// Block 14 of core 0 is alu0 — an execution block with real noise.
+	d, err := p.Figure2(0, 14, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Real) != 150 {
+		t.Fatalf("trace length %d", len(d.Real))
+	}
+	e2, e7 := d.MaxAbsError(2), d.MaxAbsError(7)
+	if math.IsNaN(e2) || math.IsNaN(e7) {
+		t.Fatal("missing predicted traces")
+	}
+	// Paper: error small and shrinking with more sensors.
+	if e7 > e2*1.15 {
+		t.Errorf("7-sensor error %v not better than 2-sensor %v", e7, e2)
+	}
+	if rms := d.RMSError(2); rms > 0.02 {
+		t.Errorf("2-sensor RMS trace error %v V, paper shows ≪ 0.02 V", rms)
+	}
+}
+
+func TestFigure3PlacementCharacter(t *testing.T) {
+	p := quick(t)
+	d, err := p.Figure3(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render(p))
+	if len(d.Proposed) != 7 || len(d.EagleEye) != 7 {
+		t.Fatalf("placed %d/%d sensors, want 7/7", len(d.Proposed), len(d.EagleEye))
+	}
+	// The paper's qualitative claim: the proposed approach spreads sensors
+	// over more functional units than Eagle-Eye, which clusters at the
+	// worst-noise unit.
+	if len(d.ProposedByUnit) < len(d.EagleByUnit) {
+		t.Errorf("proposed covers %d units, Eagle-Eye %d; expected at least as many",
+			len(d.ProposedByUnit), len(d.EagleByUnit))
+	}
+}
+
+func TestTable2ProposedHalvesMissError(t *testing.T) {
+	p := quick(t)
+	d, err := p.Table2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Rows) != 19 {
+		t.Fatalf("rows = %d, want 19 benchmarks", len(d.Rows))
+	}
+	eagle, prop := d.MeanRates()
+	t.Logf("means: eagle ME=%.4f WAE=%.4f TE=%.4f | proposed ME=%.4f WAE=%.4f TE=%.4f",
+		eagle[0], eagle[1], eagle[2], prop[0], prop[1], prop[2])
+	// Paper headline: proposed cuts ME and TE roughly in half.
+	if prop[0] >= eagle[0] {
+		t.Errorf("proposed mean ME %.4f not below Eagle-Eye %.4f", prop[0], eagle[0])
+	}
+	if prop[2] >= eagle[2] {
+		t.Errorf("proposed mean TE %.4f not below Eagle-Eye %.4f", prop[2], eagle[2])
+	}
+	// WAE stays small for both (paper: < 1e-3 typical, always ≪ ME).
+	if prop[1] > 0.05 || eagle[1] > 0.05 {
+		t.Errorf("wrong-alarm rates too large: eagle %.4f, proposed %.4f", eagle[1], prop[1])
+	}
+}
+
+func TestFigure4MoreSensorsHelp(t *testing.T) {
+	p := quick(t)
+	// bodytrack: the quick pipeline's busiest benchmark for emergencies.
+	d, err := p.Figure4(1, 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Points) != 3 {
+		t.Fatalf("points = %d", len(d.Points))
+	}
+	first, last := d.Points[0], d.Points[len(d.Points)-1]
+	if last.TotalSensors <= first.TotalSensors {
+		t.Fatal("sweep did not grow the budget")
+	}
+	if last.Proposed.TE > first.Proposed.TE {
+		t.Errorf("proposed TE grew with more sensors: %.4f → %.4f", first.Proposed.TE, last.Proposed.TE)
+	}
+	// At the largest budget the proposed approach must win on TE (the
+	// paper's ≥ 50-sensor regime).
+	if last.Proposed.TE >= last.EagleEye.TE {
+		t.Errorf("at %d sensors proposed TE %.4f not below Eagle-Eye %.4f",
+			last.TotalSensors, last.Proposed.TE, last.EagleEye.TE)
+	}
+}
+
+func TestAblationGLDirectBias(t *testing.T) {
+	p := quick(t)
+	d, err := p.AblationGLDirect(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("λ=%g: GL-direct rel err %.5f vs OLS refit %.5f (%d sensors)",
+		d.Lambda, d.RelErrGL, d.RelErrRefit, d.SensorsCore0)
+	if d.RelErrRefit >= d.RelErrGL {
+		t.Errorf("OLS refit %.5f not better than biased GL-direct %.5f", d.RelErrRefit, d.RelErrGL)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	p := quick(t)
+	d1, err := p.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d1.CSV(), "candidate") {
+		t.Error("Fig1 CSV missing header")
+	}
+	t1, err := p.Table1([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1.CSV(), "lambda") {
+		t.Error("Table1 CSV missing header")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"voltsense/internal/core"
+	"voltsense/internal/ols"
+)
+
+// LOORow is one held-out benchmark of the leave-one-out study.
+type LOORow struct {
+	Bench       string
+	RelErrFull  float64 // model trained on all 19 benchmarks
+	RelErrLOO   float64 // model trained without this benchmark
+	Degradation float64 // RelErrLOO / RelErrFull
+}
+
+// LOOData is the workload-generalization study: does a model trained on 18
+// benchmarks predict the 19th? The paper trains and tests on the same suite;
+// this measures how much that flatters the results.
+type LOOData struct {
+	SensorsPerCore int
+	Rows           []LOORow
+}
+
+// LeaveOneOut refits the chip predictor 19 times, each time excluding one
+// benchmark's training maps (the sensor placement is kept fixed — it is
+// decided once at design time), and scores prediction on the excluded
+// benchmark's held-out run.
+func (p *Pipeline) LeaveOneOut(q int) (*LOOData, error) {
+	_, union, err := p.ChipPlacementCount(q)
+	if err != nil {
+		return nil, err
+	}
+	full, err := p.BuildChipPredictor(union)
+	if err != nil {
+		return nil, err
+	}
+	d := &LOOData{SensorsPerCore: q}
+	for bi := range p.Bench {
+		cols := make([]int, 0, p.Train.N())
+		for j, b := range p.Train.Bench {
+			if b != bi {
+				cols = append(cols, j)
+			}
+		}
+		ds := (&core.Dataset{X: p.Train.CandV, F: p.Train.CritV}).Subset(cols)
+		loo, err := core.BuildPredictor(ds, union)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LOO without %s: %w", p.Bench[bi].Name, err)
+		}
+		test := p.TestByBench[bi]
+		testDS := &core.Dataset{X: test.CandV, F: test.CritV}
+		row := LOORow{
+			Bench:      p.Bench[bi].Name,
+			RelErrFull: ols.RelativeError(full.PredictDataset(testDS), test.CritV),
+			RelErrLOO:  ols.RelativeError(loo.PredictDataset(testDS), test.CritV),
+		}
+		if row.RelErrFull > 0 {
+			row.Degradation = row.RelErrLOO / row.RelErrFull
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// WorstDegradation returns the largest LOO/full error ratio.
+func (d *LOOData) WorstDegradation() float64 {
+	w := 0.0
+	for _, r := range d.Rows {
+		if r.Degradation > w {
+			w = r.Degradation
+		}
+	}
+	return w
+}
+
+// MeanDegradation returns the average LOO/full error ratio.
+func (d *LOOData) MeanDegradation() float64 {
+	s := 0.0
+	for _, r := range d.Rows {
+		s += r.Degradation
+	}
+	return s / float64(len(d.Rows))
+}
+
+// Render formats the study.
+func (d *LOOData) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leave-one-benchmark-out, %d sensors/core\n", d.SensorsPerCore)
+	fmt.Fprintf(&b, "%-16s %14s %14s %8s\n", "held-out bench", "full err(%)", "LOO err(%)", "ratio")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-16s %14.4f %14.4f %8.2f\n",
+			r.Bench, 100*r.RelErrFull, 100*r.RelErrLOO, r.Degradation)
+	}
+	fmt.Fprintf(&b, "mean ratio %.2f, worst %.2f\n", d.MeanDegradation(), d.WorstDegradation())
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestLeaveOneOutGeneralization(t *testing.T) {
+	p := quick(t)
+	d, err := p.LeaveOneOut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Rows) != 19 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	// The model must generalize to unseen workloads: excluding one
+	// benchmark's training data cannot blow the error up. The voltage
+	// correlation structure is a property of the grid, not the program, so
+	// degradation should be modest.
+	if w := d.WorstDegradation(); w > 3 {
+		t.Errorf("worst LOO degradation %.2fx; model is memorizing workloads", w)
+	}
+	if m := d.MeanDegradation(); m > 1.5 {
+		t.Errorf("mean LOO degradation %.2fx", m)
+	}
+	for _, r := range d.Rows {
+		if r.RelErrLOO > 0.05 {
+			t.Errorf("%s: LOO error %.4f implausibly large", r.Bench, r.RelErrLOO)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"voltsense/internal/core"
+	"voltsense/internal/lasso"
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// CorePlacement is a per-core sensor selection with both local (dataset-row)
+// and global (grid-candidate) indexing.
+type CorePlacement struct {
+	Core       int
+	Lambda     float64   // λ used (0 when found via count targeting)
+	LocalIdx   []int     // selected rows of the core dataset
+	CandIdx    []int     // same sensors as indices into grid.Candidates
+	GroupNorms []float64 // per core-candidate ‖β_m‖₂
+}
+
+// PlaceCore runs the paper's group-lasso selection on core c's candidates at
+// budget lambda. Results are cached per (core, λ).
+func (p *Pipeline) PlaceCore(c int, lambda float64) (*CorePlacement, error) {
+	key := fmt.Sprintf("c%d-l%g", c, lambda)
+	if pl, ok := p.placeCache[key]; ok {
+		return pl, nil
+	}
+	ds, candIdx := p.glTrainDataset(c)
+	pl, err := core.PlaceSensors(ds, core.Config{
+		Lambda:    lambda,
+		Threshold: p.Cfg.Threshold,
+		Solver:    p.Cfg.Solver,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: core %d λ=%v: %w", c, lambda, err)
+	}
+	out := &CorePlacement{
+		Core:       c,
+		Lambda:     lambda,
+		LocalIdx:   pl.Selected,
+		CandIdx:    mapIdx(candIdx, pl.Selected),
+		GroupNorms: pl.GroupNorms,
+	}
+	p.placeCache[key] = out
+	return out, nil
+}
+
+// PlaceCoreCount finds a per-core placement with exactly q sensors by
+// bisecting the penalized group-lasso multiplier μ (sensor count is
+// monotone in μ) and trimming to the top-q group norms when the count
+// cannot land exactly. Results are cached per (core, q).
+func (p *Pipeline) PlaceCoreCount(c, q int) (*CorePlacement, error) {
+	key := fmt.Sprintf("c%d-q%d", c, q)
+	if pl, ok := p.placeCache[key]; ok {
+		return pl, nil
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("experiments: sensor count %d must be positive", q)
+	}
+	ds, candIdx := p.glTrainDataset(c)
+	if q > ds.X.Rows() {
+		return nil, fmt.Errorf("experiments: core %d has %d candidates, cannot place %d", c, ds.X.Rows(), q)
+	}
+	z, _ := mat.Standardize(ds.X)
+	g, _ := mat.Standardize(ds.F)
+
+	// μ upper bound: the smallest μ that zeroes everything.
+	muMax := 0.0
+	k := g.Rows()
+	u := make([]float64, k)
+	for j := 0; j < z.Rows(); j++ {
+		zj := z.Row(j)
+		for i := 0; i < k; i++ {
+			u[i] = mat.Dot(g.Row(i), zj)
+		}
+		if n := mat.Norm2(u); n > muMax {
+			muMax = n
+		}
+	}
+	count := func(r *lasso.Result) int { return len(r.Select(p.Cfg.Threshold)) }
+
+	// Selection only needs the support, not a fully polished optimum, so a
+	// bisection step that runs out of iterations is still usable.
+	opts := p.Cfg.Solver
+	if opts.MaxIter < 3000 {
+		opts.MaxIter = 3000
+	}
+	lo, hi := 0.0, muMax // count(lo) = max, count(hi) = 0
+	var best *lasso.Result
+	bestCount := -1
+	for it := 0; it < 40; it++ {
+		mu := (lo + hi) / 2
+		r, err := lasso.SolvePenalized(z, g, mu, opts)
+		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+			return nil, fmt.Errorf("experiments: core %d q=%d: %w", c, q, err)
+		}
+		n := count(r)
+		// Track the tightest solution with at least q sensors.
+		if n >= q && (bestCount < 0 || n < bestCount) {
+			best, bestCount = r, n
+		}
+		if n == q {
+			break
+		}
+		if n > q {
+			lo = mu
+		} else {
+			hi = mu
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("experiments: core %d: could not reach %d sensors", c, q)
+	}
+	sel := best.Select(p.Cfg.Threshold)
+	if len(sel) > q {
+		// Keep the q strongest groups.
+		sort.Slice(sel, func(a, b int) bool {
+			return best.GroupNorms[sel[a]] > best.GroupNorms[sel[b]]
+		})
+		sel = sel[:q]
+		sort.Ints(sel)
+	}
+	out := &CorePlacement{
+		Core:       c,
+		LocalIdx:   sel,
+		CandIdx:    mapIdx(candIdx, sel),
+		GroupNorms: best.GroupNorms,
+	}
+	p.placeCache[key] = out
+	return out, nil
+}
+
+// ChipPlacementCount places q sensors in every core and returns the
+// per-core placements plus the union of global candidate indices.
+func (p *Pipeline) ChipPlacementCount(q int) ([]*CorePlacement, []int, error) {
+	var all []*CorePlacement
+	var union []int
+	for c := range p.Chip.Cores {
+		pl, err := p.PlaceCoreCount(c, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, pl)
+		union = append(union, pl.CandIdx...)
+	}
+	sort.Ints(union)
+	return all, union, nil
+}
+
+// ChipPlacementLambda places sensors in every core at budget λ and returns
+// the per-core placements plus the union of global candidate indices.
+func (p *Pipeline) ChipPlacementLambda(lambda float64) ([]*CorePlacement, []int, error) {
+	var all []*CorePlacement
+	var union []int
+	for c := range p.Chip.Cores {
+		pl, err := p.PlaceCore(c, lambda)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, pl)
+		union = append(union, pl.CandIdx...)
+	}
+	sort.Ints(union)
+	return all, union, nil
+}
+
+// BuildChipPredictor refits the unbiased OLS model from the chosen sensors
+// (global candidate indices) to every critical node, on the full training
+// set.
+func (p *Pipeline) BuildChipPredictor(sensors []int) (*core.Predictor, error) {
+	ds := &core.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+	return core.BuildPredictor(ds, sensors)
+}
+
+// PredictTest evaluates a chip predictor over a sample set, returning the
+// K-by-N predicted critical-node voltages.
+func (p *Pipeline) PredictTest(pred *core.Predictor, s *SampleSet) *mat.Matrix {
+	return pred.PredictDataset(&core.Dataset{X: s.CandV, F: s.CritV})
+}
+
+// RelErrorOn computes the aggregated relative prediction error of a chip
+// predictor over a sample set.
+func (p *Pipeline) RelErrorOn(pred *core.Predictor, s *SampleSet) float64 {
+	return ols.RelativeError(p.PredictTest(pred, s), s.CritV)
+}
+
+func mapIdx(global, local []int) []int {
+	out := make([]int, len(local))
+	for i, l := range local {
+		out[i] = global[l]
+	}
+	return out
+}

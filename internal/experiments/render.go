@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"voltsense/internal/floorplan"
+)
+
+// Render formats Table 1 the way the paper prints it.
+func (d *Table1Data) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "lambda")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%10.0f", r.Lambda)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-10s", "sensors/core")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%10.1f", r.SensorsPerCore)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-10s", "rel err(%)")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%10.3f", r.RelErrorPercent)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CSV emits Table 1 as comma-separated rows.
+func (d *Table1Data) CSV() string {
+	var b strings.Builder
+	b.WriteString("lambda,sensors_core0,sensors_per_core,total_sensors,rel_err_pct\n")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%g,%d,%.2f,%d,%.4f\n",
+			r.Lambda, r.SensorsCore0, r.SensorsPerCore, r.TotalSensors, r.RelErrorPercent)
+	}
+	return b.String()
+}
+
+// Render summarizes Figure 1: a per-decade histogram of the group norms for
+// each λ, plus the selected counts — the textual equivalent of the paper's
+// log-scale scatter.
+func (d *Fig1Data) Render() string {
+	var b strings.Builder
+	for li, l := range d.Lambdas {
+		norms := d.Norms[li]
+		fmt.Fprintf(&b, "lambda = %g: %d of %d candidates selected (T = %g)\n",
+			l, len(d.Selected[li]), len(norms), d.Threshold)
+		// Histogram by decade of ‖β_m‖₂.
+		bins := map[int]int{}
+		zero := 0
+		for _, n := range norms {
+			if n < 1e-12 {
+				zero++
+				continue
+			}
+			bins[int(math.Floor(math.Log10(n)))]++
+		}
+		keys := make([]int, 0, len(bins))
+		for k := range bins {
+			keys = append(keys, k)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  1e%+03d..1e%+03d : %s (%d)\n", k, k+1, strings.Repeat("#", bins[k]), bins[k])
+		}
+		if zero > 0 {
+			fmt.Fprintf(&b, "  ~0          : %s (%d)\n", strings.Repeat("#", zero), zero)
+		}
+	}
+	return b.String()
+}
+
+// CSV emits the per-candidate norms, one row per candidate with one column
+// per λ — the raw data behind the paper's Figure 1 scatter.
+func (d *Fig1Data) CSV() string {
+	var b strings.Builder
+	b.WriteString("candidate")
+	for _, l := range d.Lambdas {
+		fmt.Fprintf(&b, ",norm_lambda_%g", l)
+	}
+	b.WriteByte('\n')
+	for m := range d.Norms[0] {
+		fmt.Fprintf(&b, "%d", m)
+		for li := range d.Lambdas {
+			fmt.Fprintf(&b, ",%.6e", d.Norms[li][m])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxAbsError returns the worst prediction error (volts) of the q-sensor
+// trace in Figure 2.
+func (d *Fig2Data) MaxAbsError(q int) float64 {
+	pred, ok := d.Pred[q]
+	if !ok {
+		return math.NaN()
+	}
+	mx := 0.0
+	for i, r := range d.Real {
+		if a := math.Abs(pred[i] - r); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// RMSError returns the RMS prediction error (volts) of the q-sensor trace.
+func (d *Fig2Data) RMSError(q int) float64 {
+	pred, ok := d.Pred[q]
+	if !ok || len(d.Real) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i, r := range d.Real {
+		diff := pred[i] - r
+		s += diff * diff
+	}
+	return math.Sqrt(s / float64(len(d.Real)))
+}
+
+// Render summarizes Figure 2 with per-budget error statistics and a coarse
+// ASCII strip chart of the real trace against the densest prediction.
+func (d *Fig2Data) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark %s, block %s (#%d), %d steps @ %.2g s\n",
+		d.Bench, d.BlockName, d.BlockID, d.Steps, d.DT)
+	qs := make([]int, 0, len(d.Pred))
+	for q := range d.Pred {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	for _, q := range qs {
+		fmt.Fprintf(&b, "  %d sensors/core: max |err| = %.4f V, rms = %.4f V\n",
+			q, d.MaxAbsError(q), d.RMSError(q))
+	}
+	// Strip chart: 60 columns of the first part of the trace.
+	cols := 60
+	if len(d.Real) < cols {
+		cols = len(d.Real)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range d.Real[:cols] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi > lo {
+		b.WriteString("  real trace: ")
+		ramp := " .:-=+*#%@"
+		for _, v := range d.Real[:cols] {
+			t := (hi - v) / (hi - lo) // deeper droop = darker
+			b.WriteByte(ramp[int(t*float64(len(ramp)-1))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV emits the Figure 2 traces: time, real, and one column per budget.
+func (d *Fig2Data) CSV() string {
+	var b strings.Builder
+	qs := make([]int, 0, len(d.Pred))
+	for q := range d.Pred {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	b.WriteString("step,real")
+	for _, q := range qs {
+		fmt.Fprintf(&b, ",pred_q%d", q)
+	}
+	b.WriteByte('\n')
+	for i, r := range d.Real {
+		fmt.Fprintf(&b, "%d,%.6f", i, r)
+		for _, q := range qs {
+			fmt.Fprintf(&b, ",%.6f", d.Pred[q][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render draws Figure 3: an ASCII map of the core with both placements plus
+// the per-unit allocation table.
+func (d *Fig3Data) Render(p *Pipeline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d, %d sensors each\n", d.Core, d.Q)
+	b.WriteString(d.renderMap(p))
+	b.WriteString("legend: P proposed, E Eagle-Eye, * both; blocks f/e/m/c by unit, '.' blank area\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-10s\n", "unit", "proposed", "eagle-eye")
+	for u := floorplan.Frontend; u <= floorplan.Cache; u++ {
+		fmt.Fprintf(&b, "%-12s %-10d %-10d\n", u, d.ProposedByUnit[u], d.EagleByUnit[u])
+	}
+	return b.String()
+}
+
+func (d *Fig3Data) renderMap(p *Pipeline) string {
+	corb := p.Chip.Cores[d.Core].Bounds
+	const w, h = 60, 20
+	raster := make([][]byte, h)
+	for y := range raster {
+		raster[y] = make([]byte, w)
+		for x := range raster[y] {
+			px := corb.X0 + (float64(x)+0.5)/w*corb.Width()
+			py := corb.Y0 + (float64(y)+0.5)/h*corb.Height()
+			if blk := p.Chip.BlockAt(px, py); blk != nil {
+				raster[y][x] = blk.Unit.String()[0]
+			} else {
+				raster[y][x] = '.'
+			}
+		}
+	}
+	mark := func(s Fig3Sensor, c byte) {
+		x := int((s.X - corb.X0) / corb.Width() * w)
+		y := int((s.Y - corb.Y0) / corb.Height() * h)
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return
+		}
+		if raster[y][x] == 'P' && c == 'E' || raster[y][x] == 'E' && c == 'P' {
+			raster[y][x] = '*'
+			return
+		}
+		raster[y][x] = c
+	}
+	for _, s := range d.Proposed {
+		mark(s, 'P')
+	}
+	for _, s := range d.EagleEye {
+		mark(s, 'E')
+	}
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- { // die y grows upward
+		b.Write(raster[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats Table 2 exactly as the paper prints it.
+func (d *Table2Data) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sensors/core (%d total)\n", d.SensorsPerCore, d.TotalSensors)
+	fmt.Fprintf(&b, "%-16s | %-24s | %-24s\n", "", "Eagle-Eye", "Proposed")
+	fmt.Fprintf(&b, "%-16s | %7s %8s %7s | %7s %8s %7s\n",
+		"Benchmark", "ME", "WAE", "TE", "ME", "WAE", "TE")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-16s | %7.4f %8.4f %7.4f | %7.4f %8.4f %7.4f\n",
+			r.Bench, r.EagleEye.ME, r.EagleEye.WAE, r.EagleEye.TE,
+			r.Proposed.ME, r.Proposed.WAE, r.Proposed.TE)
+	}
+	return b.String()
+}
+
+// CSV emits Table 2 rows.
+func (d *Table2Data) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark,ee_me,ee_wae,ee_te,prop_me,prop_wae,prop_te\n")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.Bench, r.EagleEye.ME, r.EagleEye.WAE, r.EagleEye.TE,
+			r.Proposed.ME, r.Proposed.WAE, r.Proposed.TE)
+	}
+	return b.String()
+}
+
+// MeanRates averages the error rates across benchmarks.
+func (d *Table2Data) MeanRates() (eagle, proposed [3]float64) {
+	n := float64(len(d.Rows))
+	for _, r := range d.Rows {
+		eagle[0] += r.EagleEye.ME / n
+		eagle[1] += r.EagleEye.WAE / n
+		eagle[2] += r.EagleEye.TE / n
+		proposed[0] += r.Proposed.ME / n
+		proposed[1] += r.Proposed.WAE / n
+		proposed[2] += r.Proposed.TE / n
+	}
+	return eagle, proposed
+}
+
+// Render formats the Figure 4 sweep.
+func (d *Fig4Data) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark %s: error rates vs total sensors\n", d.Bench)
+	fmt.Fprintf(&b, "%8s | %7s %8s %7s | %7s %8s %7s\n",
+		"sensors", "EE ME", "EE WAE", "EE TE", "our ME", "our WAE", "our TE")
+	for _, pt := range d.Points {
+		fmt.Fprintf(&b, "%8d | %7.4f %8.4f %7.4f | %7.4f %8.4f %7.4f\n",
+			pt.TotalSensors, pt.EagleEye.ME, pt.EagleEye.WAE, pt.EagleEye.TE,
+			pt.Proposed.ME, pt.Proposed.WAE, pt.Proposed.TE)
+	}
+	return b.String()
+}
+
+// CSV emits the Figure 4 series.
+func (d *Fig4Data) CSV() string {
+	var b strings.Builder
+	b.WriteString("total_sensors,ee_me,ee_wae,ee_te,prop_me,prop_wae,prop_te\n")
+	for _, pt := range d.Points {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			pt.TotalSensors, pt.EagleEye.ME, pt.EagleEye.WAE, pt.EagleEye.TE,
+			pt.Proposed.ME, pt.Proposed.WAE, pt.Proposed.TE)
+	}
+	return b.String()
+}

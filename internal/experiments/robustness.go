@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"voltsense/internal/detect"
+	"voltsense/internal/mat"
+	"voltsense/internal/sensor"
+)
+
+// SensorPoint is one sensor-quality setting of the robustness sweep.
+type SensorPoint struct {
+	Label      string
+	Bits       int     // 0 = no quantization
+	NoiseSigma float64 // volts
+	Calibrated bool    // static offset/gain removed at production test
+	RelError   float64 // prediction error with imperfect readings
+	Rates      detect.Rates
+}
+
+// SensorRobustness is the sweep result plus the ideal baseline.
+type SensorRobustness struct {
+	SensorsPerCore int
+	Ideal          SensorPoint
+	Points         []SensorPoint
+}
+
+// AblationSensorRobustness studies how the paper's ideal-sensor assumption
+// degrades under realistic instrumentation: the trained model is kept
+// (calibration data is clean, as in design-time simulation) while the
+// held-out readings pass through imperfect sensors — fabrication spread,
+// thermal noise and ADC quantization — before prediction and detection.
+func (p *Pipeline) AblationSensorRobustness(q int, points []sensor.Model) (*SensorRobustness, error) {
+	_, union, err := p.ChipPlacementCount(q)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.BuildChipPredictor(union)
+	if err != nil {
+		return nil, err
+	}
+	test := p.TestAll()
+	truth := detect.TruthFromVoltages(test.CritV, p.Cfg.Vth)
+	ideal := p.PredictTest(pred, test)
+
+	out := &SensorRobustness{SensorsPerCore: q}
+	out.Ideal = SensorPoint{
+		Label:    "ideal",
+		RelError: relErr(ideal, test.CritV),
+		Rates:    detect.Score(truth, detect.AlarmsFromPredictions(ideal, p.Cfg.Vth)),
+	}
+
+	if points == nil {
+		points = DefaultSensorSweep()
+	}
+	sensorRows := test.CandV.SelectRows(union)
+	for i, base := range points {
+		arr, err := sensor.NewArray(len(union), base, sensor.Variation{OffsetSigma: 0.002, GainSigma: 0.005},
+			p.Cfg.Seed+int64(1000+i))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sensor sweep point %d: %w", i, err)
+		}
+		calibrated := base.Offset == 0 && base.Gain == 1
+		if calibrated {
+			// Keep the variation-sampled offsets to model residual spread,
+			// unless this point models post-calibration sensors.
+			arr.Calibrate()
+		}
+		// Pass every test reading through the array.
+		noisy := mat.Zeros(sensorRows.Rows(), sensorRows.Cols())
+		for j := 0; j < sensorRows.Cols(); j++ {
+			noisy.SetCol(j, arr.ReadAll(sensorRows.Col(j)))
+		}
+		predicted := pred.Model.PredictMatrix(noisy)
+		pt := SensorPoint{
+			Label:      labelFor(base, calibrated),
+			Bits:       base.Bits,
+			NoiseSigma: base.NoiseSigma,
+			Calibrated: calibrated,
+			RelError:   relErr(predicted, test.CritV),
+			Rates:      detect.Score(truth, detect.AlarmsFromPredictions(predicted, p.Cfg.Vth)),
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// DefaultSensorSweep covers the realistic design space: 6-12 bit ADCs on a
+// 0.5-1.1 V range, with and without a 2 mV noise floor. (Points leave
+// Offset/Gain ideal so fabrication spread is removed by calibration; the
+// array still samples residual variation before Calibrate.)
+func DefaultSensorSweep() []sensor.Model {
+	mk := func(bits int, noise float64) sensor.Model {
+		return sensor.Model{Gain: 1, Bits: bits, NoiseSigma: noise, FullScaleL: 0.5, FullScaleH: 1.1}
+	}
+	return []sensor.Model{
+		mk(12, 0),
+		mk(10, 0),
+		mk(8, 0),
+		mk(6, 0),
+		mk(10, 0.002),
+		mk(8, 0.002),
+		mk(8, 0.005),
+	}
+}
+
+func labelFor(m sensor.Model, calibrated bool) string {
+	parts := []string{}
+	if m.Bits > 0 {
+		parts = append(parts, fmt.Sprintf("%d-bit", m.Bits))
+	}
+	if m.NoiseSigma > 0 {
+		parts = append(parts, fmt.Sprintf("%.0fmV noise", m.NoiseSigma*1000))
+	}
+	if !calibrated {
+		parts = append(parts, "uncalibrated")
+	}
+	if len(parts) == 0 {
+		return "ideal"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Render formats the sweep.
+func (s *SensorRobustness) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sensor robustness at %d sensors/core\n", s.SensorsPerCore)
+	fmt.Fprintf(&b, "%-24s %12s %8s %8s %8s\n", "sensor", "rel err(%)", "ME", "WAE", "TE")
+	row := func(pt SensorPoint) {
+		fmt.Fprintf(&b, "%-24s %12.4f %8.4f %8.4f %8.4f\n",
+			pt.Label, 100*pt.RelError, pt.Rates.ME, pt.Rates.WAE, pt.Rates.TE)
+	}
+	row(s.Ideal)
+	for _, pt := range s.Points {
+		row(pt)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"voltsense/internal/sensor"
+)
+
+func TestSensorRobustnessSweep(t *testing.T) {
+	p := quick(t)
+	d, err := p.AblationSensorRobustness(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", d.Render())
+	if len(d.Points) != len(DefaultSensorSweep()) {
+		t.Fatalf("points = %d", len(d.Points))
+	}
+	// Ideal sensors must be at least as accurate as any imperfect point.
+	for _, pt := range d.Points {
+		if pt.RelError < d.Ideal.RelError*(1-1e-9) {
+			t.Errorf("%s beat ideal sensors: %v < %v", pt.Label, pt.RelError, d.Ideal.RelError)
+		}
+	}
+	// Monotonicity in ADC resolution (noiseless points): fewer bits must
+	// not improve prediction error.
+	var errByBits = map[int]float64{}
+	for _, pt := range d.Points {
+		if pt.NoiseSigma == 0 {
+			errByBits[pt.Bits] = pt.RelError
+		}
+	}
+	if errByBits[6] < errByBits[12] {
+		t.Errorf("6-bit ADC (%v) beat 12-bit (%v)", errByBits[6], errByBits[12])
+	}
+	// A 12-bit ADC (0.15 mV LSB) should be essentially free: within 2x of
+	// ideal relative error.
+	if errByBits[12] > 2*d.Ideal.RelError {
+		t.Errorf("12-bit ADC error %v far above ideal %v", errByBits[12], d.Ideal.RelError)
+	}
+}
+
+func TestSensorRobustnessCustomPoint(t *testing.T) {
+	p := quick(t)
+	// A deliberately terrible sensor: 4-bit ADC (40 mV LSB).
+	bad := []sensor.Model{{Gain: 1, Bits: 4, FullScaleL: 0.5, FullScaleH: 1.1}}
+	d, err := p.AblationSensorRobustness(2, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 1 {
+		t.Fatalf("points = %d", len(d.Points))
+	}
+	if d.Points[0].RelError < 3*d.Ideal.RelError {
+		t.Errorf("4-bit ADC error %v suspiciously close to ideal %v",
+			d.Points[0].RelError, d.Ideal.RelError)
+	}
+	// Detection collapses towards coin-flipping (a 40 mV LSB straddles the
+	// emergency threshold) but must stay a valid rate.
+	if te := d.Points[0].Rates.TE; te < 0.05 || te > 0.8 {
+		t.Errorf("4-bit TE %v outside the expected degradation band", te)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestAblationProcessVariation(t *testing.T) {
+	p := quick(t)
+	d, err := p.AblationProcessVariation(2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nominal : rel err %.5f, %v", d.NominalRelErr, d.NominalRates)
+	t.Logf("varied  : rel err %.5f, %v", d.VariedRelErr, d.VariedRates)
+	t.Logf("recal   : rel err %.5f, %v", d.RecalRelErr, d.RecalRates)
+
+	// Variation must hurt the nominal-trained model...
+	if d.VariedRelErr <= d.NominalRelErr {
+		t.Errorf("variation did not increase error: %.5f vs %.5f", d.VariedRelErr, d.NominalRelErr)
+	}
+	// ...and post-silicon recalibration (same sensors, refit coefficients)
+	// must recover most of it.
+	if d.RecalRelErr >= d.VariedRelErr {
+		t.Errorf("recalibration did not help: %.5f vs %.5f", d.RecalRelErr, d.VariedRelErr)
+	}
+	if d.RecalRelErr > 3*d.NominalRelErr {
+		t.Errorf("recalibrated error %.5f far above nominal %.5f; placement may not transfer",
+			d.RecalRelErr, d.NominalRelErr)
+	}
+}
+
+func TestAblationProcessVariationBadSigma(t *testing.T) {
+	p := quick(t)
+	if _, err := p.AblationProcessVariation(2, 0); err == nil {
+		t.Fatal("expected error for zero sigma")
+	}
+}

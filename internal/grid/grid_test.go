@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"testing"
+
+	"voltsense/internal/floorplan"
+)
+
+func defaultGrid() *Grid {
+	return Build(floorplan.New(floorplan.DefaultConfig()), DefaultConfig())
+}
+
+func TestBuildNodeCount(t *testing.T) {
+	g := defaultGrid()
+	if g.NumNodes() != 78*34 {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), 78*34)
+	}
+}
+
+func TestNodeIDPosRoundTrip(t *testing.T) {
+	g := defaultGrid()
+	for _, pair := range [][2]int{{0, 0}, {77, 33}, {13, 7}} {
+		id := g.NodeID(pair[0], pair[1])
+		x, y := g.NodePos(id)
+		if got := g.NearestNode(x, y); got != id {
+			t.Fatalf("NearestNode(NodePos(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestNodeIDPanicsOutOfRange(t *testing.T) {
+	g := defaultGrid()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.NodeID(78, 0)
+}
+
+func TestEdgesFormMesh(t *testing.T) {
+	g := defaultGrid()
+	nx, ny := g.Cfg.NX, g.Cfg.NY
+	want := nx*(ny-1) + ny*(nx-1)
+	if len(g.Edges) != want {
+		t.Fatalf("edges = %d, want %d", len(g.Edges), want)
+	}
+	for _, e := range g.Edges {
+		ax, ay := g.NodePos(e.A)
+		bx, by := g.NodePos(e.B)
+		dx, dy := bx-ax, by-ay
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if (dx > 1e-9 && dy > 1e-9) || (dx < 1e-9 && dy < 1e-9) {
+			t.Fatalf("edge %d-%d is not axis-aligned to a neighbor", e.A, e.B)
+		}
+		if e.G <= 0 {
+			t.Fatalf("edge %d-%d has conductance %v", e.A, e.B, e.G)
+		}
+	}
+}
+
+func TestPadsPlaced(t *testing.T) {
+	g := defaultGrid()
+	if len(g.Pads) == 0 {
+		t.Fatal("no pads")
+	}
+	seen := map[int]bool{}
+	for _, p := range g.Pads {
+		if p.Node < 0 || p.Node >= g.NumNodes() {
+			t.Fatalf("pad node %d out of range", p.Node)
+		}
+		if seen[p.Node] {
+			t.Fatalf("duplicate pad at node %d", p.Node)
+		}
+		seen[p.Node] = true
+		if p.R <= 0 || p.L < 0 {
+			t.Fatalf("pad electricals R=%v L=%v", p.R, p.L)
+		}
+	}
+}
+
+func TestEveryBlockHasNodes(t *testing.T) {
+	g := defaultGrid()
+	for b, nodes := range g.BlockNodes {
+		if len(nodes) == 0 {
+			t.Fatalf("block %d has no mesh nodes", b)
+		}
+	}
+}
+
+func TestBlockNodesInsideBlock(t *testing.T) {
+	g := defaultGrid()
+	for b, nodes := range g.BlockNodes {
+		blk := g.Chip.Blocks[b]
+		for _, nd := range nodes {
+			x, y := g.NodePos(nd)
+			if !blk.Bounds.Contains(x, y) && len(nodes) > 1 {
+				t.Fatalf("node %d assigned to block %s but lies outside it", nd, blk.Name)
+			}
+		}
+	}
+}
+
+func TestCandidatesAreBlankArea(t *testing.T) {
+	g := defaultGrid()
+	if len(g.Candidates) == 0 {
+		t.Fatal("no sensor candidates")
+	}
+	if len(g.Candidates) != len(g.CandidateCore) {
+		t.Fatal("CandidateCore length mismatch")
+	}
+	for _, nd := range g.Candidates {
+		x, y := g.NodePos(nd)
+		if g.Chip.InFA(x, y) {
+			t.Fatalf("candidate node %d is inside the function area", nd)
+		}
+	}
+}
+
+func TestCandidateAndBlockNodesPartition(t *testing.T) {
+	g := defaultGrid()
+	owned := make(map[int]bool)
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			owned[nd] = true
+		}
+	}
+	for _, nd := range g.Candidates {
+		if owned[nd] {
+			// A candidate may coincide with a fallback nearest-node for a
+			// sub-pitch block; the default mesh must not need fallbacks.
+			t.Fatalf("node %d is both candidate and block node", nd)
+		}
+	}
+	if len(owned)+len(g.Candidates) != g.NumNodes() {
+		t.Fatalf("partition: %d owned + %d candidates != %d nodes",
+			len(owned), len(g.Candidates), g.NumNodes())
+	}
+}
+
+func TestCandidatesInCore(t *testing.T) {
+	g := defaultGrid()
+	total := 0
+	for c := range g.Chip.Cores {
+		in := g.CandidatesInCore(c)
+		if len(in) < 20 {
+			t.Fatalf("core %d has only %d candidates; Figure 1 needs a meaningful pool", c, len(in))
+		}
+		total += len(in)
+		core := g.Chip.Cores[c]
+		for _, i := range in {
+			x, y := g.NodePos(g.Candidates[i])
+			if !core.Bounds.Contains(x, y) {
+				t.Fatalf("candidate %d claimed by core %d but outside it", i, c)
+			}
+		}
+	}
+	if total >= len(g.Candidates) {
+		t.Error("some candidates must lie in inter-core channels or margin")
+	}
+}
+
+func TestBuildPanicsOnBadConfig(t *testing.T) {
+	chip := floorplan.New(floorplan.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.SegRPerMM = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(chip, cfg)
+}
+
+func TestNearestNodeClamps(t *testing.T) {
+	g := defaultGrid()
+	if got := g.NearestNode(-5, -5); got != g.NodeID(0, 0) {
+		t.Fatalf("NearestNode(-5,-5) = %d", got)
+	}
+	if got := g.NearestNode(1e6, 1e6); got != g.NodeID(77, 33) {
+		t.Fatalf("NearestNode(big) = %d", got)
+	}
+}

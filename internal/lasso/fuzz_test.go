@@ -1,0 +1,53 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProjectL1 checks the ℓ₁-ball projection invariants on arbitrary
+// non-negative inputs: in-ball output, idempotence, and order preservation.
+func FuzzProjectL1(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 1.5)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(10.0, 0.1, 5.0, 2.0)
+	f.Fuzz(func(t *testing.T, a, b, c, radius float64) {
+		sanitize := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Abs(math.Mod(x, 1e6))
+		}
+		v := []float64{sanitize(a), sanitize(b), sanitize(c)}
+		r := sanitize(radius)
+		p := ProjectL1(v, r)
+		sum := 0.0
+		for i, x := range p {
+			if x < 0 {
+				t.Fatalf("negative projection %v", p)
+			}
+			if x > v[i]+1e-9 {
+				t.Fatalf("projection grew a coordinate: %v -> %v", v[i], x)
+			}
+			sum += x
+		}
+		if sum > r+1e-6*(1+r) {
+			t.Fatalf("projection sum %v exceeds radius %v", sum, r)
+		}
+		// Idempotence.
+		q := ProjectL1(p, r)
+		for i := range p {
+			if math.Abs(q[i]-p[i]) > 1e-9 {
+				t.Fatalf("projection not idempotent: %v vs %v", p, q)
+			}
+		}
+		// Order preservation: v_i >= v_j implies p_i >= p_j.
+		for i := range v {
+			for j := range v {
+				if v[i] >= v[j] && p[i] < p[j]-1e-9 {
+					t.Fatalf("order violated: v=%v p=%v", v, p)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n, m int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	return randMatrix(rng, n, m)
+}
+
+func BenchmarkMul128(b *testing.B) {
+	x := benchMatrix(128, 128)
+	y := benchMatrix(128, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulTall(b *testing.B) {
+	// The K-by-N times N-by-M shape of the group-lasso Gram build.
+	x := benchMatrix(30, 2000)
+	y := benchMatrix(2000, 90)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkFactorQR(b *testing.B) {
+	// The OLS refit shape: N samples by Q selected sensors.
+	a := benchMatrix(2000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FactorQR(a)
+	}
+}
+
+func BenchmarkQRSolveMatrix(b *testing.B) {
+	a := benchMatrix(2000, 32)
+	rhs := benchMatrix(2000, 240)
+	f := FactorQR(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.SolveMatrix(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := spdMatrix(rng, 240) // thermal-network size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigen(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := spdMatrix(rng, 90) // per-core candidate covariance size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorSymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStandardize(b *testing.B) {
+	m := benchMatrix(240, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Standardize(m)
+	}
+}

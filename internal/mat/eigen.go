@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen holds the eigendecomposition of a symmetric matrix A = V Λ Vᵀ,
+// with eigenvalues sorted descending and eigenvectors as the columns of V.
+type SymEigen struct {
+	Values  []float64
+	Vectors *Matrix // column j is the eigenvector of Values[j]
+}
+
+// FactorSymEigen computes the eigendecomposition of the symmetric matrix a
+// by the cyclic Jacobi method. Only the lower triangle is read. The method
+// is unconditionally convergent for symmetric input and accurate to machine
+// precision for the moderate sizes used here (covariance matrices of
+// candidate pools).
+func FactorSymEigen(a *Matrix) (*SymEigen, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: FactorSymEigen needs square input, got %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	// Work on a symmetrized copy.
+	w := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.data[i*n+j]
+			w.data[i*n+j] = v
+			w.data[j*n+i] = v
+		}
+	}
+	v := Eye(n)
+
+	offNorm := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				s += w.data[i*n+j] * w.data[i*n+j]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+	scale := w.FrobeniusNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offNorm() <= 1e-14*scale {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.data[p*n+q]
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation G(p,q,θ) on both sides of w and
+				// accumulate into v.
+				for k := 0; k < n; k++ {
+					wkp := w.data[k*n+p]
+					wkq := w.data[k*n+q]
+					w.data[k*n+p] = c*wkp - s*wkq
+					w.data[k*n+q] = s*wkp + c*wkq
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.data[p*n+k]
+					wqk := w.data[q*n+k]
+					w.data[p*n+k] = c*wpk - s*wqk
+					w.data[q*n+k] = s*wpk + c*wqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if offNorm() > 1e-8*scale {
+		return nil, fmt.Errorf("mat: Jacobi eigensolver did not converge (off-norm %g)", offNorm())
+	}
+
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: w.data[i*n+i], idx: i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+	e := &SymEigen{Values: make([]float64, n), Vectors: Zeros(n, n)}
+	for j, pr := range pairs {
+		e.Values[j] = pr.val
+		for i := 0; i < n; i++ {
+			e.Vectors.data[i*n+j] = v.data[i*n+pr.idx]
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	e, err := FactorSymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if math.Abs(e.Values[i]-v) > 1e-12 {
+			t.Fatalf("Values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := FactorSymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("Values = %v", e.Values)
+	}
+	// Eigenvector of 3 is (1,1)/√2 up to sign.
+	v0 := e.Vectors.Col(0)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-10 || v0[0]*v0[1] < 0 {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+}
+
+// Property: reconstruction A = V Λ Vᵀ and orthonormality VᵀV = I.
+func TestSymEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		sym := Scale(0.5, Add(a, a.T()))
+		e, err := FactorSymEigen(sym)
+		if err != nil {
+			return false
+		}
+		lam := Zeros(n, n)
+		for i, v := range e.Values {
+			lam.Set(i, i, v)
+		}
+		recon := Mul(Mul(e.Vectors, lam), e.Vectors.T())
+		if !Equalish(recon, sym, 1e-8) {
+			return false
+		}
+		return Equalish(Mul(e.Vectors.T(), e.Vectors), Eye(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvalues sorted descending, and their sum equals the trace.
+func TestSymEigenTraceAndOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randMatrix(rng, n, n)
+		sym := Scale(0.5, Add(a, a.T()))
+		e, err := FactorSymEigen(sym)
+		if err != nil {
+			return false
+		}
+		tr := 0.0
+		for i := 0; i < n; i++ {
+			tr += sym.At(i, i)
+		}
+		sum := 0.0
+		for i, v := range e.Values {
+			sum += v
+			if i > 0 && v > e.Values[i-1]+1e-12 {
+				return false
+			}
+		}
+		return math.Abs(sum-tr) < 1e-9*(1+math.Abs(tr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenSPDMatchesCholesky(t *testing.T) {
+	// All eigenvalues of an SPD matrix are positive.
+	rng := rand.New(rand.NewSource(5))
+	a := spdMatrix(rng, 8)
+	e, err := FactorSymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v <= 0 {
+			t.Fatalf("SPD matrix has non-positive eigenvalue %v", v)
+		}
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	e, err := FactorSymEigen(Zeros(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("Values = %v", e.Values)
+		}
+	}
+}
+
+func TestSymEigenPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FactorSymEigen(Zeros(2, 3))
+}

@@ -1,0 +1,270 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// spdMatrix builds a random symmetric positive definite matrix AᵀA + I.
+func spdMatrix(rng *rand.Rand, n int) *Matrix {
+	a := randMatrix(rng, n, n)
+	s := Mul(a.T(), a)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, s.At(i, i)+1)
+	}
+	return s
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system: the least-squares solution is exact.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	f := FactorQR(a)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+// Property: for a random overdetermined consistent system A x* = b, QR
+// recovers x*.
+func TestQRRecoversConsistentSolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := n + r.Intn(10)
+		a := randMatrix(r, m, n)
+		xStar := make([]float64, n)
+		for i := range xStar {
+			xStar[i] = r.NormFloat64()
+		}
+		b := MulVec(a, xStar)
+		x, err := FactorQR(a).Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xStar[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QR least-squares residual is orthogonal to the column space:
+// Aᵀ(Ax − b) = 0.
+func TestQRNormalEquationsResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		m := n + 2 + r.Intn(10)
+		a := randMatrix(r, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := FactorQR(a).Solve(b)
+		if err != nil {
+			return false
+		}
+		res := SubVec(MulVec(a, x), b)
+		grad := MulTVec(a, res)
+		return NormInf(grad) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRSolveMatrixMultiRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMatrix(rng, 10, 4)
+	xStar := randMatrix(rng, 4, 3)
+	b := Mul(a, xStar)
+	x, err := FactorQR(a).SolveMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equalish(x, xStar, 1e-8) {
+		t.Error("SolveMatrix did not recover the planted solution")
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}}) // rank 1
+	_, err := FactorQR(a).Solve([]float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestQRRCond(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	good := FactorQR(Add(randMatrix(rng, 5, 5), Scale(10, Eye(5))))
+	if good.RCond() < 1e-4 {
+		t.Errorf("well-conditioned RCond = %v, suspiciously small", good.RCond())
+	}
+	bad := FactorQR(FromRows([][]float64{{1, 0}, {0, 1e-14}}))
+	if bad.RCond() > 1e-10 {
+		t.Errorf("ill-conditioned RCond = %v, suspiciously large", bad.RCond())
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := spdMatrix(r, n)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			return false
+		}
+		return Equalish(Mul(c.L(), c.L().T()), a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := spdMatrix(r, n)
+		xStar := make([]float64, n)
+		for i := range xStar {
+			xStar[i] = r.NormFloat64()
+		}
+		b := MulVec(a, xStar)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := c.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xStar[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.LogDet(), math.Log(36); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	a := FromRows([][]float64{{0, 2}, {1, 1}}) // needs pivoting
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Det(), -2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Det = %v, want %v", got, want)
+	}
+	x := f.Solve([]float64{4, 3})
+	// 2y = 4 → y = 2; x + y = 3 → x = 1.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [1 2]", x)
+	}
+}
+
+// Property: LU solve inverts multiplication for random nonsingular systems.
+func TestLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := Add(randMatrix(r, n, n), Scale(5, Eye(n)))
+		xStar := make([]float64, n)
+		for i := range xStar {
+			xStar[i] = r.NormFloat64()
+		}
+		lu, err := FactorLU(a)
+		if err != nil {
+			return false
+		}
+		x := lu.Solve(MulVec(a, xStar))
+		for i := range x {
+			if math.Abs(x[i]-xStar[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := Add(randMatrix(rng, 6, 6), Scale(4, Eye(6)))
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Mul(a, f.Inverse()); !Equalish(got, Eye(6), 1e-9) {
+		t.Error("A * A⁻¹ != I")
+	}
+}
+
+func TestQRvsCholeskyOnNormalEquations(t *testing.T) {
+	// The two solvers must agree on the same least-squares problem.
+	rng := rand.New(rand.NewSource(10))
+	a := randMatrix(rng, 30, 5)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xQR, err := FactorQR(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ata := Mul(a.T(), a)
+	atb := MulTVec(a, b)
+	c, err := FactorCholesky(ata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xChol := c.Solve(atb)
+	for i := range xQR {
+		if math.Abs(xQR[i]-xChol[i]) > 1e-8 {
+			t.Fatalf("QR and Cholesky disagree at %d: %v vs %v", i, xQR[i], xChol[i])
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package mat implements the dense linear-algebra kernels used throughout
+// voltsense: matrices, vectors, factorizations (QR, Cholesky, LU) and the
+// statistical helpers (means, standard deviations, correlation) needed by the
+// group-lasso and least-squares fitting code.
+//
+// The package is deliberately small and self-contained: the reproduction
+// targets a stdlib-only build, so everything from matrix multiply to
+// Householder QR is written here. Matrices are dense, row-major, and sized
+// at construction; all operations check dimensions and panic on mismatch,
+// which in this codebase always indicates a programming error rather than a
+// data error.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix.
+//
+// The zero value is an empty 0x0 matrix. Use New, Zeros, Eye or FromRows to
+// build useful instances.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New returns an r-by-c matrix backed by data, which must have length r*c.
+// The matrix aliases data; mutations through either are visible to both.
+func New(r, c int, data []float64) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: data}
+}
+
+// Zeros returns a new r-by-c matrix of zeros.
+func Zeros(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// Eye returns the n-by-n identity matrix.
+func Eye(n int) *Matrix {
+	m := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// data.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return Zeros(0, 0)
+	}
+	c := len(rows[0])
+	m := Zeros(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetCol assigns column j from v, which must have length Rows().
+func (m *Matrix) SetCol(j int, v []float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol length %d, want %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Matrix{rows: m.rows, cols: m.cols, data: d}
+}
+
+// Data returns the underlying row-major storage (aliased, not copied).
+func (m *Matrix) Data() []float64 { return m.data }
+
+// T returns a new matrix that is the transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := Zeros(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range ri {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	sameShape(a, b, "Add")
+	out := Zeros(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape(a, b, "Sub")
+	out := Zeros(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Matrix) *Matrix {
+	out := Zeros(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+func sameShape(a, b *Matrix, op string) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product a * b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := Zeros(a.rows, b.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows of
+	// b and out, which matters for the NxM training matrices used here.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a * x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns the product aᵀ * x without forming the transpose.
+func MulTVec(a *Matrix, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("mat: MulTVec shape mismatch %dx%d ᵀ * %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm sqrt(sum a_ij^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equalish reports whether a and b have the same shape and agree entrywise
+// within tol.
+func Equalish(a, b *Matrix, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectRows returns a new matrix holding the rows of m named by idx, in
+// order. Indices may repeat.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := Zeros(len(idx), m.cols)
+	for k, i := range idx {
+		if i < 0 || i >= m.rows {
+			panic(fmt.Sprintf("mat: SelectRows index %d out of range %d", i, m.rows))
+		}
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
+// SelectCols returns a new matrix holding the columns of m named by idx, in
+// order. Indices may repeat.
+func (m *Matrix) SelectCols(idx []int) *Matrix {
+	out := Zeros(m.rows, len(idx))
+	for k, j := range idx {
+		if j < 0 || j >= m.cols {
+			panic(fmt.Sprintf("mat: SelectCols index %d out of range %d", j, m.cols))
+		}
+		for i := 0; i < m.rows; i++ {
+			out.data[i*out.cols+k] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}

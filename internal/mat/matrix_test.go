@@ -1,0 +1,221 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := Zeros(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	New(2, 3, make([]float64, 5))
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := Zeros(3, 4)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(2, 1); got != 0 {
+		t.Fatalf("At(2,1) = %v, want 0", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := Zeros(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestEyeMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 5, 7)
+	if got := Mul(Eye(5), a); !Equalish(got, a, 1e-14) {
+		t.Error("I*A != A")
+	}
+	if got := Mul(a, Eye(7)); !Equalish(got, a, 1e-14) {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := Mul(a, b); !Equalish(got, want, 0) {
+		t.Fatalf("Mul = %v, want %v", got.data, want.data)
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible shapes")
+		}
+	}()
+	Mul(Zeros(2, 3), Zeros(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 4, 6)
+	if !Equalish(a.T().T(), a, 0) {
+		t.Error("(Aᵀ)ᵀ != A")
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := 1 + r.Intn(8)
+		k := 1 + r.Intn(8)
+		a := randMatrix(r, n, m)
+		b := randMatrix(r, m, k)
+		c := randMatrix(r, m, k)
+		lhs := Mul(a, Add(b, c))
+		rhs := Add(Mul(a, b), Mul(a, c))
+		return Equalish(lhs, rhs, 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := 1 + r.Intn(8)
+		k := 1 + r.Intn(8)
+		a := randMatrix(r, n, m)
+		b := randMatrix(r, m, k)
+		return Equalish(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 6, 4)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xm := Zeros(4, 1)
+	xm.SetCol(0, x)
+	want := Mul(a, xm).Col(0)
+	got := MulVec(a, x)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulTVecMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 6, 4)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := MulVec(a.T(), x)
+	got := MulTVec(a, x)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("MulTVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	r := m.SelectRows([]int{2, 0})
+	if r.At(0, 0) != 7 || r.At(1, 2) != 3 {
+		t.Errorf("SelectRows wrong: %v", r.data)
+	}
+	c := m.SelectCols([]int{1, 1})
+	if c.At(0, 0) != 2 || c.At(2, 1) != 8 {
+		t.Errorf("SelectCols wrong: %v", c.data)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestScaleSub(t *testing.T) {
+	a := FromRows([][]float64{{2, -4}})
+	if got := Scale(0.5, a); got.At(0, 0) != 1 || got.At(0, 1) != -2 {
+		t.Errorf("Scale wrong: %v", got.data)
+	}
+	if got := Sub(a, a); got.FrobeniusNorm() != 0 {
+		t.Errorf("A-A != 0: %v", got.data)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-7, 2}, {3, 1}})
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+	if got := Zeros(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %v, want 0", got)
+	}
+}

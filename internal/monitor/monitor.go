@@ -1,0 +1,206 @@
+// Package monitor is the runtime half of the methodology: the paper trains
+// the placement and prediction model at design time, then only evaluates
+// Eq. 20 "for dynamic noise management at runtime". This package wraps that
+// evaluation in the state machine a real noise-management loop needs —
+// per-block emergency tracking with hysteresis, event generation, throttle
+// hooks, and occupancy statistics — consuming one sensor-reading vector per
+// cycle.
+package monitor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor maps one sensor-reading vector to per-block voltage estimates.
+// core.Predictor satisfies it; tests use stubs.
+type Predictor interface {
+	Predict(sensorV []float64) []float64
+}
+
+// Throttler receives the block IDs entering emergency, so a DVFS/issue
+// controller can react. Implementations must be fast; they run inline.
+type Throttler interface {
+	Throttle(cycle int, blocks []int)
+}
+
+// ThrottleFunc adapts a function to the Throttler interface.
+type ThrottleFunc func(cycle int, blocks []int)
+
+// Throttle calls f.
+func (f ThrottleFunc) Throttle(cycle int, blocks []int) { f(cycle, blocks) }
+
+// EventKind distinguishes monitor events.
+type EventKind int
+
+// Event kinds.
+const (
+	AlarmRaised EventKind = iota
+	AlarmCleared
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case AlarmRaised:
+		return "raised"
+	case AlarmCleared:
+		return "cleared"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one emergency state transition at one block.
+type Event struct {
+	Cycle   int
+	Kind    EventKind
+	Block   int
+	Voltage float64 // predicted voltage that triggered the transition
+}
+
+// Config tunes the alarm state machine.
+type Config struct {
+	// Vth is the emergency threshold (volts). Required.
+	Vth float64
+	// ClearMargin is how far above Vth a block must recover before its
+	// alarm clears, preventing chatter around the threshold. Default 0.01 V.
+	ClearMargin float64
+	// ClearCycles is how many consecutive recovered cycles are needed to
+	// clear. Default 2.
+	ClearCycles int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Vth <= 0 {
+		return c, fmt.Errorf("monitor: Vth %v must be positive", c.Vth)
+	}
+	if c.ClearMargin < 0 {
+		return c, fmt.Errorf("monitor: negative ClearMargin %v", c.ClearMargin)
+	}
+	if c.ClearMargin == 0 {
+		c.ClearMargin = 0.01
+	}
+	if c.ClearCycles <= 0 {
+		c.ClearCycles = 2
+	}
+	return c, nil
+}
+
+// Stats aggregates a monitoring session.
+type Stats struct {
+	Cycles          int
+	Alarms          int       // raise events
+	EmergencyCycles int       // Σ over blocks of cycles spent in alarm
+	WorstVoltage    float64   // most pessimistic prediction seen
+	WorstBlock      int       // block of WorstVoltage
+	PerBlockAlarms  []int     // raise events per block
+	PerBlockMin     []float64 // worst prediction per block
+}
+
+// Monitor tracks per-block emergency state from streaming predictions.
+type Monitor struct {
+	pred      Predictor
+	cfg       Config
+	throttler Throttler
+
+	inAlarm   []bool
+	recovered []int // consecutive cycles above Vth+margin while in alarm
+	stats     Stats
+	started   bool
+}
+
+// New builds a monitor for a predictor with k output blocks.
+func New(pred Predictor, k int, cfg Config, throttler Throttler) (*Monitor, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("monitor: block count %d must be positive", k)
+	}
+	m := &Monitor{
+		pred:      pred,
+		cfg:       c,
+		throttler: throttler,
+		inAlarm:   make([]bool, k),
+		recovered: make([]int, k),
+	}
+	m.stats.PerBlockAlarms = make([]int, k)
+	m.stats.PerBlockMin = make([]float64, k)
+	for i := range m.stats.PerBlockMin {
+		m.stats.PerBlockMin[i] = math.Inf(1)
+	}
+	m.stats.WorstVoltage = math.Inf(1)
+	m.stats.WorstBlock = -1
+	return m, nil
+}
+
+// Process consumes one cycle's sensor readings and returns the emergency
+// transitions it caused, in block order. The returned slice is nil on quiet
+// cycles.
+func (m *Monitor) Process(cycle int, readings []float64) []Event {
+	f := m.pred.Predict(readings)
+	if len(f) != len(m.inAlarm) {
+		panic(fmt.Sprintf("monitor: predictor returned %d blocks, monitor has %d", len(f), len(m.inAlarm)))
+	}
+	m.stats.Cycles++
+	var events []Event
+	var raised []int
+	for b, v := range f {
+		if v < m.stats.PerBlockMin[b] {
+			m.stats.PerBlockMin[b] = v
+		}
+		if v < m.stats.WorstVoltage {
+			m.stats.WorstVoltage = v
+			m.stats.WorstBlock = b
+		}
+		switch {
+		case !m.inAlarm[b] && v < m.cfg.Vth:
+			m.inAlarm[b] = true
+			m.recovered[b] = 0
+			m.stats.Alarms++
+			m.stats.PerBlockAlarms[b]++
+			events = append(events, Event{Cycle: cycle, Kind: AlarmRaised, Block: b, Voltage: v})
+			raised = append(raised, b)
+		case m.inAlarm[b] && v >= m.cfg.Vth+m.cfg.ClearMargin:
+			m.recovered[b]++
+			if m.recovered[b] >= m.cfg.ClearCycles {
+				m.inAlarm[b] = false
+				m.recovered[b] = 0
+				events = append(events, Event{Cycle: cycle, Kind: AlarmCleared, Block: b, Voltage: v})
+			}
+		case m.inAlarm[b]:
+			m.recovered[b] = 0 // dipped back under the clear band
+		}
+		if m.inAlarm[b] {
+			m.stats.EmergencyCycles++
+		}
+	}
+	if len(raised) > 0 && m.throttler != nil {
+		m.throttler.Throttle(cycle, raised)
+	}
+	return events
+}
+
+// InAlarm reports whether block b is currently in emergency.
+func (m *Monitor) InAlarm(b int) bool { return m.inAlarm[b] }
+
+// ActiveAlarms returns the blocks currently in emergency, ascending.
+func (m *Monitor) ActiveAlarms() []int {
+	var out []int
+	for b, a := range m.inAlarm {
+		if a {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of the session statistics.
+func (m *Monitor) Stats() Stats {
+	s := m.stats
+	s.PerBlockAlarms = append([]int(nil), m.stats.PerBlockAlarms...)
+	s.PerBlockMin = append([]float64(nil), m.stats.PerBlockMin...)
+	return s
+}

@@ -1,0 +1,195 @@
+package monitor
+
+import (
+	"testing"
+)
+
+// scriptedPredictor replays pre-scripted per-cycle predictions, ignoring the
+// sensor readings.
+type scriptedPredictor struct {
+	script [][]float64
+	cycle  int
+}
+
+func (s *scriptedPredictor) Predict([]float64) []float64 {
+	out := s.script[s.cycle%len(s.script)]
+	s.cycle++
+	return out
+}
+
+func newMonitor(t *testing.T, script [][]float64, cfg Config, th Throttler) *Monitor {
+	t.Helper()
+	m, err := New(&scriptedPredictor{script: script}, len(script[0]), cfg, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAlarmRaiseAndClear(t *testing.T) {
+	script := [][]float64{
+		{0.95, 0.95}, // quiet
+		{0.80, 0.95}, // block 0 dips
+		{0.80, 0.95}, // still down (no new event)
+		{0.90, 0.95}, // recovered 1
+		{0.90, 0.95}, // recovered 2 → clear
+		{0.95, 0.95},
+	}
+	m := newMonitor(t, script, Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2}, nil)
+	var all []Event
+	for c := range script {
+		all = append(all, m.Process(c, nil)...)
+	}
+	if len(all) != 2 {
+		t.Fatalf("events = %+v, want raise+clear", all)
+	}
+	if all[0].Kind != AlarmRaised || all[0].Block != 0 || all[0].Cycle != 1 {
+		t.Fatalf("first event = %+v", all[0])
+	}
+	if all[1].Kind != AlarmCleared || all[1].Cycle != 4 {
+		t.Fatalf("second event = %+v", all[1])
+	}
+}
+
+func TestHysteresisPreventsChatter(t *testing.T) {
+	// Voltage oscillates right around Vth: alarm must raise once and stay
+	// raised because recovery never reaches Vth+margin.
+	script := [][]float64{
+		{0.849}, {0.851}, {0.849}, {0.851}, {0.849}, {0.851},
+	}
+	m := newMonitor(t, script, Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2}, nil)
+	raises := 0
+	for c := range script {
+		for _, e := range m.Process(c, nil) {
+			if e.Kind == AlarmRaised {
+				raises++
+			}
+		}
+	}
+	if raises != 1 {
+		t.Fatalf("raises = %d, want 1 (hysteresis)", raises)
+	}
+	if !m.InAlarm(0) {
+		t.Fatal("alarm should still be active")
+	}
+}
+
+func TestClearRequiresConsecutiveCycles(t *testing.T) {
+	script := [][]float64{
+		{0.80},  // raise
+		{0.90},  // recovered 1
+		{0.845}, // dip below clear band (but not below Vth) → reset counter
+		{0.90},  // recovered 1
+		{0.90},  // recovered 2 → clear
+	}
+	m := newMonitor(t, script, Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2}, nil)
+	var clearCycle = -1
+	for c := range script {
+		for _, e := range m.Process(c, nil) {
+			if e.Kind == AlarmCleared {
+				clearCycle = e.Cycle
+			}
+		}
+	}
+	if clearCycle != 4 {
+		t.Fatalf("cleared at %d, want 4 (counter reset by dip)", clearCycle)
+	}
+}
+
+func TestThrottlerInvoked(t *testing.T) {
+	script := [][]float64{
+		{0.95, 0.80, 0.80},
+		{0.95, 0.95, 0.95},
+	}
+	var got [][]int
+	th := ThrottleFunc(func(cycle int, blocks []int) {
+		got = append(got, append([]int{cycle}, blocks...))
+	})
+	m := newMonitor(t, script, Config{Vth: 0.85}, th)
+	m.Process(0, nil)
+	m.Process(1, nil)
+	if len(got) != 1 {
+		t.Fatalf("throttler called %d times, want 1", len(got))
+	}
+	if got[0][0] != 0 || got[0][1] != 1 || got[0][2] != 2 {
+		t.Fatalf("throttle call = %v, want cycle 0 blocks [1 2]", got[0])
+	}
+}
+
+func TestStats(t *testing.T) {
+	script := [][]float64{
+		{0.95, 0.80},
+		{0.95, 0.78},
+		{0.95, 0.95},
+		{0.95, 0.95},
+		{0.95, 0.95},
+	}
+	m := newMonitor(t, script, Config{Vth: 0.85, ClearCycles: 2}, nil)
+	for c := range script {
+		m.Process(c, nil)
+	}
+	s := m.Stats()
+	if s.Cycles != 5 {
+		t.Errorf("Cycles = %d", s.Cycles)
+	}
+	if s.Alarms != 1 || s.PerBlockAlarms[1] != 1 || s.PerBlockAlarms[0] != 0 {
+		t.Errorf("alarm counts wrong: %+v", s)
+	}
+	if s.WorstVoltage != 0.78 || s.WorstBlock != 1 {
+		t.Errorf("worst = %v at %d", s.WorstVoltage, s.WorstBlock)
+	}
+	// In alarm during cycles 1 (raise was cycle 0): cycles 0,1,2,3 — raised
+	// at 0, recovered cycles 2 and 3 clear at 3. EmergencyCycles counts
+	// block-cycles spent in alarm: cycles 0,1,2 plus cycle 3 pre-clear? The
+	// machine clears during cycle 3, so alarm is active on 0,1,2.
+	if s.EmergencyCycles != 3 {
+		t.Errorf("EmergencyCycles = %d, want 3", s.EmergencyCycles)
+	}
+	if s.PerBlockMin[0] != 0.95 {
+		t.Errorf("PerBlockMin[0] = %v", s.PerBlockMin[0])
+	}
+}
+
+func TestActiveAlarms(t *testing.T) {
+	script := [][]float64{{0.80, 0.95, 0.80}}
+	m := newMonitor(t, script, Config{Vth: 0.85}, nil)
+	m.Process(0, nil)
+	got := m.ActiveAlarms()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("ActiveAlarms = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(&scriptedPredictor{script: [][]float64{{1}}}, 1, Config{}, nil); err == nil {
+		t.Error("expected error for missing Vth")
+	}
+	if _, err := New(&scriptedPredictor{script: [][]float64{{1}}}, 0, Config{Vth: 0.85}, nil); err == nil {
+		t.Error("expected error for zero blocks")
+	}
+	if _, err := New(&scriptedPredictor{script: [][]float64{{1}}}, 1, Config{Vth: 0.85, ClearMargin: -1}, nil); err == nil {
+		t.Error("expected error for negative margin")
+	}
+}
+
+func TestPredictorSizeMismatchPanics(t *testing.T) {
+	m, err := New(&scriptedPredictor{script: [][]float64{{1, 2}}}, 3, Config{Vth: 0.85}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Process(0, nil)
+}
+
+func TestEventKindString(t *testing.T) {
+	if AlarmRaised.String() != "raised" || AlarmCleared.String() != "cleared" {
+		t.Error("EventKind strings wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}

@@ -1,0 +1,128 @@
+// Package ols implements the multi-output ordinary least-squares fit of the
+// paper's Eq. 17: after group lasso has chosen the Q sensors, an unbiased
+// linear model with intercept
+//
+//	min_{α, c} ‖F − α·Xˢ − C‖_F
+//
+// is refit on the raw (unnormalized) selected-sensor data, because the
+// group-lasso coefficients are biased by the budget constraint (the paper's
+// Section 2.3 example). This package also provides the error metrics used
+// throughout the evaluation.
+package ols
+
+import (
+	"fmt"
+	"math"
+
+	"voltsense/internal/mat"
+)
+
+// Model is a fitted linear predictor f ≈ α·x + c.
+type Model struct {
+	Alpha *mat.Matrix // K-by-Q coefficients
+	C     []float64   // K intercepts
+}
+
+// Fit solves the least-squares problem for x (Q-by-N selected-sensor
+// samples) and f (K-by-N block-voltage samples). Centering eliminates the
+// intercept from the solve; the QR factorization of the centered design
+// handles the rest. Fit returns an error when the design is rank-deficient
+// (e.g. duplicated sensors).
+func Fit(x, f *mat.Matrix) (*Model, error) {
+	if x.Cols() != f.Cols() {
+		panic(fmt.Sprintf("ols: x has %d samples, f has %d", x.Cols(), f.Cols()))
+	}
+	q, n := x.Rows(), x.Cols()
+	k := f.Rows()
+	if n < q+1 {
+		return nil, fmt.Errorf("ols: %d samples cannot determine %d coefficients plus intercept", n, q)
+	}
+	xMean := mat.RowMeans(x)
+	fMean := mat.RowMeans(f)
+
+	// Design matrix: centered samples as rows (N-by-Q), one RHS column per
+	// output (N-by-K).
+	design := mat.Zeros(n, q)
+	for i := 0; i < q; i++ {
+		row := x.Row(i)
+		mu := xMean[i]
+		for j := 0; j < n; j++ {
+			design.Set(j, i, row[j]-mu)
+		}
+	}
+	rhs := mat.Zeros(n, k)
+	for i := 0; i < k; i++ {
+		row := f.Row(i)
+		mu := fMean[i]
+		for j := 0; j < n; j++ {
+			rhs.Set(j, i, row[j]-mu)
+		}
+	}
+	sol, err := mat.FactorQR(design).SolveMatrix(rhs) // Q-by-K
+	if err != nil {
+		return nil, fmt.Errorf("ols: rank-deficient design: %w", err)
+	}
+	alpha := sol.T() // K-by-Q
+	c := make([]float64, k)
+	for i := 0; i < k; i++ {
+		c[i] = fMean[i] - mat.Dot(alpha.Row(i), xMean)
+	}
+	return &Model{Alpha: alpha, C: c}, nil
+}
+
+// NumInputs returns Q.
+func (m *Model) NumInputs() int { return m.Alpha.Cols() }
+
+// NumOutputs returns K.
+func (m *Model) NumOutputs() int { return m.Alpha.Rows() }
+
+// Predict evaluates the model on one sensor reading vector (length Q),
+// returning the K predicted block voltages. This is the paper's Eq. 20 —
+// the only computation needed at runtime.
+func (m *Model) Predict(x []float64) []float64 {
+	out := mat.MulVec(m.Alpha, x)
+	for i := range out {
+		out[i] += m.C[i]
+	}
+	return out
+}
+
+// PredictMatrix evaluates the model on Q-by-N samples, returning K-by-N
+// predictions.
+func (m *Model) PredictMatrix(x *mat.Matrix) *mat.Matrix {
+	out := mat.Mul(m.Alpha, x)
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += m.C[i]
+		}
+	}
+	return out
+}
+
+// RelativeError returns ‖pred − truth‖_F / ‖truth‖_F — the aggregated
+// relative prediction error the paper's Table 1 reports over all function
+// blocks and benchmarks.
+func RelativeError(pred, truth *mat.Matrix) float64 {
+	den := truth.FrobeniusNorm()
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return mat.Sub(pred, truth).FrobeniusNorm() / den
+}
+
+// RMSE returns the root-mean-square elementwise error.
+func RMSE(pred, truth *mat.Matrix) float64 {
+	d := mat.Sub(pred, truth)
+	n := float64(d.Rows() * d.Cols())
+	if n == 0 {
+		return 0
+	}
+	f := d.FrobeniusNorm()
+	return f / math.Sqrt(n)
+}
+
+// MaxAbsError returns the worst elementwise error.
+func MaxAbsError(pred, truth *mat.Matrix) float64 {
+	return mat.Sub(pred, truth).MaxAbs()
+}

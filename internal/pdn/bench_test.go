@@ -1,0 +1,61 @@
+package pdn
+
+import (
+	"testing"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/grid"
+)
+
+// fullGrid is the production mesh of the paper-scale experiments.
+func fullGrid() *grid.Grid {
+	chip := floorplan.New(floorplan.DefaultConfig())
+	return grid.Build(chip, grid.DefaultConfig())
+}
+
+func BenchmarkNewSimulator(b *testing.B) {
+	g := fullGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSimulator(g, 5e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	g := fullGrid()
+	s, err := NewSimulator(g, 5e-10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(loads)
+	}
+}
+
+func BenchmarkStaticSolve(b *testing.B) {
+	g := fullGrid()
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StaticSolve(g, loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

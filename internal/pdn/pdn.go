@@ -1,0 +1,270 @@
+// Package pdn is the power-grid transient engine: it integrates the mesh
+// built by package grid under time-varying block currents and produces the
+// node-voltage waveforms every experiment samples.
+//
+// Discretization is backward Euler. With node capacitances C, mesh
+// conductances G and pad branches (series R, L to the ideal VDD rail), each
+// step solves
+//
+//	(G + C/h + G_pad) v[t+1] = (C/h) v[t] + pad history + VDD injection − i_load[t+1]
+//
+// The system matrix is constant, symmetric positive definite and banded
+// (half-bandwidth = mesh NX), so it is factored once with the banded
+// Cholesky and every step is a pair of triangular solves. Pad inductors use
+// the standard backward-Euler companion model: an effective conductance
+// 1/(R + L/h) plus a history current source tracking the previous branch
+// current.
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"voltsense/internal/banded"
+	"voltsense/internal/grid"
+	"voltsense/internal/sparse"
+)
+
+// Simulator integrates one grid with a fixed time step.
+type Simulator struct {
+	g  *grid.Grid
+	dt float64
+
+	chol *banded.CholFactor
+
+	cOverH  []float64 // C/h per node
+	padGeff []float64 // effective pad conductance 1/(R + L/h)
+	padLh   []float64 // L/h per pad
+
+	v      []float64 // node voltages (state)
+	padCur []float64 // pad branch currents (state)
+	rhs    []float64 // scratch
+	t      int
+}
+
+// NewSimulator assembles and factors the backward-Euler system for the grid
+// at time step dt (seconds).
+func NewSimulator(g *grid.Grid, dt float64) (*Simulator, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("pdn: non-positive time step %g", dt)
+	}
+	n := g.NumNodes()
+	s := &Simulator{
+		g:       g,
+		dt:      dt,
+		cOverH:  make([]float64, n),
+		padGeff: make([]float64, len(g.Pads)),
+		padLh:   make([]float64, len(g.Pads)),
+		v:       make([]float64, n),
+		padCur:  make([]float64, len(g.Pads)),
+		rhs:     make([]float64, n),
+	}
+	a := banded.NewSymBanded(n, g.Cfg.NX)
+	for i, c := range g.Caps {
+		s.cOverH[i] = c / dt
+		a.Add(i, i, s.cOverH[i])
+	}
+	for _, e := range g.Edges {
+		a.Add(e.A, e.A, e.G)
+		a.Add(e.B, e.B, e.G)
+		a.Add(e.A, e.B, -e.G)
+	}
+	for p, pad := range g.Pads {
+		lh := pad.L / dt
+		geff := 1 / (pad.R + lh)
+		s.padGeff[p] = geff
+		s.padLh[p] = lh
+		a.Add(pad.Node, pad.Node, geff)
+	}
+	chol, err := banded.Factor(a)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+	}
+	s.chol = chol
+	s.Reset()
+	return s, nil
+}
+
+// DT returns the simulation time step in seconds.
+func (s *Simulator) DT() float64 { return s.dt }
+
+// StepCount returns the number of steps taken since the last Reset.
+func (s *Simulator) StepCount() int { return s.t }
+
+// Reset returns the simulator to the quiescent state: every node at VDD,
+// no pad current flowing.
+func (s *Simulator) Reset() {
+	for i := range s.v {
+		s.v[i] = s.g.Cfg.VDD
+	}
+	for i := range s.padCur {
+		s.padCur[i] = 0
+	}
+	s.t = 0
+}
+
+// Step advances one time step with loads[i] amps drawn from node i, and
+// returns the node voltages. The returned slice is the simulator's internal
+// state: it is valid only until the next Step or Reset call, and must not be
+// modified.
+func (s *Simulator) Step(loads []float64) []float64 {
+	n := len(s.v)
+	if len(loads) != n {
+		panic(fmt.Sprintf("pdn: loads length %d, want %d", len(loads), n))
+	}
+	vdd := s.g.Cfg.VDD
+	for i := 0; i < n; i++ {
+		s.rhs[i] = s.cOverH[i]*s.v[i] - loads[i]
+	}
+	for p, pad := range s.g.Pads {
+		s.rhs[pad.Node] += s.padGeff[p] * (vdd + s.padLh[p]*s.padCur[p])
+	}
+	copy(s.v, s.rhs)
+	s.chol.SolveInPlace(s.v)
+	for p, pad := range s.g.Pads {
+		s.padCur[p] = s.padGeff[p] * (vdd - s.v[pad.Node] + s.padLh[p]*s.padCur[p])
+	}
+	s.t++
+	return s.v
+}
+
+// BlockLoader spreads per-block currents onto mesh nodes: block b's draw
+// divides equally among grid.BlockNodes[b].
+type BlockLoader struct {
+	g     *grid.Grid
+	loads []float64
+}
+
+// NewBlockLoader returns a loader for g.
+func NewBlockLoader(g *grid.Grid) *BlockLoader {
+	return &BlockLoader{g: g, loads: make([]float64, g.NumNodes())}
+}
+
+// Loads converts block currents (amps, indexed by block ID) to node loads.
+// The returned slice is reused across calls.
+func (l *BlockLoader) Loads(blockCurrents []float64) []float64 {
+	if len(blockCurrents) != len(l.g.BlockNodes) {
+		panic(fmt.Sprintf("pdn: %d block currents, grid has %d blocks", len(blockCurrents), len(l.g.BlockNodes)))
+	}
+	for i := range l.loads {
+		l.loads[i] = 0
+	}
+	for b, cur := range blockCurrents {
+		nodes := l.g.BlockNodes[b]
+		share := cur / float64(len(nodes))
+		for _, nd := range nodes {
+			l.loads[nd] += share
+		}
+	}
+	return l.loads
+}
+
+// Settle initializes the simulator state to the DC operating point for the
+// given node loads: node voltages from the resistive solve (inductors
+// shorted) and pad currents carrying their steady-state share. Starting a
+// transient from Settle avoids the unphysical inrush collapse of switching
+// a fully loaded chip onto an unenergized package.
+func (s *Simulator) Settle(loads []float64) error {
+	v, err := StaticSolve(s.g, loads)
+	if err != nil {
+		return err
+	}
+	copy(s.v, v)
+	for p, pad := range s.g.Pads {
+		s.padCur[p] = (s.g.Cfg.VDD - v[pad.Node]) / pad.R
+	}
+	s.t = 0
+	return nil
+}
+
+// Run integrates steps time steps, settling first at the DC operating point
+// of the first step's currents. For each step it calls currentAt(t) to get
+// per-block currents, then onStep(t, v) with the resulting node voltages
+// (the slice obeys the same aliasing rule as Step). onStep may be nil when
+// only final state matters.
+func (s *Simulator) Run(steps int, currentAt func(t int) []float64, onStep func(t int, v []float64)) error {
+	loader := NewBlockLoader(s.g)
+	if steps > 0 {
+		if err := s.Settle(loader.Loads(currentAt(0))); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < steps; t++ {
+		v := s.Step(loader.Loads(currentAt(t)))
+		if onStep != nil {
+			onStep(t, v)
+		}
+	}
+	return nil
+}
+
+// StaticSolve computes the DC operating point for constant node loads
+// (inductors shorted, capacitors open) using the independent conjugate-
+// gradient path. It is the cross-check oracle for the transient engine: a
+// constant-load transient must settle onto this solution.
+func StaticSolve(g *grid.Grid, loads []float64) ([]float64, error) {
+	n := g.NumNodes()
+	if len(loads) != n {
+		panic(fmt.Sprintf("pdn: loads length %d, want %d", len(loads), n))
+	}
+	tr := sparse.NewTriplet(n, n)
+	for _, e := range g.Edges {
+		tr.Add(e.A, e.A, e.G)
+		tr.Add(e.B, e.B, e.G)
+		tr.Add(e.A, e.B, -e.G)
+		tr.Add(e.B, e.A, -e.G)
+	}
+	b := make([]float64, n)
+	for i, ld := range loads {
+		b[i] = -ld
+	}
+	for _, pad := range g.Pads {
+		gdc := 1 / pad.R // inductor is a short at DC
+		tr.Add(pad.Node, pad.Node, gdc)
+		b[pad.Node] += gdc * g.Cfg.VDD
+	}
+	x, _, err := sparse.SolveCG(tr.ToCSR(), b, nil, sparse.CGOptions{Tol: 1e-12})
+	if err != nil {
+		return nil, fmt.Errorf("pdn: static solve: %w", err)
+	}
+	return x, nil
+}
+
+// WorstDroop tracks the minimum voltage seen at every node across a run;
+// the paper uses it to pick each block's noise-critical node.
+type WorstDroop struct {
+	Min []float64
+}
+
+// NewWorstDroop returns a tracker for n nodes, initialized to +Inf.
+func NewWorstDroop(n int) *WorstDroop {
+	w := &WorstDroop{Min: make([]float64, n)}
+	for i := range w.Min {
+		w.Min[i] = math.Inf(1)
+	}
+	return w
+}
+
+// Observe folds one voltage snapshot into the tracker.
+func (w *WorstDroop) Observe(v []float64) {
+	for i, x := range v {
+		if x < w.Min[i] {
+			w.Min[i] = x
+		}
+	}
+}
+
+// CriticalNode returns the node among nodes with the lowest observed
+// voltage — the block's noise-critical node.
+func (w *WorstDroop) CriticalNode(nodes []int) int {
+	best, bestV := -1, math.Inf(1)
+	for _, nd := range nodes {
+		if w.Min[nd] < bestV {
+			best, bestV = nd, w.Min[nd]
+		}
+	}
+	if best < 0 {
+		panic("pdn: CriticalNode called with empty node list")
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+// Package sensor models the physical imperfections of on-die voltage
+// sensors — thermal noise, offset and gain error, ADC quantization, and
+// saturation — so the methodology's robustness can be studied under
+// realistic measurement conditions rather than the paper's ideal readings.
+//
+// A Model is applied to ideal node voltages to produce what the sensor
+// would actually report; Array applies per-sensor instances (each with its
+// own sampled offset/gain, as fabrication variation produces) to a reading
+// vector. The experiments package uses this to sweep detection quality
+// against ADC resolution and noise floor.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model describes one sensor's transfer characteristic:
+//
+//	reported = quantize(clamp(gain*(v + offset) + noise))
+type Model struct {
+	Offset     float64 // additive error, volts
+	Gain       float64 // multiplicative error, 1.0 = ideal
+	NoiseSigma float64 // std-dev of white measurement noise, volts
+	Bits       int     // ADC resolution; 0 = no quantization
+	FullScaleL float64 // ADC range low, volts
+	FullScaleH float64 // ADC range high, volts
+}
+
+// Ideal returns a perfect sensor.
+func Ideal() Model { return Model{Gain: 1} }
+
+// Validate reports configuration errors.
+func (m Model) Validate() error {
+	if m.Gain == 0 {
+		return fmt.Errorf("sensor: zero gain")
+	}
+	if m.NoiseSigma < 0 {
+		return fmt.Errorf("sensor: negative noise sigma %v", m.NoiseSigma)
+	}
+	if m.Bits < 0 || m.Bits > 24 {
+		return fmt.Errorf("sensor: ADC bits %d out of [0, 24]", m.Bits)
+	}
+	if m.Bits > 0 && m.FullScaleH <= m.FullScaleL {
+		return fmt.Errorf("sensor: ADC range [%v, %v] empty", m.FullScaleL, m.FullScaleH)
+	}
+	return nil
+}
+
+// Read converts one true voltage into the sensor's report, drawing noise
+// from rng (required when NoiseSigma > 0).
+func (m Model) Read(v float64, rng *rand.Rand) float64 {
+	out := m.Gain * (v + m.Offset)
+	if m.NoiseSigma > 0 {
+		out += rng.NormFloat64() * m.NoiseSigma
+	}
+	if m.Bits > 0 {
+		levels := float64(int(1)<<uint(m.Bits)) - 1
+		span := m.FullScaleH - m.FullScaleL
+		if out < m.FullScaleL {
+			out = m.FullScaleL
+		}
+		if out > m.FullScaleH {
+			out = m.FullScaleH
+		}
+		code := math.Round((out - m.FullScaleL) / span * levels)
+		out = m.FullScaleL + code/levels*span
+	}
+	return out
+}
+
+// LSB returns the quantization step in volts, or 0 without an ADC.
+func (m Model) LSB() float64 {
+	if m.Bits <= 0 {
+		return 0
+	}
+	return (m.FullScaleH - m.FullScaleL) / (float64(int(1)<<uint(m.Bits)) - 1)
+}
+
+// Variation describes fabrication spread when instantiating an array:
+// per-sensor offset ~ N(0, OffsetSigma), gain ~ N(1, GainSigma).
+type Variation struct {
+	OffsetSigma float64
+	GainSigma   float64
+}
+
+// Array is a set of per-sensor Models sharing an ADC/noise spec.
+type Array struct {
+	Sensors []Model
+	rng     *rand.Rand
+}
+
+// NewArray instantiates n sensors from a base spec plus fabrication
+// variation, deterministically from seed.
+func NewArray(n int, base Model, v Variation, seed int64) (*Array, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sensor: array size %d", n)
+	}
+	if v.OffsetSigma < 0 || v.GainSigma < 0 {
+		return nil, fmt.Errorf("sensor: negative variation %+v", v)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := &Array{Sensors: make([]Model, n), rng: rand.New(rand.NewSource(seed + 1))}
+	for i := range a.Sensors {
+		s := base
+		s.Offset += rng.NormFloat64() * v.OffsetSigma
+		s.Gain *= 1 + rng.NormFloat64()*v.GainSigma
+		a.Sensors[i] = s
+	}
+	return a, nil
+}
+
+// ReadAll converts a vector of true voltages into sensor reports. The
+// returned slice is freshly allocated.
+func (a *Array) ReadAll(v []float64) []float64 {
+	if len(v) != len(a.Sensors) {
+		panic(fmt.Sprintf("sensor: %d voltages for %d sensors", len(v), len(a.Sensors)))
+	}
+	out := make([]float64, len(v))
+	for i, s := range a.Sensors {
+		out[i] = s.Read(v[i], a.rng)
+	}
+	return out
+}
+
+// Calibrate removes each sensor's static offset and gain error, modeling
+// two-point calibration against known references at production test;
+// noise and quantization remain.
+func (a *Array) Calibrate() {
+	for i := range a.Sensors {
+		a.Sensors[i].Offset = 0
+		a.Sensors[i].Gain = 1
+	}
+}

@@ -1,0 +1,177 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealSensorIsTransparent(t *testing.T) {
+	m := Ideal()
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range []float64{0, 0.85, 1.0, -0.3} {
+		if got := m.Read(v, rng); got != v {
+			t.Fatalf("ideal sensor read %v as %v", v, got)
+		}
+	}
+}
+
+func TestOffsetAndGain(t *testing.T) {
+	m := Model{Offset: 0.01, Gain: 1.02}
+	rng := rand.New(rand.NewSource(1))
+	want := 1.02 * (0.9 + 0.01)
+	if got := m.Read(0.9, rng); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Read = %v, want %v", got, want)
+	}
+}
+
+func TestQuantizationGridAndClamp(t *testing.T) {
+	m := Model{Gain: 1, Bits: 4, FullScaleL: 0, FullScaleH: 1.5}
+	rng := rand.New(rand.NewSource(1))
+	lsb := m.LSB()
+	if math.Abs(lsb-0.1) > 1e-12 {
+		t.Fatalf("LSB = %v, want 0.1", lsb)
+	}
+	// Every output must land on the code grid.
+	for v := -0.2; v <= 1.7; v += 0.013 {
+		got := m.Read(v, rng)
+		code := (got - m.FullScaleL) / lsb
+		if math.Abs(code-math.Round(code)) > 1e-9 {
+			t.Fatalf("Read(%v) = %v not on quantization grid", v, got)
+		}
+		if got < m.FullScaleL || got > m.FullScaleH {
+			t.Fatalf("Read(%v) = %v escaped full scale", v, got)
+		}
+	}
+	// Clamping at the rails.
+	if got := m.Read(99, rng); got != m.FullScaleH {
+		t.Fatalf("over-range read %v, want %v", got, m.FullScaleH)
+	}
+	if got := m.Read(-99, rng); got != m.FullScaleL {
+		t.Fatalf("under-range read %v, want %v", got, m.FullScaleL)
+	}
+}
+
+// Property: quantization error never exceeds half an LSB inside full scale.
+func TestQuantizationErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 4 + rng.Intn(12)
+		m := Model{Gain: 1, Bits: bits, FullScaleL: 0.5, FullScaleH: 1.1}
+		v := 0.5 + rng.Float64()*0.6
+		got := m.Read(v, rng)
+		return math.Abs(got-v) <= m.LSB()/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	m := Model{Gain: 1, NoiseSigma: 0.005}
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		d := m.Read(0.9, rng) - 0.9
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / float64(n)
+	sigma := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 3*0.005/math.Sqrt(float64(n)) {
+		t.Errorf("noise mean %v biased", mean)
+	}
+	if math.Abs(sigma-0.005) > 0.0005 {
+		t.Errorf("noise sigma %v, want 0.005", sigma)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{Gain: 0},
+		{Gain: 1, NoiseSigma: -1},
+		{Gain: 1, Bits: 30},
+		{Gain: 1, Bits: 8, FullScaleL: 1, FullScaleH: 1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := Ideal().Validate(); err != nil {
+		t.Errorf("ideal sensor invalid: %v", err)
+	}
+}
+
+func TestArrayVariationAndDeterminism(t *testing.T) {
+	base := Ideal()
+	a1, err := NewArray(50, base, Variation{OffsetSigma: 0.002, GainSigma: 0.01}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewArray(50, base, Variation{OffsetSigma: 0.002, GainSigma: 0.01}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for i := range a1.Sensors {
+		if a1.Sensors[i] != a2.Sensors[i] {
+			t.Fatal("same seed produced different arrays")
+		}
+		if a1.Sensors[i].Offset != 0 || a1.Sensors[i].Gain != 1 {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("variation produced perfectly ideal sensors")
+	}
+}
+
+func TestArrayReadAllAndCalibrate(t *testing.T) {
+	a, err := NewArray(3, Ideal(), Variation{OffsetSigma: 0.01}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0.9, 0.9, 0.9}
+	before := a.ReadAll(v)
+	var maxErr float64
+	for _, r := range before {
+		if d := math.Abs(r - 0.9); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr == 0 {
+		t.Fatal("offsets had no effect")
+	}
+	a.Calibrate()
+	after := a.ReadAll(v)
+	for _, r := range after {
+		if r != 0.9 {
+			t.Fatalf("calibrated read %v, want 0.9", r)
+		}
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	if _, err := NewArray(0, Ideal(), Variation{}, 1); err == nil {
+		t.Error("expected size error")
+	}
+	if _, err := NewArray(2, Model{}, Variation{}, 1); err == nil {
+		t.Error("expected base validation error")
+	}
+	if _, err := NewArray(2, Ideal(), Variation{OffsetSigma: -1}, 1); err == nil {
+		t.Error("expected variation error")
+	}
+	a, err := NewArray(2, Ideal(), Variation{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size mismatch")
+		}
+	}()
+	a.ReadAll([]float64{1})
+}

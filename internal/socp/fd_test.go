@@ -1,0 +1,59 @@
+package socp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+func TestFiniteDifferenceGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := randn(rng, 3, 40)
+	g := randn(rng, 2, 40)
+	zt := z.T()
+	fro := g.FrobeniusNorm()
+	p := &problem{z: z, g: g, zzt: mat.Mul(z, zt), gzt: mat.Mul(g, zt),
+		trGG: fro * fro, k: 2, m: 3, lambda: 2, n: 2*3 + 3 + 1}
+	x := make([]float64, p.n)
+	for j := 0; j < 3; j++ {
+		x[6+j] = 2.0 / 6
+	}
+	x[p.n-1] = fro + 1
+	// small random beta inside cones
+	for i := 0; i < 6; i++ {
+		x[i] = 0.01 * rng.NormFloat64()
+	}
+	mu := 3.0
+	grad, hess, err := p.derivatives(x, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 1e-6
+	for i := 0; i < p.n; i++ {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (p.value(xp, mu) - p.value(xm, mu)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-3*(1+math.Abs(fd)) {
+			t.Errorf("grad[%d] = %v, fd = %v", i, grad[i], fd)
+		}
+	}
+	// Hessian FD on a few entries
+	for i := 0; i < p.n; i++ {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		gp, _, _ := p.derivatives(xp, mu)
+		gm, _, _ := p.derivatives(xm, mu)
+		for j := 0; j < p.n; j++ {
+			fd := (gp[j] - gm[j]) / (2 * h)
+			if math.Abs(fd-hess.At(i, j)) > 1e-2*(1+math.Abs(fd)) {
+				t.Errorf("hess[%d][%d] = %v, fd = %v", i, j, hess.At(i, j), fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package sparse implements compressed sparse row matrices and a
+// preconditioned conjugate-gradient solver.
+//
+// The banded Cholesky in package banded is the production path for the
+// power-grid transient solve; this package provides the independent solver
+// used to cross-check it in tests, and handles meshes with irregular
+// connectivity (extra via stitching, cut-outs) whose bandwidth would blow up
+// the banded factor.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when CG fails to reach the requested tolerance
+// within the iteration budget.
+var ErrNoConvergence = errors.New("sparse: conjugate gradient did not converge")
+
+// Triplet accumulates (i, j, v) entries for building a CSR matrix. Duplicate
+// coordinates are summed, which makes circuit-style stamping natural.
+type Triplet struct {
+	rows, cols int
+	i, j       []int
+	v          []float64
+}
+
+// NewTriplet returns an empty accumulator for an r-by-c matrix.
+func NewTriplet(r, c int) *Triplet {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %dx%d", r, c))
+	}
+	return &Triplet{rows: r, cols: c}
+}
+
+// Add accumulates v at (i, j).
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.rows || j < 0 || j >= t.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range %dx%d", i, j, t.rows, t.cols))
+	}
+	t.i = append(t.i, i)
+	t.j = append(t.j, j)
+	t.v = append(t.v, v)
+}
+
+// ToCSR compacts the accumulated triplets into a CSR matrix, summing
+// duplicates and dropping exact zeros.
+func (t *Triplet) ToCSR() *CSR {
+	type key struct{ i, j int }
+	sum := make(map[key]float64, len(t.v))
+	for k := range t.v {
+		sum[key{t.i[k], t.j[k]}] += t.v[k]
+	}
+	keys := make([]key, 0, len(sum))
+	for k, v := range sum {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].i != keys[b].i {
+			return keys[a].i < keys[b].i
+		}
+		return keys[a].j < keys[b].j
+	})
+	c := &CSR{
+		rows: t.rows, cols: t.cols,
+		rowPtr: make([]int, t.rows+1),
+		colIdx: make([]int, len(keys)),
+		val:    make([]float64, len(keys)),
+	}
+	for n, k := range keys {
+		c.rowPtr[k.i+1]++
+		c.colIdx[n] = k.j
+		c.val[n] = sum[k]
+	}
+	for i := 0; i < t.rows; i++ {
+		c.rowPtr[i+1] += c.rowPtr[i]
+	}
+	return c
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *CSR) Cols() int { return c.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.val) }
+
+// At returns element (i, j) with a binary search over row i.
+func (c *CSR) At(i, j int) float64 {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	k := lo + sort.SearchInts(c.colIdx[lo:hi], j)
+	if k < hi && c.colIdx[k] == j {
+		return c.val[k]
+	}
+	return 0
+}
+
+// MulVec returns c * x.
+func (c *CSR) MulVec(x []float64) []float64 {
+	y := make([]float64, c.rows)
+	c.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = c * x without allocating.
+func (c *CSR) MulVecTo(y, x []float64) {
+	if len(x) != c.cols || len(y) != c.rows {
+		panic(fmt.Sprintf("sparse: MulVecTo shapes y=%d x=%d, want %d/%d", len(y), len(x), c.rows, c.cols))
+	}
+	for i := 0; i < c.rows; i++ {
+		s := 0.0
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			s += c.val[k] * x[c.colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag returns a copy of the main diagonal.
+func (c *CSR) Diag() []float64 {
+	n := c.rows
+	if c.cols < n {
+		n = c.cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = c.At(i, i)
+	}
+	return d
+}
+
+// CGOptions configures SolveCG.
+type CGOptions struct {
+	Tol     float64 // relative residual target; default 1e-10
+	MaxIter int     // default 10 * n
+}
+
+// SolveCG solves the symmetric positive definite system A x = b with
+// Jacobi-preconditioned conjugate gradient, starting from x0 (nil means
+// zero). It returns the solution and the iteration count.
+func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("sparse: SolveCG needs square matrix, got %dx%d", a.rows, a.cols))
+	}
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: SolveCG rhs length %d, want %d", len(b), n))
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	a.MulVecTo(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	// Jacobi preconditioner.
+	invD := a.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return nil, 0, fmt.Errorf("sparse: non-positive diagonal %g at %d; matrix not SPD", d, i)
+		}
+		invD[i] = 1 / d
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = invD[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return x, 0, nil // b = 0 → x = x0 already has residual ‖b‖ = 0 target
+	}
+	rz := dot(r, z)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVecTo(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, it, fmt.Errorf("sparse: pᵀAp = %g <= 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		if norm2(r) <= tol*bnorm {
+			return x, it, nil
+		}
+		for i := range z {
+			z[i] = invD[i] * r[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, maxIter, ErrNoConvergence
+}
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,236 @@
+// Package thermal models on-die temperature at function-block granularity
+// and its feedback into leakage power.
+//
+// Electrical transients in this repository span microseconds while thermal
+// time constants are milliseconds, so the coupling follows the standard
+// architectural practice (HotSpot steady-state mode): per-run average block
+// power produces a steady-state temperature map through a lateral/vertical
+// thermal resistance network, and block leakage scales exponentially with
+// its temperature. A transient Step is also provided (and tested against
+// the steady state) for completeness.
+//
+// The network has one node per function block: lateral conductances couple
+// blocks whose rectangles touch or nearly touch (heat spreading through
+// silicon), and every block has a vertical conductance to the heat sink
+// proportional to its area.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/mat"
+)
+
+// Config holds the thermal network parameters.
+type Config struct {
+	Ambient      float64 // heat-sink temperature, °C
+	VerticalRth  float64 // vertical resistance for 1 mm² of block area, °C·mm²/W
+	LateralRth   float64 // lateral resistance between adjacent blocks per mm of shared edge, °C·mm/W
+	CouplingGap  float64 // blocks closer than this (mm) are laterally coupled
+	HeatCapacity float64 // areal heat capacity, J/(°C·mm²) — transient only
+}
+
+// DefaultConfig returns 22 nm-plausible packaging values: a high-end heat
+// sink and silicon lateral spreading.
+func DefaultConfig() Config {
+	return Config{
+		Ambient:      45,   // °C at the heat spreader under load
+		VerticalRth:  30,   // °C·mm²/W → a 1 mm² block at 1 W rises 30 °C; real blocks are larger
+		LateralRth:   8,    // °C·mm/W of shared edge
+		CouplingGap:  0.70, // routing channels and core gaps still conduct through silicon
+		HeatCapacity: 1.6e-3,
+	}
+}
+
+// Model is an assembled thermal network for one chip.
+type Model struct {
+	Cfg  Config
+	chip *floorplan.Chip
+
+	g    *mat.Matrix   // block-level thermal conductance matrix, W/°C
+	chol *mat.Cholesky // factored once
+	caps []float64     // thermal capacitance per block, J/°C
+
+	temps []float64 // transient state, °C
+
+	stepDT   float64       // dt of the cached transient factorization
+	stepChol *mat.Cholesky // cached (G + C/dt) factorization
+}
+
+// New assembles and factors the thermal network.
+func New(chip *floorplan.Chip, cfg Config) (*Model, error) {
+	if cfg.VerticalRth <= 0 || cfg.LateralRth <= 0 || cfg.HeatCapacity <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive parameter in %+v", cfg)
+	}
+	n := chip.NumBlocks()
+	g := mat.Zeros(n, n)
+	caps := make([]float64, n)
+	for _, b := range chip.Blocks {
+		area := b.Bounds.Area()
+		gv := area / cfg.VerticalRth
+		g.Set(b.ID, b.ID, g.At(b.ID, b.ID)+gv)
+		caps[b.ID] = cfg.HeatCapacity * area
+	}
+	// Lateral coupling for blocks with overlapping projections within the
+	// gap.
+	for i, a := range chip.Blocks {
+		for _, b := range chip.Blocks[i+1:] {
+			shared := sharedEdge(a.Bounds, b.Bounds, cfg.CouplingGap)
+			if shared <= 0 {
+				continue
+			}
+			gl := shared / cfg.LateralRth
+			g.Set(a.ID, a.ID, g.At(a.ID, a.ID)+gl)
+			g.Set(b.ID, b.ID, g.At(b.ID, b.ID)+gl)
+			g.Set(a.ID, b.ID, g.At(a.ID, b.ID)-gl)
+			g.Set(b.ID, a.ID, g.At(b.ID, a.ID)-gl)
+		}
+	}
+	chol, err := mat.FactorCholesky(g)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: network not SPD: %w", err)
+	}
+	m := &Model{Cfg: cfg, chip: chip, g: g, chol: chol, caps: caps, temps: make([]float64, n)}
+	m.Reset()
+	return m, nil
+}
+
+// sharedEdge returns the length (mm) of the shared boundary between two
+// rectangles whose gap is at most tol, or 0 if they are not adjacent.
+func sharedEdge(a, b floorplan.Rect, tol float64) float64 {
+	// Horizontal adjacency: vertical edges within tol.
+	overlapY := math.Min(a.Y1, b.Y1) - math.Max(a.Y0, b.Y0)
+	overlapX := math.Min(a.X1, b.X1) - math.Max(a.X0, b.X0)
+	gapX := math.Max(a.X0, b.X0) - math.Min(a.X1, b.X1)
+	gapY := math.Max(a.Y0, b.Y0) - math.Min(a.Y1, b.Y1)
+	if gapX >= 0 && gapX <= tol && overlapY > 0 {
+		return overlapY
+	}
+	if gapY >= 0 && gapY <= tol && overlapX > 0 {
+		return overlapX
+	}
+	return 0
+}
+
+// Reset returns every block to ambient.
+func (m *Model) Reset() {
+	for i := range m.temps {
+		m.temps[i] = m.Cfg.Ambient
+	}
+}
+
+// SteadyState returns the equilibrium block temperatures (°C) for the given
+// block powers (W): T = ambient + G⁻¹ P.
+func (m *Model) SteadyState(power []float64) []float64 {
+	if len(power) != len(m.temps) {
+		panic(fmt.Sprintf("thermal: %d powers for %d blocks", len(power), len(m.temps)))
+	}
+	rise := m.chol.Solve(power)
+	out := make([]float64, len(rise))
+	for i, r := range rise {
+		out[i] = m.Cfg.Ambient + r
+	}
+	return out
+}
+
+// Step advances the transient model by dt seconds under the given powers
+// (backward Euler on the block network) and returns the temperatures. The
+// returned slice aliases internal state.
+func (m *Model) Step(power []float64, dt float64) []float64 {
+	if len(power) != len(m.temps) {
+		panic(fmt.Sprintf("thermal: %d powers for %d blocks", len(power), len(m.temps)))
+	}
+	if dt <= 0 {
+		panic(fmt.Sprintf("thermal: non-positive dt %v", dt))
+	}
+	n := len(m.temps)
+	// (G + C/dt)(T' − ambient) = P + (C/dt)(T − ambient). The factorization
+	// depends only on dt and is cached across steps.
+	if m.stepChol == nil || m.stepDT != dt {
+		a := m.g.Clone()
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+m.caps[i]/dt)
+		}
+		chol, err := mat.FactorCholesky(a)
+		if err != nil {
+			panic(fmt.Sprintf("thermal: transient matrix not SPD: %v", err))
+		}
+		m.stepChol, m.stepDT = chol, dt
+	}
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = power[i] + m.caps[i]/dt*(m.temps[i]-m.Cfg.Ambient)
+	}
+	rise := m.stepChol.Solve(rhs)
+	for i := range m.temps {
+		m.temps[i] = m.Cfg.Ambient + rise[i]
+	}
+	return m.temps
+}
+
+// LeakageScale returns the multiplicative leakage factor at temperature t
+// relative to the reference temperature ref, with subthreshold leakage
+// roughly doubling every 20 °C (factor exp(0.0347·ΔT)).
+func LeakageScale(t, ref float64) float64 {
+	const k = math.Ln2 / 20
+	return math.Exp(k * (t - ref))
+}
+
+// Couple iterates the power↔temperature fixed point: given base block
+// powers split into dynamic and reference leakage parts, it returns the
+// converged temperatures and leakage scale factors. The loop contracts
+// quickly (leakage is a modest fraction of block power); iterations are
+// capped and the final residual returned.
+func (m *Model) Couple(dynamic, leakRef []float64, refTemp float64, maxIter int) (temps, scale []float64, resid float64) {
+	if len(dynamic) != len(leakRef) || len(dynamic) != len(m.temps) {
+		panic("thermal: Couple length mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	n := len(dynamic)
+	scale = make([]float64, n)
+	for i := range scale {
+		scale[i] = 1
+	}
+	power := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		for i := range power {
+			power[i] = dynamic[i] + leakRef[i]*scale[i]
+		}
+		temps = m.SteadyState(power)
+		resid = 0
+		for i := range scale {
+			// Damped update (geometric mean of old and target) keeps the
+			// iteration contractive even when the undamped loop gain nears
+			// 1; the clamp models thermal throttling — silicon that would
+			// leak 4x its nominal power trips the thermal limiter long
+			// before reaching equilibrium.
+			target := LeakageScale(temps[i], refTemp)
+			if target > maxLeakScale {
+				target = maxLeakScale
+			}
+			if target < minLeakScale {
+				target = minLeakScale
+			}
+			s := math.Sqrt(scale[i] * target)
+			if d := math.Abs(s - scale[i]); d > resid {
+				resid = d
+			}
+			scale[i] = s
+		}
+		if resid < 1e-9 {
+			break
+		}
+	}
+	return temps, scale, resid
+}
+
+// Leakage-scale clamps used by Couple: below 0.25x the model is outside its
+// calibration; above 6x a real chip has already throttled.
+const (
+	minLeakScale = 0.25
+	maxLeakScale = 4.0
+)

@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/power"
+	"voltsense/internal/workload"
+)
+
+func testModel(t *testing.T) (*floorplan.Chip, *Model) {
+	t.Helper()
+	chip := floorplan.New(floorplan.DefaultConfig())
+	m, err := New(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip, m
+}
+
+func TestZeroPowerIsAmbient(t *testing.T) {
+	_, m := testModel(t)
+	temps := m.SteadyState(make([]float64, len(m.temps)))
+	for b, tp := range temps {
+		if math.Abs(tp-m.Cfg.Ambient) > 1e-9 {
+			t.Fatalf("block %d at %v °C with zero power", b, tp)
+		}
+	}
+}
+
+func TestHotBlockIsHottest(t *testing.T) {
+	chip, m := testModel(t)
+	p := make([]float64, chip.NumBlocks())
+	hot := 100 // some block in core 3
+	p[hot] = 2.0
+	temps := m.SteadyState(p)
+	for b, tp := range temps {
+		if b != hot && tp > temps[hot] {
+			t.Fatalf("block %d (%.2f °C) hotter than the powered block (%.2f °C)", b, tp, temps[hot])
+		}
+		if tp < m.Cfg.Ambient-1e-9 {
+			t.Fatalf("block %d below ambient", b)
+		}
+	}
+	if temps[hot] < m.Cfg.Ambient+5 {
+		t.Fatalf("2 W block only reached %.2f °C", temps[hot])
+	}
+}
+
+func TestHeatSpreadsToNeighbors(t *testing.T) {
+	chip, m := testModel(t)
+	p := make([]float64, chip.NumBlocks())
+	// Heat alu0 of core 0 (local index 14).
+	hot := chip.Cores[0].Blocks[14]
+	p[hot.ID] = 1.5
+	temps := m.SteadyState(p)
+	neighbor := chip.Cores[0].Blocks[15] // alu1, adjacent cell
+	farAway := chip.Cores[7].Blocks[14]  // same block in the far corner core
+	if temps[neighbor.ID] <= temps[farAway.ID] {
+		t.Fatalf("adjacent block (%.3f °C) not hotter than far block (%.3f °C)",
+			temps[neighbor.ID], temps[farAway.ID])
+	}
+	if temps[neighbor.ID] <= m.Cfg.Ambient {
+		t.Fatal("no lateral heat spreading")
+	}
+}
+
+func TestRealisticPowersGiveRealisticTemps(t *testing.T) {
+	chip, m := testModel(t)
+	pm := power.DefaultModel(chip)
+	tr := workload.Generate(chip, workload.Benchmarks()[0], 400, 0)
+	ct := pm.Currents(tr)
+	avg := make([]float64, chip.NumBlocks())
+	for b := range avg {
+		s := 0.0
+		for _, i := range ct.Currents[b] {
+			s += i * pm.VDD
+		}
+		avg[b] = s / float64(len(ct.Currents[b]))
+	}
+	temps := m.SteadyState(avg)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, tp := range temps {
+		lo = math.Min(lo, tp)
+		hi = math.Max(hi, tp)
+	}
+	t.Logf("block temperatures: %.1f..%.1f °C", lo, hi)
+	if hi > 115 || hi < 50 {
+		t.Errorf("hottest block %.1f °C outside the plausible 50-115 °C band", hi)
+	}
+	if lo < m.Cfg.Ambient {
+		t.Errorf("coolest block %.1f °C below ambient", lo)
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	chip, m := testModel(t)
+	p := make([]float64, chip.NumBlocks())
+	for i := range p {
+		p[i] = 0.3
+	}
+	want := m.SteadyState(p)
+	var got []float64
+	for i := 0; i < 1500; i++ {
+		got = m.Step(p, 2e-3)
+	}
+	for b := range want {
+		if math.Abs(got[b]-want[b]) > 0.05 {
+			t.Fatalf("block %d transient %.3f vs steady %.3f", b, got[b], want[b])
+		}
+	}
+}
+
+func TestTransientTimeConstantIsSlow(t *testing.T) {
+	chip, m := testModel(t)
+	p := make([]float64, chip.NumBlocks())
+	p[0] = 1
+	after := m.Step(p, 1e-6) // one microsecond
+	want := m.SteadyState(p)
+	rise := after[0] - m.Cfg.Ambient
+	full := want[0] - m.Cfg.Ambient
+	if rise > 0.2*full {
+		t.Fatalf("1 µs step covered %.0f%% of the thermal rise; time constants should be ≫ µs",
+			100*rise/full)
+	}
+}
+
+func TestLeakageScale(t *testing.T) {
+	if got := LeakageScale(70, 70); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("scale at reference = %v", got)
+	}
+	if got := LeakageScale(90, 70); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("scale(+20°C) = %v, want 2 (doubling)", got)
+	}
+	if got := LeakageScale(50, 70); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("scale(-20°C) = %v, want 0.5", got)
+	}
+}
+
+func TestCoupleConverges(t *testing.T) {
+	chip, m := testModel(t)
+	dyn := make([]float64, chip.NumBlocks())
+	leak := make([]float64, chip.NumBlocks())
+	for i := range dyn {
+		dyn[i] = 0.4
+		leak[i] = 0.08
+	}
+	temps, scale, resid := m.Couple(dyn, leak, 70, 60)
+	if resid > 1e-4 {
+		t.Fatalf("fixed point residual %v", resid)
+	}
+	for b := range temps {
+		if scale[b] <= 0 {
+			t.Fatalf("block %d scale %v", b, scale[b])
+		}
+	}
+	// Hotter-than-reference blocks leak more; the loop must not run away.
+	for b := range temps {
+		if scale[b] > 4+1e-9 {
+			t.Fatalf("block %d leakage scale %v escaped the throttle clamp", b, scale[b])
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	chip := floorplan.New(floorplan.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.VerticalRth = 0
+	if _, err := New(chip, cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSharedEdge(t *testing.T) {
+	a := floorplan.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}
+	b := floorplan.Rect{X0: 1.1, Y0: 0.2, X1: 2, Y1: 0.8} // 0.1 gap, 0.6 overlap
+	if got := sharedEdge(a, b, 0.2); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("sharedEdge = %v, want 0.6", got)
+	}
+	if got := sharedEdge(a, b, 0.05); got != 0 {
+		t.Fatalf("gap beyond tol should give 0, got %v", got)
+	}
+	c := floorplan.Rect{X0: 0.2, Y0: 1.05, X1: 0.7, Y1: 2}
+	if got := sharedEdge(a, c, 0.1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("vertical sharedEdge = %v, want 0.5", got)
+	}
+	far := floorplan.Rect{X0: 5, Y0: 5, X1: 6, Y1: 6}
+	if got := sharedEdge(a, far, 0.2); got != 0 {
+		t.Fatalf("distant blocks coupled: %v", got)
+	}
+}

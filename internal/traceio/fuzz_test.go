@@ -1,0 +1,49 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixCSV feeds arbitrary byte streams to the CSV reader: it must
+// either return a well-formed matrix or an error — never panic — and any
+// successfully parsed matrix must round-trip through the writer.
+func FuzzReadMatrixCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("v0\n1.5e-3\n")
+	f.Add("")
+	f.Add("x,y\nnot,numbers\n")
+	f.Add("h\n1\n2\n3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, names, err := ReadMatrixCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if m.Rows() != len(names) {
+			t.Fatalf("rows %d != names %d", m.Rows(), len(names))
+		}
+		var buf bytes.Buffer
+		// Some fuzzer-found headers contain characters CSV must quote;
+		// writing and re-reading must preserve the numbers regardless.
+		if err := WriteMatrixCSV(&buf, m, nil); err != nil {
+			t.Fatalf("re-writing parsed matrix: %v", err)
+		}
+		back, _, err := ReadMatrixCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written matrix: %v", err)
+		}
+		if back.Rows() != m.Rows() || back.Cols() != m.Cols() {
+			t.Fatalf("round-trip changed shape %dx%d -> %dx%d",
+				m.Rows(), m.Cols(), back.Rows(), back.Cols())
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				a, b := m.At(i, j), back.At(i, j)
+				if a != b && !(a != a && b != b) { // NaN-tolerant equality
+					t.Fatalf("round-trip changed (%d,%d): %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

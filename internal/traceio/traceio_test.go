@@ -1,0 +1,169 @@
+package traceio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"voltsense/internal/mat"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := rng.Intn(20)
+		m := mat.Zeros(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixCSV(&buf, m, nil); err != nil {
+			return false
+		}
+		got, names, err := ReadMatrixCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(names) != r {
+			return false
+		}
+		return mat.Equalish(got, m, 0) // 17 significant digits round-trips exactly
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteMatrixCustomNames(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, m, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\n") {
+		t.Fatalf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	_, names, err := ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteMatrixBadNames(t *testing.T) {
+	m := mat.Zeros(2, 1)
+	if err := WriteMatrixCSV(&bytes.Buffer{}, m, []string{"only-one"}); err == nil {
+		t.Fatal("expected error for name count mismatch")
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"ragged":      "a,b\n1,2\n3\n",
+		"non-numeric": "a\nx\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadMatrixCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Zeros(3, 10)
+	f := mat.Zeros(2, 10)
+	for j := 0; j < 10; j++ {
+		for i := 0; i < 3; i++ {
+			x.Set(i, j, rng.Float64())
+		}
+		for i := 0; i < 2; i++ {
+			f.Set(i, j, rng.Float64())
+		}
+	}
+	var xb, fb bytes.Buffer
+	if err := WriteDataset(&xb, &fb, &Dataset{X: x, F: f}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&xb, &fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(got.X, x, 0) || !mat.Equalish(got.F, f, 0) {
+		t.Fatal("dataset did not round-trip")
+	}
+}
+
+func TestDatasetSampleMismatch(t *testing.T) {
+	ds := &Dataset{X: mat.Zeros(1, 3), F: mat.Zeros(1, 4)}
+	if err := WriteDataset(&bytes.Buffer{}, &bytes.Buffer{}, ds, nil, nil); err == nil {
+		t.Fatal("expected error")
+	}
+	var xb, fb bytes.Buffer
+	if err := WriteMatrixCSV(&xb, mat.Zeros(1, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixCSV(&fb, mat.Zeros(1, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(&xb, &fb); err == nil {
+		t.Fatal("expected error on read")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []string{"real", "pred"},
+		[]float64{1, 2, 3}, []float64{1.5, 2.5, 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "step,real,pred" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,2,2.5" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestSeriesCSVErrors(t *testing.T) {
+	if err := WriteSeriesCSV(&bytes.Buffer{}, []string{"a"}, []float64{1}, []float64{2}); err == nil {
+		t.Error("expected name-count error")
+	}
+	if err := WriteSeriesCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("expected no-series error")
+	}
+	if err := WriteSeriesCSV(&bytes.Buffer{}, []string{"a", "b"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestRoundTripPreservesSpecialValues(t *testing.T) {
+	m := mat.FromRows([][]float64{{0, -0.0, 1e-300, 1e300, math.Pi}})
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.Cols(); j++ {
+		if got.At(0, j) != m.At(0, j) {
+			t.Fatalf("col %d: %v != %v", j, got.At(0, j), m.At(0, j))
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package uarch is the deeper GEM5 substitute: a trace-driven
+// microarchitectural performance model that derives per-block activity from
+// first principles — instruction mix, issue-width and dependence limits,
+// cache miss rates from working-set sizes, branch mispredictions and memory
+// stalls — instead of the phase-shaped stochastic activity of package
+// workload.
+//
+// Each simulation step models a fixed window of core cycles. The model
+// computes the window's achievable IPC from the benchmark's instruction mix
+// and memory behaviour, then translates utilization into the activity of
+// each of the 30 floorplan blocks (ALUs see integer issue, the LSU sees
+// loads/stores, the L2 sees L1 misses, and so on). The result is a
+// workload.Trace, so the rest of the pipeline — power model, grid transient,
+// placement — is source-agnostic; experiments.Config selects the source.
+package uarch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/workload"
+)
+
+// Mix is an instruction-class breakdown; fractions must sum to 1.
+type Mix struct {
+	Int    float64 // integer ALU ops
+	FP     float64 // floating-point ops
+	Load   float64
+	Store  float64
+	Branch float64
+}
+
+// Sum returns the total fraction (1.0 for a valid mix).
+func (m Mix) Sum() float64 { return m.Int + m.FP + m.Load + m.Store + m.Branch }
+
+// Validate checks the mix is a distribution.
+func (m Mix) Validate() error {
+	for _, v := range []float64{m.Int, m.FP, m.Load, m.Store, m.Branch} {
+		if v < 0 {
+			return fmt.Errorf("uarch: negative mix component in %+v", m)
+		}
+	}
+	if s := m.Sum(); math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("uarch: mix sums to %v, want 1", s)
+	}
+	return nil
+}
+
+// CoreParams describes the modeled core (Xeon-E5-class out-of-order).
+type CoreParams struct {
+	IssueWidth     int     // max instructions issued per cycle
+	IntUnits       int     // ALU count (alu0..2)
+	FPUnits        int     // FPU count
+	LoadStoreUnits int     // LSU ports
+	L1SizeKB       float64 // L1D capacity
+	L2SizeKB       float64 // per-core L2 slice capacity
+	L1Latency      float64 // cycles (hidden by OoO, kept for completeness)
+	L2Latency      float64 // cycles exposed on L1 miss (partially hidden)
+	MemLatency     float64 // cycles exposed on L2 miss
+	MispredictCost float64 // flush penalty, cycles
+	WindowCycles   int     // core cycles per simulation step
+}
+
+// DefaultCore returns the 2.5 GHz Xeon-E5-like core of the experiments.
+func DefaultCore() CoreParams {
+	return CoreParams{
+		IssueWidth:     4,
+		IntUnits:       3,
+		FPUnits:        2,
+		LoadStoreUnits: 2,
+		L1SizeKB:       32,
+		L2SizeKB:       256,
+		L1Latency:      4,
+		L2Latency:      12,
+		MemLatency:     180,
+		MispredictCost: 15,
+		WindowCycles:   1000,
+	}
+}
+
+// BenchModel is the microarchitectural characterization of one benchmark:
+// its instruction mix, parallelism, memory footprint and control behaviour
+// per program phase.
+type BenchModel struct {
+	Name string
+	Seed int64
+
+	MixCompute  Mix     // mix during compute phases
+	MixMemory   Mix     // mix during memory phases
+	ILP         float64 // achievable instructions per cycle ignoring memory, <= IssueWidth
+	WSComputeKB float64 // working set during compute phases
+	WSMemoryKB  float64 // working set during memory phases
+	MPKI        float64 // branch mispredictions per kilo-instruction
+	PhaseLen    int     // mean phase dwell in steps
+	SerialFrac  float64
+}
+
+// Characterize derives a BenchModel from the coarse workload profile, so
+// the 19 synthetic benchmarks exist consistently in both trace sources.
+func Characterize(b workload.Benchmark) BenchModel {
+	p := b.Profile
+	fpShare := 0.45 * p.FPWeight
+	memShare := 0.15 + 0.25*p.MemWeight
+	intShare := 1 - fpShare - memShare - 0.12 // branches fixed at 12%
+	loads := memShare * 0.7
+	stores := memShare * 0.3
+	return BenchModel{
+		Name: b.Name,
+		Seed: b.Seed,
+		MixCompute: Mix{
+			Int: intShare, FP: fpShare,
+			Load: loads, Store: stores, Branch: 0.12,
+		},
+		MixMemory: Mix{
+			Int: intShare * 0.7, FP: fpShare * 0.5,
+			Load: loads + 0.15*intShare + 0.3*fpShare, Store: stores + 0.15*intShare + 0.2*fpShare,
+			Branch: 0.12,
+		},
+		ILP:         1.5 + 2.0*(1-p.MemWeight),
+		WSComputeKB: 16 + 48*p.MemWeight,
+		WSMemoryKB:  256 + 8192*p.MemWeight,
+		MPKI:        2 + 10*p.Burstiness,
+		PhaseLen:    p.PhaseLen,
+		SerialFrac:  p.SerialFrac,
+	}
+}
+
+// missRate estimates a cache miss rate from working set vs capacity with
+// the standard exponential capacity model.
+func missRate(wsKB, capKB float64) float64 {
+	if wsKB <= 0 {
+		return 0
+	}
+	return math.Exp(-3 * capKB / wsKB)
+}
+
+// WindowStats is the performance summary of one simulated window.
+type WindowStats struct {
+	IPC        float64
+	L1MissRate float64
+	L2MissRate float64
+	MemStallFr float64 // fraction of window cycles stalled on memory
+}
+
+// evalWindow computes achievable IPC and activity drivers for one window.
+func evalWindow(core CoreParams, mix Mix, ilp, wsKB, mpki float64) WindowStats {
+	// Structural limits per instruction class.
+	memFrac := mix.Load + mix.Store
+	limits := []float64{
+		float64(core.IssueWidth),
+		ilp,
+	}
+	if mix.Int > 0 {
+		limits = append(limits, float64(core.IntUnits)/mix.Int)
+	}
+	if mix.FP > 0 {
+		limits = append(limits, float64(core.FPUnits)/mix.FP)
+	}
+	if memFrac > 0 {
+		limits = append(limits, float64(core.LoadStoreUnits)/memFrac)
+	}
+	ipcCore := limits[0]
+	for _, l := range limits[1:] {
+		if l < ipcCore {
+			ipcCore = l
+		}
+	}
+
+	l1Miss := missRate(wsKB, core.L1SizeKB)
+	l2Miss := missRate(wsKB, core.L2SizeKB)
+	// Average memory stall per instruction: L1 misses pay a partially
+	// hidden L2 latency; L2 misses pay a mostly exposed memory latency.
+	stallPerInst := memFrac * l1Miss * (0.3*core.L2Latency + l2Miss*0.7*core.MemLatency)
+	// Branch flush cost per instruction.
+	stallPerInst += mpki / 1000 * core.MispredictCost
+
+	// cycles per instruction = core CPI + stalls.
+	cpi := 1/ipcCore + stallPerInst
+	ipc := 1 / cpi
+
+	memStall := stallPerInst / cpi
+	return WindowStats{IPC: ipc, L1MissRate: l1Miss, L2MissRate: l2Miss, MemStallFr: memStall}
+}
+
+// Generate produces a workload.Trace for bench on chip using the
+// performance model. The same arguments always produce the same trace;
+// distinct run values give independent executions.
+func Generate(chip *floorplan.Chip, bench workload.Benchmark, steps, run int) *Trace {
+	core := DefaultCore()
+	bm := Characterize(bench)
+	nb := chip.NumBlocks()
+	tr := &Trace{Trace: workload.Trace{
+		Benchmark: bench.Name,
+		Steps:     steps,
+		Activity:  make([][]float64, nb),
+		Gated:     make([][]bool, nb),
+		Phases:    make([][]workload.Phase, len(chip.Cores)),
+	}}
+	for i := range tr.Activity {
+		tr.Activity[i] = make([]float64, steps)
+		tr.Gated[i] = make([]bool, steps)
+	}
+	for c := range tr.Phases {
+		tr.Phases[c] = make([]workload.Phase, steps)
+	}
+	tr.IPC = make([][]float64, len(chip.Cores))
+
+	for _, c := range chip.Cores {
+		rng := rand.New(rand.NewSource(bm.Seed*2_000_003 + int64(c.Index)*7907 + int64(run)*104659))
+		ipcRow := make([]float64, steps)
+		phase := workload.PhaseMixed
+		dwell := 1 + rng.Intn(bm.PhaseLen)
+		gated := make([]bool, len(c.Blocks))
+		idleFor := make([]int, len(c.Blocks))
+
+		for t := 0; t < steps; t++ {
+			if dwell--; dwell <= 0 {
+				phase = nextPhase(rng, bm)
+				dwell = 1 + rng.Intn(2*bm.PhaseLen)
+			}
+			tr.Phases[c.Index][t] = phase
+
+			var st WindowStats
+			var mix Mix
+			serial := phase == workload.PhaseSerial
+			switch phase {
+			case workload.PhaseCompute:
+				mix = bm.MixCompute
+				st = evalWindow(core, mix, bm.ILP, bm.WSComputeKB, bm.MPKI)
+			case workload.PhaseMemory:
+				mix = bm.MixMemory
+				st = evalWindow(core, mix, bm.ILP*0.8, bm.WSMemoryKB, bm.MPKI)
+			case workload.PhaseMixed:
+				mix = blendMix(bm.MixCompute, bm.MixMemory, 0.5)
+				st = evalWindow(core, mix, bm.ILP*0.9, (bm.WSComputeKB+bm.WSMemoryKB)/2, bm.MPKI)
+			default: // serial: this core spins at near-zero issue
+				mix = bm.MixCompute
+				st = WindowStats{IPC: 0.05}
+			}
+			// Window-to-window jitter: realized IPC varies with input data.
+			ipc := st.IPC * (1 + 0.08*rng.NormFloat64())
+			if ipc < 0 {
+				ipc = 0
+			}
+			maxIPC := float64(core.IssueWidth)
+			if ipc > maxIPC {
+				ipc = maxIPC
+			}
+			ipcRow[t] = ipc
+			util := ipc / maxIPC
+
+			tr.fillBlocks(c, t, util, mix, st, serial, gated, idleFor, rng)
+		}
+		tr.IPC[c.Index] = ipcRow
+	}
+	return tr
+}
+
+// Trace extends workload.Trace with the performance numbers the model
+// computed, for analysis and tests.
+type Trace struct {
+	workload.Trace
+	IPC [][]float64 // [core][step] achieved instructions per cycle
+}
+
+// fillBlocks maps window utilization onto the 30 per-core blocks.
+func (tr *Trace) fillBlocks(c *floorplan.Core, t int, util float64, mix Mix, st WindowStats,
+	serial bool, gated []bool, idleFor []int, rng *rand.Rand) {
+	memFrac := mix.Load + mix.Store
+	for li, b := range c.Blocks {
+		var a float64
+		switch b.Name {
+		case "fetch", "decode", "rename", "itlb", "l1i":
+			a = util
+		case "branchpred":
+			a = util * (0.6 + 4*mix.Branch)
+		case "int_issueq", "int_regfile":
+			a = util * (mix.Int + mix.Load + mix.Store) * 1.5
+		case "alu0", "alu1", "alu2":
+			a = util * mix.Int * 3.2
+		case "muldiv":
+			a = util * mix.Int * 0.8
+		case "fp_issueq", "fp_regfile":
+			a = util * mix.FP * 2.2
+		case "fpu0", "fpu1":
+			a = util * mix.FP * 2.5
+		case "agu0":
+			a = util * memFrac * 2.0
+		case "rob":
+			a = util * 1.1
+		case "lsu", "loadq", "storeq", "dtlb":
+			a = util * memFrac * 2.4
+		case "l1d_0", "l1d_1":
+			a = util * memFrac * 2.0
+		case "l2_0", "l2_1", "l2_2", "l2_3":
+			a = util*memFrac*st.L1MissRate*12 + 0.05
+		case "prefetch", "mshr":
+			a = util*memFrac*st.L1MissRate*8 + 0.02
+		default:
+			a = util
+		}
+		if a > 1 {
+			a = 1
+		}
+		if a < 0 {
+			a = 0
+		}
+
+		// Power gating: identical policy to package workload — sustained
+		// idle demand gates a gateable block, demand wakes it.
+		demand := a
+		if gated[li] {
+			if demand > 0.16 {
+				gated[li] = false
+				idleFor[li] = 0
+			}
+		} else if gateableName(b.Name) {
+			if demand < 0.08 {
+				idleFor[li]++
+				if idleFor[li] >= 8 && rng.Float64() < 0.25 {
+					gated[li] = true
+					idleFor[li] = 0
+				}
+			} else {
+				idleFor[li] = 0
+			}
+		}
+		if serial {
+			// Serial sections gate aggressively.
+			if gateableName(b.Name) && rng.Float64() < 0.5 {
+				gated[li] = true
+			}
+		}
+		if gated[li] {
+			a = 0
+		}
+		tr.Activity[b.ID][t] = a
+		tr.Gated[b.ID][t] = gated[li]
+	}
+}
+
+func gateableName(name string) bool {
+	switch name {
+	case "l1i", "l1d_0", "l1d_1", "l2_0", "l2_1", "l2_2", "l2_3":
+		return false
+	default:
+		return true
+	}
+}
+
+func blendMix(a, b Mix, w float64) Mix {
+	m := Mix{
+		Int:    a.Int*(1-w) + b.Int*w,
+		FP:     a.FP*(1-w) + b.FP*w,
+		Load:   a.Load*(1-w) + b.Load*w,
+		Store:  a.Store*(1-w) + b.Store*w,
+		Branch: a.Branch*(1-w) + b.Branch*w,
+	}
+	// Renormalize roundoff.
+	s := m.Sum()
+	m.Int /= s
+	m.FP /= s
+	m.Load /= s
+	m.Store /= s
+	m.Branch /= s
+	return m
+}
+
+func nextPhase(rng *rand.Rand, bm BenchModel) workload.Phase {
+	if rng.Float64() < bm.SerialFrac {
+		return workload.PhaseSerial
+	}
+	r := rng.Float64()
+	memP := 0.2 + 0.4*missRate(bm.WSMemoryKB, 512)
+	switch {
+	case r < memP:
+		return workload.PhaseMemory
+	case r < memP+0.45:
+		return workload.PhaseCompute
+	default:
+		return workload.PhaseMixed
+	}
+}

@@ -1,0 +1,185 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/mat"
+	"voltsense/internal/workload"
+)
+
+func testChip() *floorplan.Chip { return floorplan.New(floorplan.DefaultConfig()) }
+
+func benchByName(t *testing.T, name string) workload.Benchmark {
+	t.Helper()
+	for _, b := range workload.Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no benchmark %q", name)
+	return workload.Benchmark{}
+}
+
+func TestCharacterizeMixesAreDistributions(t *testing.T) {
+	for _, b := range workload.Benchmarks() {
+		bm := Characterize(b)
+		if err := bm.MixCompute.Validate(); err != nil {
+			t.Errorf("%s compute mix: %v", b.Name, err)
+		}
+		if err := bm.MixMemory.Validate(); err != nil {
+			t.Errorf("%s memory mix: %v", b.Name, err)
+		}
+		if bm.ILP <= 0 || bm.ILP > float64(DefaultCore().IssueWidth) {
+			t.Errorf("%s ILP %v out of range", b.Name, bm.ILP)
+		}
+	}
+}
+
+func TestEvalWindowPhysicalBounds(t *testing.T) {
+	core := DefaultCore()
+	for _, b := range workload.Benchmarks() {
+		bm := Characterize(b)
+		st := evalWindow(core, bm.MixCompute, bm.ILP, bm.WSComputeKB, bm.MPKI)
+		if st.IPC <= 0 || st.IPC > float64(core.IssueWidth) {
+			t.Errorf("%s IPC %v out of (0, %d]", b.Name, st.IPC, core.IssueWidth)
+		}
+		if st.L1MissRate < 0 || st.L1MissRate > 1 || st.L2MissRate < 0 || st.L2MissRate > 1 {
+			t.Errorf("%s miss rates out of range: %+v", b.Name, st)
+		}
+		if st.MemStallFr < 0 || st.MemStallFr > 1 {
+			t.Errorf("%s stall fraction %v", b.Name, st.MemStallFr)
+		}
+	}
+}
+
+func TestMemoryBoundBenchmarkHasLowerIPC(t *testing.T) {
+	core := DefaultCore()
+	comp := Characterize(benchByName(t, "swaptions")) // compute-bound
+	memb := Characterize(benchByName(t, "canneal"))   // memory-bound
+	ipcComp := evalWindow(core, comp.MixCompute, comp.ILP, comp.WSComputeKB, comp.MPKI).IPC
+	ipcMem := evalWindow(core, memb.MixMemory, memb.ILP*0.8, memb.WSMemoryKB, memb.MPKI).IPC
+	if ipcMem >= ipcComp {
+		t.Fatalf("canneal memory-phase IPC %v >= swaptions compute-phase IPC %v", ipcMem, ipcComp)
+	}
+	if ipcMem > 1.5 {
+		t.Errorf("memory-bound IPC %v implausibly high", ipcMem)
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	chip := testChip()
+	b := workload.Benchmarks()[0]
+	tr1 := Generate(chip, b, 150, 3)
+	tr2 := Generate(chip, b, 150, 3)
+	if len(tr1.Activity) != chip.NumBlocks() {
+		t.Fatalf("activity rows %d", len(tr1.Activity))
+	}
+	for i := range tr1.Activity {
+		for j := range tr1.Activity[i] {
+			a := tr1.Activity[i][j]
+			if a < 0 || a > 1 || math.IsNaN(a) {
+				t.Fatalf("activity[%d][%d] = %v", i, j, a)
+			}
+			if a != tr2.Activity[i][j] {
+				t.Fatal("trace not deterministic")
+			}
+		}
+	}
+	for c := range tr1.IPC {
+		if len(tr1.IPC[c]) != 150 {
+			t.Fatalf("IPC row %d length %d", c, len(tr1.IPC[c]))
+		}
+		for _, v := range tr1.IPC[c] {
+			if v < 0 || v > float64(DefaultCore().IssueWidth) {
+				t.Fatalf("IPC %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestGatedBlocksHaveZeroActivity(t *testing.T) {
+	chip := testChip()
+	tr := Generate(chip, benchByName(t, "canneal"), 500, 0)
+	for i := range tr.Activity {
+		for j := range tr.Activity[i] {
+			if tr.Gated[i][j] && tr.Activity[i][j] != 0 {
+				t.Fatalf("gated block %d active at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCachesNeverGated(t *testing.T) {
+	chip := testChip()
+	tr := Generate(chip, benchByName(t, "swaptions"), 800, 0)
+	for _, b := range chip.Blocks {
+		switch b.Name {
+		case "l1i", "l1d_0", "l1d_1", "l2_0", "l2_1", "l2_2", "l2_3":
+			for j, g := range tr.Gated[b.ID] {
+				if g {
+					t.Fatalf("cache %s gated at step %d", b.Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFPvsMemoryActivityContrast(t *testing.T) {
+	chip := testChip()
+	steps := 1500
+	fpTr := Generate(chip, benchByName(t, "swaptions"), steps, 0)
+	memTr := Generate(chip, benchByName(t, "canneal"), steps, 0)
+
+	meanOf := func(tr *Trace, name string) float64 {
+		var s float64
+		var n int
+		for _, b := range chip.Blocks {
+			if b.Name == name {
+				s += mat.Mean(tr.Activity[b.ID])
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if fp, mem := meanOf(fpTr, "fpu0"), meanOf(memTr, "fpu0"); fp <= mem {
+		t.Errorf("FPU activity: swaptions %.3f <= canneal %.3f", fp, mem)
+	}
+	if mem, fp := meanOf(memTr, "l2_0"), meanOf(fpTr, "l2_0"); mem <= fp {
+		t.Errorf("L2 activity: canneal %.3f <= swaptions %.3f", mem, fp)
+	}
+}
+
+func TestMixValidateCatchesErrors(t *testing.T) {
+	bad := Mix{Int: 0.5, FP: 0.2}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected sum error")
+	}
+	neg := Mix{Int: -0.1, FP: 0.5, Load: 0.3, Store: 0.2, Branch: 0.1}
+	if err := neg.Validate(); err == nil {
+		t.Error("expected negativity error")
+	}
+}
+
+func TestMissRateMonotone(t *testing.T) {
+	// Larger working sets miss more; larger caches miss less.
+	if missRate(64, 32) <= missRate(32, 32) {
+		t.Error("miss rate not increasing in working set")
+	}
+	if missRate(64, 256) >= missRate(64, 32) {
+		t.Error("miss rate not decreasing in capacity")
+	}
+	if missRate(0, 32) != 0 {
+		t.Error("zero working set should never miss")
+	}
+}
+
+func TestBlendMixNormalized(t *testing.T) {
+	a := Mix{Int: 0.5, FP: 0.2, Load: 0.1, Store: 0.1, Branch: 0.1}
+	b := Mix{Int: 0.1, FP: 0.1, Load: 0.4, Store: 0.3, Branch: 0.1}
+	m := blendMix(a, b, 0.3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

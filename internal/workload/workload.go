@@ -1,0 +1,291 @@
+// Package workload is the reproduction's stand-in for GEM5 running the
+// PARSEC 2.1 suite: it synthesizes per-block activity traces with the
+// temporal structure that drives supply noise.
+//
+// The paper's pipeline only consumes runtime statistics per function block
+// (later turned into power by McPAT), so the substitution preserves exactly
+// the properties the methodology depends on:
+//
+//   - program phases (compute-bound, memory-bound, mixed, serial sections)
+//     with benchmark-specific dwell times, generating low-frequency power
+//     variation;
+//   - short AR(1)-correlated activity noise, generating mid-frequency
+//     variation;
+//   - power-gating and clock-gating events when a unit goes idle, generating
+//     the large abrupt current swings that cause voltage emergencies.
+//
+// Every benchmark is deterministic given its seed, so the 19 synthetic
+// benchmarks behave like a fixed input set across training and evaluation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voltsense/internal/floorplan"
+)
+
+// Phase is the coarse program phase a core is executing.
+type Phase int
+
+// Program phases.
+const (
+	PhaseCompute Phase = iota // high IPC, execution-unit dominated
+	PhaseMemory               // stalls on memory, LSU/cache dominated
+	PhaseMixed                // balanced
+	PhaseSerial               // this core idles while one core runs the serial section
+	numPhases
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseMemory:
+		return "memory"
+	case PhaseMixed:
+		return "mixed"
+	case PhaseSerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Profile captures how a benchmark exercises the machine. Weights are
+// relative unit utilizations in its dominant phase.
+type Profile struct {
+	FPWeight   float64 // floating-point intensity, 0..1
+	MemWeight  float64 // memory intensity, 0..1
+	Burstiness float64 // amplitude of short-term activity noise, 0..1
+	PhaseLen   int     // mean phase dwell time in steps
+	SerialFrac float64 // fraction of time in serial sections (Amdahl tail)
+	GateAggr   float64 // how aggressively idle units power-gate, 0..1
+}
+
+// Benchmark names one synthetic workload and its machine profile.
+type Benchmark struct {
+	Name    string
+	Seed    int64 // base seed; per-core streams derive from it
+	Profile Profile
+}
+
+// Benchmarks returns the 19 synthetic workloads standing in for the paper's
+// 19 PARSEC 2.1 runs: the 13 PARSEC applications plus 6 large-input
+// variants. Profiles follow the published characterization of the suite
+// (e.g. canneal/streamcluster memory-bound, blackscholes/swaptions
+// FP-compute-bound, dedup pipeline-parallel and bursty).
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{"blackscholes", 101, Profile{FPWeight: 0.9, MemWeight: 0.2, Burstiness: 0.2, PhaseLen: 300, SerialFrac: 0.05, GateAggr: 0.8}},
+		{"bodytrack", 102, Profile{FPWeight: 0.7, MemWeight: 0.4, Burstiness: 0.5, PhaseLen: 150, SerialFrac: 0.15, GateAggr: 0.6}},
+		{"canneal", 103, Profile{FPWeight: 0.1, MemWeight: 0.9, Burstiness: 0.4, PhaseLen: 200, SerialFrac: 0.05, GateAggr: 0.9}},
+		{"dedup", 104, Profile{FPWeight: 0.1, MemWeight: 0.6, Burstiness: 0.8, PhaseLen: 80, SerialFrac: 0.10, GateAggr: 0.7}},
+		{"facesim", 105, Profile{FPWeight: 0.8, MemWeight: 0.5, Burstiness: 0.3, PhaseLen: 250, SerialFrac: 0.10, GateAggr: 0.5}},
+		{"ferret", 106, Profile{FPWeight: 0.5, MemWeight: 0.5, Burstiness: 0.6, PhaseLen: 120, SerialFrac: 0.10, GateAggr: 0.6}},
+		{"fluidanimate", 107, Profile{FPWeight: 0.8, MemWeight: 0.4, Burstiness: 0.4, PhaseLen: 180, SerialFrac: 0.20, GateAggr: 0.6}},
+		{"freqmine", 108, Profile{FPWeight: 0.2, MemWeight: 0.7, Burstiness: 0.3, PhaseLen: 220, SerialFrac: 0.10, GateAggr: 0.7}},
+		{"raytrace", 109, Profile{FPWeight: 0.85, MemWeight: 0.3, Burstiness: 0.3, PhaseLen: 260, SerialFrac: 0.05, GateAggr: 0.7}},
+		{"streamcluster", 110, Profile{FPWeight: 0.4, MemWeight: 0.9, Burstiness: 0.5, PhaseLen: 140, SerialFrac: 0.15, GateAggr: 0.8}},
+		{"swaptions", 111, Profile{FPWeight: 0.95, MemWeight: 0.15, Burstiness: 0.25, PhaseLen: 320, SerialFrac: 0.02, GateAggr: 0.85}},
+		{"vips", 112, Profile{FPWeight: 0.4, MemWeight: 0.5, Burstiness: 0.7, PhaseLen: 100, SerialFrac: 0.10, GateAggr: 0.5}},
+		{"x264", 113, Profile{FPWeight: 0.3, MemWeight: 0.5, Burstiness: 0.9, PhaseLen: 60, SerialFrac: 0.15, GateAggr: 0.6}},
+		// Large-input variants: longer phases, deeper memory pressure.
+		{"blackscholes-L", 114, Profile{FPWeight: 0.9, MemWeight: 0.3, Burstiness: 0.2, PhaseLen: 500, SerialFrac: 0.03, GateAggr: 0.8}},
+		{"canneal-L", 115, Profile{FPWeight: 0.1, MemWeight: 0.95, Burstiness: 0.5, PhaseLen: 350, SerialFrac: 0.05, GateAggr: 0.9}},
+		{"dedup-L", 116, Profile{FPWeight: 0.1, MemWeight: 0.7, Burstiness: 0.85, PhaseLen: 120, SerialFrac: 0.08, GateAggr: 0.7}},
+		{"streamcluster-L", 117, Profile{FPWeight: 0.4, MemWeight: 0.9, Burstiness: 0.5, PhaseLen: 240, SerialFrac: 0.12, GateAggr: 0.8}},
+		{"x264-L", 118, Profile{FPWeight: 0.3, MemWeight: 0.6, Burstiness: 0.95, PhaseLen: 90, SerialFrac: 0.12, GateAggr: 0.6}},
+		{"fluidanimate-L", 119, Profile{FPWeight: 0.8, MemWeight: 0.5, Burstiness: 0.45, PhaseLen: 280, SerialFrac: 0.18, GateAggr: 0.6}},
+	}
+}
+
+// Trace holds per-block activity over time for one benchmark run on a chip.
+//
+// Activity[b][t] in [0, 1] is the switching activity of block b at step t;
+// Gated[b][t] reports whether block b is power-gated at step t (gated blocks
+// have zero activity and near-zero leakage).
+type Trace struct {
+	Benchmark string
+	Steps     int
+	Activity  [][]float64 // [numBlocks][steps]
+	Gated     [][]bool    // [numBlocks][steps]
+	Phases    [][]Phase   // [numCores][steps], for diagnostics
+}
+
+// unitBase is the target utilization of each unit in each phase, before
+// benchmark weighting.
+func unitBase(ph Phase, p Profile) [4]float64 {
+	// Index by floorplan.Unit: Frontend, Execution, Memory, Cache.
+	switch ph {
+	case PhaseCompute:
+		return [4]float64{0.7, 0.55 + 0.4*p.FPWeight*0.5, 0.25 + 0.3*p.MemWeight, 0.25}
+	case PhaseMemory:
+		return [4]float64{0.35, 0.2, 0.6 + 0.35*p.MemWeight, 0.55 + 0.3*p.MemWeight}
+	case PhaseMixed:
+		return [4]float64{0.55, 0.45, 0.45, 0.4}
+	case PhaseSerial:
+		return [4]float64{0.05, 0.02, 0.05, 0.1}
+	default:
+		panic(fmt.Sprintf("workload: unknown phase %v", ph))
+	}
+}
+
+// blockSalience scales unit-level activity down to individual blocks; e.g.
+// in an integer benchmark the FP pipes see very little of the execution
+// unit's activity.
+func blockSalience(b *floorplan.Block, p Profile) float64 {
+	switch b.Name {
+	case "fpu0", "fpu1", "fp_regfile", "fp_issueq":
+		return 0.15 + 0.85*p.FPWeight
+	case "muldiv":
+		return 0.3 + 0.4*p.FPWeight
+	case "alu0", "alu1":
+		return 0.9
+	case "alu2":
+		return 0.6
+	case "lsu", "l1d_0", "l1d_1", "loadq", "storeq", "dtlb":
+		return 0.4 + 0.6*p.MemWeight
+	case "l2_0", "l2_1", "l2_2", "l2_3", "mshr", "prefetch":
+		return 0.3 + 0.7*p.MemWeight
+	default: // frontend and everything else
+		return 0.8
+	}
+}
+
+// gateThreshold is the activity below which a gateable block becomes a
+// candidate for power gating.
+const gateThreshold = 0.08
+
+// gateable reports whether a block may be power-gated at all; caches keep
+// state and are only clock-gated (modeled as activity→0 but leakage stays).
+func gateable(b *floorplan.Block) bool {
+	switch b.Name {
+	case "l1i", "l1d_0", "l1d_1", "l2_0", "l2_1", "l2_2", "l2_3":
+		return false
+	default:
+		return true
+	}
+}
+
+// Generate synthesizes a trace of the given length for bench running on
+// chip. The same (chip, bench, steps, run) arguments always produce the same
+// trace; distinct run values give independent executions of the same
+// benchmark (used to separate training from evaluation data).
+func Generate(chip *floorplan.Chip, bench Benchmark, steps, run int) *Trace {
+	nb := chip.NumBlocks()
+	nc := len(chip.Cores)
+	tr := &Trace{
+		Benchmark: bench.Name,
+		Steps:     steps,
+		Activity:  make([][]float64, nb),
+		Gated:     make([][]bool, nb),
+		Phases:    make([][]Phase, nc),
+	}
+	for i := range tr.Activity {
+		tr.Activity[i] = make([]float64, steps)
+		tr.Gated[i] = make([]bool, steps)
+	}
+	for c := range tr.Phases {
+		tr.Phases[c] = make([]Phase, steps)
+	}
+
+	p := bench.Profile
+	const rho = 0.9 // AR(1) pole for short-term activity noise
+
+	for _, core := range chip.Cores {
+		rng := rand.New(rand.NewSource(bench.Seed*1_000_003 + int64(core.Index)*7919 + int64(run)*104729))
+		phase := PhaseMixed
+		dwell := 1 + rng.Intn(p.PhaseLen)
+		act := make([]float64, len(core.Blocks))   // smoothed activity state
+		gated := make([]bool, len(core.Blocks))    // current gate state
+		idleFor := make([]int, len(core.Blocks))   // consecutive low-activity steps
+		activeFor := make([]int, len(core.Blocks)) // consecutive high-demand steps while gated
+		for i := range act {
+			act[i] = 0.3
+		}
+
+		for t := 0; t < steps; t++ {
+			if dwell--; dwell <= 0 {
+				phase = nextPhase(rng, phase, p)
+				dwell = 1 + rng.Intn(2*p.PhaseLen)
+			}
+			tr.Phases[core.Index][t] = phase
+			base := unitBase(phase, p)
+			for li, b := range core.Blocks {
+				target := base[b.Unit] * blockSalience(b, p)
+				// Short bursts: occasionally spike a block hard (tight loop
+				// entry, DMA burst) scaled by benchmark burstiness.
+				if rng.Float64() < 0.02*p.Burstiness {
+					target = 0.95
+				}
+				noise := rng.NormFloat64() * 0.08 * (0.5 + p.Burstiness)
+				act[li] = rho*act[li] + (1-rho)*target + noise*(1-rho)
+				if act[li] < 0 {
+					act[li] = 0
+				}
+				if act[li] > 1 {
+					act[li] = 1
+				}
+
+				// Power-gating state machine: gate after a sustained idle
+				// period (probabilistically, scaled by aggressiveness);
+				// wake after sustained demand. Wake is fast (a few steps),
+				// gating is slower — matching real gating controllers.
+				demand := target
+				if gated[li] {
+					if demand > gateThreshold*2 {
+						activeFor[li]++
+						if activeFor[li] >= 2 {
+							gated[li] = false
+							activeFor[li] = 0
+							idleFor[li] = 0
+						}
+					} else {
+						activeFor[li] = 0
+					}
+				} else if gateable(b) && p.GateAggr > 0 {
+					if act[li] < gateThreshold && demand < gateThreshold {
+						idleFor[li]++
+						if idleFor[li] >= 8 && rng.Float64() < 0.3*p.GateAggr {
+							gated[li] = true
+							idleFor[li] = 0
+						}
+					} else {
+						idleFor[li] = 0
+					}
+				}
+
+				a := act[li]
+				if gated[li] {
+					a = 0
+				}
+				tr.Activity[b.ID][t] = a
+				tr.Gated[b.ID][t] = gated[li]
+			}
+		}
+	}
+	return tr
+}
+
+// nextPhase advances the per-core phase Markov chain.
+func nextPhase(rng *rand.Rand, cur Phase, p Profile) Phase {
+	r := rng.Float64()
+	// Serial sections occur with probability SerialFrac regardless of the
+	// current phase; otherwise pick by benchmark balance.
+	if cur != PhaseSerial && r < p.SerialFrac {
+		return PhaseSerial
+	}
+	r = rng.Float64()
+	memP := 0.15 + 0.55*p.MemWeight
+	compP := 0.15 + 0.55*(1-p.MemWeight)
+	switch {
+	case r < memP:
+		return PhaseMemory
+	case r < memP+compP:
+		return PhaseCompute
+	default:
+		return PhaseMixed
+	}
+}

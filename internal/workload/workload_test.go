@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/mat"
+)
+
+func testChip() *floorplan.Chip { return floorplan.New(floorplan.DefaultConfig()) }
+
+func TestBenchmarksCount(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 19 {
+		t.Fatalf("benchmarks = %d, want 19 (as in the paper)", len(bs))
+	}
+	seen := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if seeds[b.Seed] {
+			t.Errorf("duplicate seed %d", b.Seed)
+		}
+		seeds[b.Seed] = true
+	}
+}
+
+func TestGenerateShapeAndBounds(t *testing.T) {
+	chip := testChip()
+	tr := Generate(chip, Benchmarks()[0], 200, 0)
+	if len(tr.Activity) != chip.NumBlocks() {
+		t.Fatalf("activity rows = %d, want %d", len(tr.Activity), chip.NumBlocks())
+	}
+	for b, row := range tr.Activity {
+		if len(row) != 200 {
+			t.Fatalf("block %d trace length %d, want 200", b, len(row))
+		}
+		for tstep, v := range row {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("activity[%d][%d] = %v out of [0,1]", b, tstep, v)
+			}
+			if tr.Gated[b][tstep] && v != 0 {
+				t.Fatalf("gated block %d has activity %v at step %d", b, v, tstep)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	chip := testChip()
+	b := Benchmarks()[3]
+	a := Generate(chip, b, 150, 7)
+	c := Generate(chip, b, 150, 7)
+	for i := range a.Activity {
+		for j := range a.Activity[i] {
+			if a.Activity[i][j] != c.Activity[i][j] {
+				t.Fatalf("trace not deterministic at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestDistinctRunsDiffer(t *testing.T) {
+	chip := testChip()
+	b := Benchmarks()[0]
+	a := Generate(chip, b, 150, 0)
+	c := Generate(chip, b, 150, 1)
+	diff := 0
+	for i := range a.Activity {
+		for j := range a.Activity[i] {
+			if a.Activity[i][j] != c.Activity[i][j] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different runs produced identical traces")
+	}
+}
+
+func TestDistinctBenchmarksDiffer(t *testing.T) {
+	chip := testChip()
+	bs := Benchmarks()
+	a := Generate(chip, bs[0], 100, 0)
+	c := Generate(chip, bs[2], 100, 0)
+	same := 0
+	total := 0
+	for i := range a.Activity {
+		for j := range a.Activity[i] {
+			total++
+			if a.Activity[i][j] == c.Activity[i][j] {
+				same++
+			}
+		}
+	}
+	if same == total {
+		t.Fatal("different benchmarks produced identical traces")
+	}
+}
+
+func TestFPBenchmarkExercisesFPU(t *testing.T) {
+	chip := testChip()
+	bs := Benchmarks()
+	var fpBench, memBench Benchmark
+	for _, b := range bs {
+		if b.Name == "swaptions" {
+			fpBench = b
+		}
+		if b.Name == "canneal" {
+			memBench = b
+		}
+	}
+	steps := 2000
+	fpTrace := Generate(chip, fpBench, steps, 0)
+	memTrace := Generate(chip, memBench, steps, 0)
+
+	fpuMean := func(tr *Trace) float64 {
+		var s float64
+		var n int
+		for _, b := range chip.Blocks {
+			if b.Name == "fpu0" || b.Name == "fpu1" {
+				s += mat.Mean(tr.Activity[b.ID])
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if fp, mem := fpuMean(fpTrace), fpuMean(memTrace); fp <= mem {
+		t.Errorf("FPU activity: swaptions %.3f <= canneal %.3f; FP benchmark should drive FPUs harder", fp, mem)
+	}
+
+	l2Mean := func(tr *Trace) float64 {
+		var s float64
+		var n int
+		for _, b := range chip.Blocks {
+			if b.Unit == floorplan.Cache {
+				s += mat.Mean(tr.Activity[b.ID])
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if mem, fp := l2Mean(memTrace), l2Mean(fpTrace); mem <= fp {
+		t.Errorf("cache activity: canneal %.3f <= swaptions %.3f; memory benchmark should drive caches harder", mem, fp)
+	}
+}
+
+func TestGatingEventsOccur(t *testing.T) {
+	chip := testChip()
+	tr := Generate(chip, Benchmarks()[2], 3000, 0) // canneal: high GateAggr, low FP
+	transitions := 0
+	for _, row := range tr.Gated {
+		for j := 1; j < len(row); j++ {
+			if row[j] != row[j-1] {
+				transitions++
+			}
+		}
+	}
+	if transitions == 0 {
+		t.Fatal("no power-gating transitions in 3000 steps; current swings need gating events")
+	}
+}
+
+func TestCachesNeverPowerGated(t *testing.T) {
+	chip := testChip()
+	tr := Generate(chip, Benchmarks()[10], 2000, 0) // swaptions gates hard
+	for _, b := range chip.Blocks {
+		if b.Name == "l1d_0" || b.Name == "l2_0" || b.Name == "l1i" {
+			for tstep, g := range tr.Gated[b.ID] {
+				if g {
+					t.Fatalf("cache block %s power-gated at step %d", b.Name, tstep)
+				}
+			}
+		}
+	}
+}
+
+func TestActivityTemporalCorrelation(t *testing.T) {
+	// Supply-noise prediction relies on temporally correlated activity;
+	// verify lag-1 autocorrelation is clearly positive for active blocks.
+	chip := testChip()
+	tr := Generate(chip, Benchmarks()[0], 2000, 0)
+	row := tr.Activity[chip.Cores[0].Blocks[14].ID] // alu0
+	var x, y []float64
+	for j := 1; j < len(row); j++ {
+		x = append(x, row[j-1])
+		y = append(y, row[j])
+	}
+	if c := mat.Correlation(x, y); c < 0.5 {
+		t.Errorf("lag-1 autocorrelation = %.3f, want > 0.5", c)
+	}
+}
+
+func TestSerialPhasesAppear(t *testing.T) {
+	chip := testChip()
+	var fluid Benchmark
+	for _, b := range Benchmarks() {
+		if b.Name == "fluidanimate" { // SerialFrac 0.20
+			fluid = b
+		}
+	}
+	tr := Generate(chip, fluid, 5000, 0)
+	serial := 0
+	for _, phases := range tr.Phases {
+		for _, p := range phases {
+			if p == PhaseSerial {
+				serial++
+			}
+		}
+	}
+	if serial == 0 {
+		t.Fatal("no serial phases in fluidanimate; Amdahl sections drive whole-core gating")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseSerial.String() != "serial" {
+		t.Error("Phase.String wrong")
+	}
+	if Phase(42).String() == "" {
+		t.Error("unknown phase should stringify")
+	}
+}

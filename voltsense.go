@@ -1,0 +1,304 @@
+// Package voltsense reproduces "A Statistical Methodology for Noise Sensor
+// Placement and Full-Chip Voltage Map Generation" (Liu, Sun, Zhou, Li, Qian
+// — DAC 2015) as a self-contained Go library.
+//
+// The methodology places a small set of voltage-noise sensors in the blank
+// area of a chip by solving a group-lasso feature-selection problem over
+// simulated voltage maps, then refits an unbiased ordinary-least-squares
+// model that predicts — at runtime, from only those sensors — the supply
+// voltage of every function block (and, extended, the full-chip voltage
+// map), enabling voltage-emergency detection with far fewer misses than
+// threshold-only placements such as Eagle-Eye (ICCAD 2013).
+//
+// Two levels of API are exposed:
+//
+//   - The turn-key pipeline (NewPipeline with DefaultConfig/QuickConfig):
+//     builds the 8-core chip model, synthesizes the 19 PARSEC-like
+//     workloads, runs power-grid transient simulation, and regenerates every
+//     table and figure of the paper (Table1, Table2, Figure1..Figure4
+//     methods on Pipeline).
+//
+//   - The methodology on your own data (PlaceSensors, BuildPredictor,
+//     SweepLambda): bring an M-by-N matrix of candidate-sensor voltage
+//     samples and a K-by-N matrix of monitored-node voltage samples, get
+//     back a sensor set and a runtime predictor.
+//
+// All numerics — dense/banded/sparse linear algebra, the FISTA and
+// block-coordinate-descent group-lasso solvers, the backward-Euler power
+// grid engine — are implemented in this module with no dependencies beyond
+// the standard library.
+package voltsense
+
+import (
+	"io"
+
+	"voltsense/internal/core"
+	"voltsense/internal/detect"
+	"voltsense/internal/eagleeye"
+	"voltsense/internal/experiments"
+	"voltsense/internal/floorplan"
+	"voltsense/internal/grid"
+	"voltsense/internal/lasso"
+	"voltsense/internal/mat"
+	"voltsense/internal/monitor"
+	"voltsense/internal/pdn"
+	"voltsense/internal/power"
+	"voltsense/internal/sensor"
+	"voltsense/internal/thermal"
+	"voltsense/internal/traceio"
+	"voltsense/internal/uarch"
+	"voltsense/internal/vmap"
+	"voltsense/internal/workload"
+)
+
+// Matrix is the dense row-major matrix type used throughout the API.
+// Data matrices follow the paper's layout: rows are variables (sensor
+// candidates or monitored nodes), columns are samples.
+type Matrix = mat.Matrix
+
+// NewMatrix wraps a row-major data slice as an r-by-c matrix (aliasing it).
+func NewMatrix(r, c int, data []float64) *Matrix { return mat.New(r, c, data) }
+
+// ZeroMatrix allocates an r-by-c zero matrix.
+func ZeroMatrix(r, c int) *Matrix { return mat.Zeros(r, c) }
+
+// MatrixFromRows copies a slice of equal-length rows into a matrix.
+func MatrixFromRows(rows [][]float64) *Matrix { return mat.FromRows(rows) }
+
+// --- The methodology on caller-supplied data (paper Sections 2.2-2.4) ---
+
+// Dataset pairs candidate-sensor samples (X, M-by-N) with monitored-node
+// samples (F, K-by-N).
+type Dataset = core.Dataset
+
+// PlacementConfig parameterizes sensor selection: the group-lasso budget λ,
+// the selection threshold T (DefaultThreshold when zero) and solver options.
+type PlacementConfig = core.Config
+
+// Placement is a solved sensor selection: chosen candidate indices plus the
+// per-candidate group norms behind the choice.
+type Placement = core.Placement
+
+// Predictor is the runtime model of the paper's Eq. 20.
+type Predictor = core.Predictor
+
+// SweepPoint is one λ of a placement/accuracy tradeoff sweep.
+type SweepPoint = core.SweepPoint
+
+// DefaultThreshold is the paper's T = 1e-3 group-norm selection cut.
+const DefaultThreshold = core.DefaultThreshold
+
+// SolverOptions tunes the group-lasso solvers.
+type SolverOptions = lasso.Options
+
+// PlaceSensors selects sensors from ds.X's candidates via group lasso
+// (paper Eq. 12, Steps 0-5).
+func PlaceSensors(ds *Dataset, cfg PlacementConfig) (*Placement, error) {
+	return core.PlaceSensors(ds, cfg)
+}
+
+// BuildPredictor refits the unbiased OLS runtime model on the selected
+// sensors (paper Eq. 17, Steps 6-8).
+func BuildPredictor(ds *Dataset, selected []int) (*Predictor, error) {
+	return core.BuildPredictor(ds, selected)
+}
+
+// SweepLambda runs the Section 2.4 workflow over a λ grid, scoring each
+// point's prediction error on held-out data.
+func SweepLambda(train, test *Dataset, lambdas []float64, cfg PlacementConfig) ([]SweepPoint, error) {
+	return core.SweepLambda(train, test, lambdas, cfg)
+}
+
+// --- Emergency detection and the Eagle-Eye baseline (Section 3.2) ---
+
+// DetectionRates aggregates the paper's miss-error, wrong-alarm-error and
+// total-error rates.
+type DetectionRates = detect.Rates
+
+// DefaultVth is the paper's 0.85 V emergency threshold at VDD = 1.0 V.
+const DefaultVth = detect.DefaultVth
+
+// EmergencyTruth flags each sample (column) whose monitored voltages cross
+// below vth.
+func EmergencyTruth(voltages *Matrix, vth float64) []bool {
+	return detect.TruthFromVoltages(voltages, vth)
+}
+
+// PredictionAlarms flags each sample whose predicted voltages cross below
+// vth — the proposed scheme's alarm rule.
+func PredictionAlarms(pred *Matrix, vth float64) []bool {
+	return detect.AlarmsFromPredictions(pred, vth)
+}
+
+// ScoreDetection compares alarms against truth.
+func ScoreDetection(truth, alarms []bool) DetectionRates { return detect.Score(truth, alarms) }
+
+// EagleEyePlacement is a fitted baseline sensor set.
+type EagleEyePlacement = eagleeye.Placement
+
+// PlaceEagleEye runs the baseline's greedy emergency-coverage placement.
+func PlaceEagleEye(x, f *Matrix, vth float64, q int) *EagleEyePlacement {
+	return eagleeye.Place(x, f, vth, q)
+}
+
+// --- Full-chip voltage map generation (the title's second half) ---
+
+// MapGenerator reconstructs full-chip voltage maps from the placed sensors.
+type MapGenerator = vmap.Generator
+
+// TrainMapGenerator fits a map generator from selected-sensor samples
+// (Q-by-N) to full-map samples (nodes-by-N).
+func TrainMapGenerator(sensorX, nodeV *Matrix) (*MapGenerator, error) {
+	return vmap.Train(sensorX, nodeV)
+}
+
+// RenderMap draws a voltage map as an ASCII heat field on the [lo, hi] volt
+// scale.
+func RenderMap(g *Grid, v []float64, lo, hi float64) string { return vmap.Render(g, v, lo, hi) }
+
+// --- Substrate types for callers who build their own data ---
+
+// Chip is a floorplan: cores, function blocks, FA/BA partition.
+type Chip = floorplan.Chip
+
+// FloorplanConfig parameterizes chip construction.
+type FloorplanConfig = floorplan.Config
+
+// NewChip builds a chip floorplan.
+func NewChip(cfg FloorplanConfig) *Chip { return floorplan.New(cfg) }
+
+// DefaultFloorplan returns the 8-core Xeon-E5-like chip of the experiments.
+func DefaultFloorplan() FloorplanConfig { return floorplan.DefaultConfig() }
+
+// Grid is a power-delivery mesh over a chip.
+type Grid = grid.Grid
+
+// GridConfig parameterizes the mesh.
+type GridConfig = grid.Config
+
+// BuildGrid constructs the mesh.
+func BuildGrid(chip *Chip, cfg GridConfig) *Grid { return grid.Build(chip, cfg) }
+
+// DefaultGrid returns the experiments' mesh parameters.
+func DefaultGrid() GridConfig { return grid.DefaultConfig() }
+
+// Simulator integrates the power grid through time.
+type Simulator = pdn.Simulator
+
+// NewSimulator assembles and factors the transient system at step dt.
+func NewSimulator(g *Grid, dt float64) (*Simulator, error) { return pdn.NewSimulator(g, dt) }
+
+// Benchmark is one synthetic workload.
+type Benchmark = workload.Benchmark
+
+// Benchmarks returns the 19 PARSEC-like workloads.
+func Benchmarks() []Benchmark { return workload.Benchmarks() }
+
+// PowerModel converts activity to block supply currents.
+type PowerModel = power.Model
+
+// DefaultPowerModel builds the 22 nm-class per-block power model.
+func DefaultPowerModel(chip *Chip) *PowerModel { return power.DefaultModel(chip) }
+
+// SavePredictor writes a fitted runtime model as versioned JSON for
+// deployment; LoadPredictor reads it back.
+func SavePredictor(w io.Writer, p *Predictor) error { return p.Save(w) }
+
+// LoadPredictor reads a model written by SavePredictor.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }
+
+// --- Runtime monitoring (dynamic noise management) ---
+
+// Monitor tracks per-block emergencies from streaming sensor readings with
+// hysteresis and throttle hooks — the runtime loop around Eq. 20.
+type Monitor = monitor.Monitor
+
+// MonitorConfig tunes the alarm state machine.
+type MonitorConfig = monitor.Config
+
+// MonitorEvent is one emergency state transition.
+type MonitorEvent = monitor.Event
+
+// ThrottleFunc adapts a function to the monitor's throttle hook.
+type ThrottleFunc = monitor.ThrottleFunc
+
+// NewMonitor builds a runtime monitor over any predictor with k block
+// outputs.
+func NewMonitor(pred monitor.Predictor, k int, cfg MonitorConfig, th monitor.Throttler) (*Monitor, error) {
+	return monitor.New(pred, k, cfg, th)
+}
+
+// --- Dataset persistence ---
+
+// WriteDatasetCSV persists a dataset as two CSV streams (one row per
+// sample), for interchange with external tools.
+func WriteDatasetCSV(xw, fw io.Writer, ds *Dataset, xNames, fNames []string) error {
+	return traceio.WriteDataset(xw, fw, &traceio.Dataset{X: ds.X, F: ds.F}, xNames, fNames)
+}
+
+// ReadDatasetCSV loads a dataset written by WriteDatasetCSV (or any
+// header-plus-row-per-sample CSV pair with matching sample counts).
+func ReadDatasetCSV(xr, fr io.Reader) (*Dataset, error) {
+	d, err := traceio.ReadDataset(xr, fr)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{X: d.X, F: d.F}, nil
+}
+
+// --- Physical extensions: sensors, heat, microarchitecture ---
+
+// SensorModel describes a physical sensor's transfer characteristic:
+// offset, gain, noise, ADC quantization.
+type SensorModel = sensor.Model
+
+// SensorArray applies per-instance sensor models (with fabrication spread)
+// to reading vectors.
+type SensorArray = sensor.Array
+
+// IdealSensor returns a perfect sensor model.
+func IdealSensor() SensorModel { return sensor.Ideal() }
+
+// NewSensorArray instantiates n sensors from a base model plus fabrication
+// variation, deterministically from seed.
+func NewSensorArray(n int, base SensorModel, v sensor.Variation, seed int64) (*SensorArray, error) {
+	return sensor.NewArray(n, base, v, seed)
+}
+
+// ThermalModel is the block-granularity temperature network with leakage
+// feedback.
+type ThermalModel = thermal.Model
+
+// NewThermalModel assembles the thermal network for a chip.
+func NewThermalModel(chip *Chip, cfg thermal.Config) (*ThermalModel, error) {
+	return thermal.New(chip, cfg)
+}
+
+// DefaultThermal returns 22 nm-plausible packaging parameters.
+func DefaultThermal() thermal.Config { return thermal.DefaultConfig() }
+
+// GenerateUarchTrace synthesizes a workload trace from the
+// microarchitectural performance model (instruction mix, issue limits,
+// cache misses) instead of the default phase generator.
+func GenerateUarchTrace(chip *Chip, bench Benchmark, steps, run int) *uarch.Trace {
+	return uarch.Generate(chip, bench, steps, run)
+}
+
+// --- The turn-key experimental pipeline ---
+
+// Pipeline is the end-to-end substrate that regenerates the paper's
+// evaluation; see its Table1, Table2, Figure1-Figure4 methods.
+type Pipeline = experiments.Pipeline
+
+// PipelineConfig sizes the pipeline.
+type PipelineConfig = experiments.Config
+
+// DefaultConfig mirrors the paper's experimental scale (minutes to build).
+func DefaultConfig() PipelineConfig { return experiments.DefaultConfig() }
+
+// QuickConfig is the reduced pipeline for exploration (seconds to build).
+func QuickConfig() PipelineConfig { return experiments.QuickConfig() }
+
+// NewPipeline builds a pipeline: chip, workloads, transient simulations,
+// training and held-out voltage maps.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return experiments.New(cfg) }
