@@ -1,0 +1,111 @@
+// Command voltserved serves a fitted voltsense runtime model over HTTP: the
+// online half of the DAC 2015 methodology. Train and save a model with
+// cmd/sensorplace, then:
+//
+//	voltserved -model model.json -vth 0.95 -addr :8080
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/predict   batched inference, sensor readings → block voltages
+//	POST /v1/stream    NDJSON session, one cycle per line → alarm events
+//	GET  /healthz      liveness and loaded-model summary
+//	GET  /metrics      Prometheus text metrics
+//	POST /v1/reload    hot-swap the model file (also: kill -HUP)
+//
+// SIGHUP reloads the model atomically without dropping in-flight streams;
+// SIGINT/SIGTERM drain gracefully for -shutdown-grace before force-closing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"voltsense/internal/core"
+	"voltsense/internal/monitor"
+	"voltsense/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "voltserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("voltserved", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "predictor artifact JSON written by sensorplace -model (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	vth := fs.Float64("vth", 0.95, "default emergency threshold for streaming sessions (volts)")
+	clearMargin := fs.Float64("clear-margin", 0, "hysteresis margin above vth to clear an alarm (0 = monitor default)")
+	clearCycles := fs.Int("clear-cycles", 0, "consecutive recovered cycles to clear an alarm (0 = monitor default)")
+	maxBatch := fs.Int("max-batch", 4096, "largest /v1/predict batch accepted")
+	grace := fs.Duration("shutdown-grace", 10*time.Second, "drain time before force-closing streams on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		fs.Usage()
+		return errors.New("-model is required")
+	}
+
+	loader := func() (*core.Predictor, error) {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.LoadPredictor(f)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Loader: loader,
+		Monitor: monitor.Config{
+			Vth:         *vth,
+			ClearMargin: *clearMargin,
+			ClearCycles: *clearCycles,
+		},
+		MaxBatch: *maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("voltserved: model %s loaded (generation %d), listening on %s", *modelPath, srv.Generation(), *addr)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				log.Printf("voltserved: SIGHUP reload failed, previous model still serving: %v", err)
+				continue
+			}
+			log.Printf("voltserved: SIGHUP reloaded %s (generation %d)", *modelPath, srv.Generation())
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("voltserved: %v, draining for up to %v", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("voltserved: grace period expired, force-closed remaining streams: %v", err)
+		}
+		return <-errc
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"voltsense/internal/mat"
 	"voltsense/internal/ols"
@@ -42,7 +43,9 @@ func (p *Predictor) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadPredictor reads a predictor saved by Save, validating its shape.
+// LoadPredictor reads a predictor saved by Save, validating its shape and
+// rejecting non-finite coefficients: a corrupt artifact must fail here, at
+// load time, rather than poison every runtime prediction with NaN/Inf.
 func LoadPredictor(r io.Reader) (*Predictor, error) {
 	var pj predictorJSON
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
@@ -62,12 +65,30 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if len(pj.C) != k {
 		return nil, fmt.Errorf("core: %d intercepts for %d outputs", len(pj.C), k)
 	}
+	for i, s := range pj.Selected {
+		if s < 0 {
+			return nil, fmt.Errorf("core: negative sensor index %d", s)
+		}
+		if i > 0 && s <= pj.Selected[i-1] {
+			return nil, fmt.Errorf("core: sensor indices not strictly ascending at position %d", i)
+		}
+	}
 	alpha := mat.Zeros(k, q)
 	for i, row := range pj.Alpha {
 		if len(row) != q {
 			return nil, fmt.Errorf("core: ragged alpha row %d", i)
 		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: non-finite coefficient alpha[%d][%d] = %v", i, j, v)
+			}
+		}
 		copy(alpha.Row(i), row)
+	}
+	for i, v := range pj.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite intercept c[%d] = %v", i, v)
+		}
 	}
 	sel := make([]int, len(pj.Selected))
 	copy(sel, pj.Selected)

@@ -53,6 +53,15 @@ func TestLoadPredictorRejectsGarbage(t *testing.T) {
 		"shape":        `{"format":"voltsense-predictor/v1","selected_sensors":[0,1],"alpha":[[1]],"c":[0]}`,
 		"ragged":       `{"format":"voltsense-predictor/v1","selected_sensors":[0,1],"alpha":[[1,2],[3]],"c":[0,0]}`,
 		"intercepts":   `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1]],"c":[0,1]}`,
+
+		// Corrupt numerics must fail at load time, not poison predictions.
+		"nan alpha":      `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[NaN]],"c":[0]}`,
+		"inf alpha":      `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1e999]],"c":[0]}`,
+		"inf intercept":  `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1]],"c":[-1e999]}`,
+		"nan intercept":  `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1]],"c":[NaN]}`,
+		"negative index": `{"format":"voltsense-predictor/v1","selected_sensors":[-1,3],"alpha":[[1,1]],"c":[0]}`,
+		"unsorted index": `{"format":"voltsense-predictor/v1","selected_sensors":[3,1],"alpha":[[1,1]],"c":[0]}`,
+		"repeated index": `{"format":"voltsense-predictor/v1","selected_sensors":[3,3],"alpha":[[1,1]],"c":[0]}`,
 	}
 	for name, in := range cases {
 		if _, err := LoadPredictor(strings.NewReader(in)); err == nil {

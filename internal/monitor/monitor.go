@@ -107,7 +107,6 @@ type Monitor struct {
 	inAlarm   []bool
 	recovered []int // consecutive cycles above Vth+margin while in alarm
 	stats     Stats
-	started   bool
 }
 
 // New builds a monitor for a predictor with k output blocks.
@@ -128,19 +127,47 @@ func New(pred Predictor, k int, cfg Config, throttler Throttler) (*Monitor, erro
 	}
 	m.stats.PerBlockAlarms = make([]int, k)
 	m.stats.PerBlockMin = make([]float64, k)
-	for i := range m.stats.PerBlockMin {
+	m.resetStats()
+	return m, nil
+}
+
+func (m *Monitor) resetStats() {
+	m.stats.Cycles = 0
+	m.stats.Alarms = 0
+	m.stats.EmergencyCycles = 0
+	for i := range m.stats.PerBlockAlarms {
+		m.stats.PerBlockAlarms[i] = 0
 		m.stats.PerBlockMin[i] = math.Inf(1)
 	}
 	m.stats.WorstVoltage = math.Inf(1)
 	m.stats.WorstBlock = -1
-	return m, nil
 }
+
+// Reset returns the monitor to its freshly-constructed state — no open
+// alarms, zeroed hysteresis counters, cleared statistics — without
+// reallocating, so serving layers can pool monitors across sessions.
+func (m *Monitor) Reset() {
+	for i := range m.inAlarm {
+		m.inAlarm[i] = false
+		m.recovered[i] = 0
+	}
+	m.resetStats()
+}
+
+// NumBlocks returns the number of blocks the monitor tracks.
+func (m *Monitor) NumBlocks() int { return len(m.inAlarm) }
 
 // Process consumes one cycle's sensor readings and returns the emergency
 // transitions it caused, in block order. The returned slice is nil on quiet
 // cycles.
 func (m *Monitor) Process(cycle int, readings []float64) []Event {
-	f := m.pred.Predict(readings)
+	return m.ProcessPredicted(cycle, m.pred.Predict(readings))
+}
+
+// ProcessPredicted is Process for callers that already evaluated the
+// predictor this cycle (e.g. a serving layer that also streams the voltage
+// map), so the Eq. 20 evaluation is not paid twice.
+func (m *Monitor) ProcessPredicted(cycle int, f []float64) []Event {
 	if len(f) != len(m.inAlarm) {
 		panic(fmt.Sprintf("monitor: predictor returned %d blocks, monitor has %d", len(f), len(m.inAlarm)))
 	}

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"math"
 	"testing"
 )
 
@@ -183,6 +184,65 @@ func TestPredictorSizeMismatchPanics(t *testing.T) {
 		}
 	}()
 	m.Process(0, nil)
+}
+
+func TestResetClearsAllSessionState(t *testing.T) {
+	script := [][]float64{
+		{0.80, 0.78}, // both blocks raise; block 1 is the worst
+		{0.80, 0.90},
+	}
+	m := newMonitor(t, script, Config{Vth: 0.85, ClearCycles: 2}, nil)
+	m.Process(0, nil)
+	m.Process(1, nil)
+	if len(m.ActiveAlarms()) == 0 || m.Stats().Alarms == 0 {
+		t.Fatal("setup failed to open alarms")
+	}
+
+	m.Reset()
+
+	if got := m.ActiveAlarms(); got != nil {
+		t.Errorf("ActiveAlarms after Reset = %v", got)
+	}
+	s := m.Stats()
+	if s.Cycles != 0 || s.Alarms != 0 || s.EmergencyCycles != 0 {
+		t.Errorf("counters survived Reset: %+v", s)
+	}
+	if s.WorstBlock != -1 || !math.IsInf(s.WorstVoltage, 1) {
+		t.Errorf("worst tracking survived Reset: %+v", s)
+	}
+	for b := range s.PerBlockAlarms {
+		if s.PerBlockAlarms[b] != 0 || !math.IsInf(s.PerBlockMin[b], 1) {
+			t.Errorf("per-block state survived Reset: %+v", s)
+		}
+	}
+
+	// A reset monitor must behave identically to a fresh one, including the
+	// hysteresis counters: a dip-recover sequence straddling Reset must not
+	// count pre-Reset recovered cycles.
+	fresh := newMonitor(t, script, Config{Vth: 0.85, ClearCycles: 2}, nil)
+	reused, _ := m.pred.(*scriptedPredictor)
+	reused.cycle = 0
+	for c := range script {
+		got := m.Process(c, nil)
+		want := fresh.Process(c, nil)
+		if len(got) != len(want) {
+			t.Fatalf("cycle %d: reset monitor emitted %v, fresh emitted %v", c, got, want)
+		}
+	}
+	if m.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d", m.NumBlocks())
+	}
+}
+
+func TestProcessPredictedSkipsPredictor(t *testing.T) {
+	m, err := New(nil, 2, Config{Vth: 0.85}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := m.ProcessPredicted(0, []float64{0.80, 0.95})
+	if len(events) != 1 || events[0].Block != 0 || events[0].Kind != AlarmRaised {
+		t.Fatalf("events = %+v", events)
+	}
 }
 
 func TestEventKindString(t *testing.T) {

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"voltsense/internal/core"
+	"voltsense/internal/mat"
+	"voltsense/internal/monitor"
+	"voltsense/internal/ols"
+)
+
+// benchPredictor builds a paper-scale model: 8 sensors predicting 32 blocks.
+func benchPredictor(q, k int) *core.Predictor {
+	alpha := mat.Zeros(k, q)
+	sel := make([]int, q)
+	c := make([]float64, k)
+	for i := 0; i < k; i++ {
+		c[i] = 0.05
+		for j := 0; j < q; j++ {
+			alpha.Set(i, j, 1/float64(q)+0.001*float64(i-j))
+		}
+	}
+	for j := range sel {
+		sel[j] = 2 * j
+	}
+	return &core.Predictor{Selected: sel, Model: &ols.Model{Alpha: alpha, C: c}}
+}
+
+func benchmarkPredict(b *testing.B, batch int) {
+	const q, k = 8, 32
+	s, err := New(Config{
+		Loader:  func() (*core.Predictor, error) { return benchPredictor(q, k), nil },
+		Monitor: monitor.Config{Vth: 0.95},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readings := make([][]float64, batch)
+	for i := range readings {
+		row := make([]float64, q)
+		for j := range row {
+			row[j] = 0.9 + 0.001*float64(i+j)
+		}
+		readings[i] = row
+	}
+	body, err := json.Marshal(predictRequest{Readings: readings})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	// Vectors per second is the serving throughput figure of merit.
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "vectors/s")
+}
+
+func BenchmarkPredictBatch1(b *testing.B)  { benchmarkPredict(b, 1) }
+func BenchmarkPredictBatch64(b *testing.B) { benchmarkPredict(b, 64) }
+
+// BenchmarkStreamCycle measures one monitored NDJSON cycle end to end.
+func BenchmarkStreamCycle(b *testing.B) {
+	const q, k = 8, 32
+	s, err := New(Config{
+		Loader:  func() (*core.Predictor, error) { return benchPredictor(q, k), nil },
+		Monitor: monitor.Config{Vth: 0.95},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	line := `{"readings":[0.99,0.99,0.99,0.99,0.99,0.99,0.99,0.99]}` + "\n"
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.WriteString(line)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	b.StopTimer()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(out, []byte(fmt.Sprintf(`"cycles":%d`, b.N))) {
+		b.Fatalf("stream failed: %d %s", resp.StatusCode, out)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond Eq. 20 evaluations up to pathological multi-second stalls.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // cumulative, one per latencyBuckets entry
+	sum    float64
+	count  uint64
+}
+
+// Observe records one latency sample in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets))
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns a consistent copy for exposition.
+func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	counts = make([]uint64, len(latencyBuckets))
+	copy(counts, h.counts)
+	sum, count = h.sum, h.count
+	h.mu.Unlock()
+	return
+}
+
+// Metrics is the server's dependency-free metric registry. It exposes the
+// Prometheus text format (version 0.0.4) without importing any client
+// library, per the repo's stdlib-only rule.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*Counter   // "path\x00code" → count
+	latency  map[string]*Histogram // path → latency histogram
+
+	ActiveStreams Gauge   // streaming sessions currently open
+	StreamsTotal  Counter // streaming sessions ever opened
+	Predictions   Counter // sensor vectors evaluated (batch + stream)
+	AlarmsRaised  Counter // cumulative raise events across all streams
+	AlarmsCleared Counter // cumulative clear events across all streams
+	Reloads       Counter // successful model hot-swaps
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]*Counter),
+		latency:  make(map[string]*Histogram),
+	}
+}
+
+// ObserveRequest records one completed HTTP request.
+func (m *Metrics) ObserveRequest(path string, code int, d time.Duration) {
+	key := path + "\x00" + strconv.Itoa(code)
+	m.mu.Lock()
+	c := m.requests[key]
+	if c == nil {
+		c = &Counter{}
+		m.requests[key] = c
+	}
+	h := m.latency[path]
+	if h == nil {
+		h = &Histogram{}
+		m.latency[path] = h
+	}
+	m.mu.Unlock()
+	c.Inc()
+	h.Observe(d.Seconds())
+}
+
+// RequestCount returns the recorded count for one path+code pair (testing
+// and health reporting).
+func (m *Metrics) RequestCount(path string, code int) uint64 {
+	m.mu.Lock()
+	c := m.requests[path+"\x00"+strconv.Itoa(code)]
+	m.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format,
+// with series in deterministic order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	reqs := make(map[string]*Counter, len(m.requests))
+	for k, v := range m.requests {
+		reqs[k] = v
+	}
+	lats := make(map[string]*Histogram, len(m.latency))
+	for k, v := range m.latency {
+		lats[k] = v
+	}
+	m.mu.Unlock()
+	sort.Strings(reqKeys)
+	sort.Strings(latKeys)
+
+	fmt.Fprintln(w, "# HELP voltserved_requests_total HTTP requests served, by path and status code.")
+	fmt.Fprintln(w, "# TYPE voltserved_requests_total counter")
+	for _, k := range reqKeys {
+		var path, code string
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				path, code = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "voltserved_requests_total{path=%q,code=%q} %d\n", path, code, reqs[k].Value())
+	}
+
+	fmt.Fprintln(w, "# HELP voltserved_request_seconds Request latency, by path.")
+	fmt.Fprintln(w, "# TYPE voltserved_request_seconds histogram")
+	for _, path := range latKeys {
+		counts, sum, count := lats[path].snapshot()
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "voltserved_request_seconds_bucket{path=%q,le=%q} %d\n",
+				path, strconv.FormatFloat(ub, 'g', -1, 64), counts[i])
+		}
+		fmt.Fprintf(w, "voltserved_request_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", path, count)
+		fmt.Fprintf(w, "voltserved_request_seconds_sum{path=%q} %g\n", path, sum)
+		fmt.Fprintf(w, "voltserved_request_seconds_count{path=%q} %d\n", path, count)
+	}
+
+	writeGauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	writeCounter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	writeGauge("voltserved_active_streams", "Streaming sessions currently open.", m.ActiveStreams.Value())
+	writeCounter("voltserved_streams_total", "Streaming sessions ever opened.", m.StreamsTotal.Value())
+	writeCounter("voltserved_predictions_total", "Sensor vectors evaluated (batch and stream).", m.Predictions.Value())
+	writeCounter("voltserved_alarms_raised_total", "Alarm raise events across all streams.", m.AlarmsRaised.Value())
+	writeCounter("voltserved_alarms_cleared_total", "Alarm clear events across all streams.", m.AlarmsCleared.Value())
+	writeCounter("voltserved_model_reloads_total", "Successful predictor hot-swaps.", m.Reloads.Value())
+}

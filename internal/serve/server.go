@@ -1,0 +1,526 @@
+// Package serve turns the repository's offline reproduction into the shape
+// the paper actually motivates: a runtime service. The paper trains sensor
+// placement and the Eq. 17 model at design time, then evaluates Eq. 20 on
+// live sensor readings "for dynamic noise management at runtime" — this
+// package is that runtime half as a concurrent HTTP server.
+//
+// Endpoints:
+//
+//	POST /v1/predict  batched JSON inference: sensor-reading vectors in,
+//	                  per-block voltage estimates out
+//	POST /v1/stream   NDJSON streaming session: one line per cycle in,
+//	                  monitor alarm events out; each connection owns its
+//	                  own monitor state machine
+//	GET  /healthz     liveness + loaded-model summary
+//	GET  /metrics     Prometheus text exposition (dependency-free)
+//	POST /v1/reload   atomic hot-swap of the predictor artifact
+//
+// The loaded model lives behind an atomic.Pointer: /v1/reload (or SIGHUP in
+// cmd/voltserved) swaps it without dropping in-flight streams — a session
+// keeps the predictor generation it started with until it ends.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voltsense/internal/core"
+	"voltsense/internal/monitor"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Loader produces the predictor; called once at startup and again on
+	// every reload. Required. Typically a closure over core.LoadPredictor
+	// and an artifact path.
+	Loader func() (*core.Predictor, error)
+	// Monitor is the default alarm configuration for streaming sessions.
+	// Vth is required; per-session query parameters can override.
+	Monitor monitor.Config
+	// MaxBatch caps the vectors accepted by one /v1/predict request.
+	// Default 4096.
+	MaxBatch int
+	// MaxBodyBytes caps any single request body. Default 32 MiB.
+	MaxBodyBytes int64
+}
+
+// model is one loaded predictor generation plus the session pool bound to
+// it. Pooled monitors embed the generation's predictor, so swapping models
+// swaps pools too and stale monitors simply age out with their generation.
+type model struct {
+	pred *core.Predictor
+	q, k int
+	gen  uint64
+	pool *sync.Pool // of *monitor.Monitor with the server's default config
+}
+
+// Server is the voltage-map inference service.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	cur      atomic.Pointer[model]
+	gen      atomic.Uint64
+	start    time.Time
+	mux      *http.ServeMux
+	reloadMu sync.Mutex // serializes hot-swaps
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a server and loads the initial model through cfg.Loader.
+func New(cfg Config) (*Server, error) {
+	if cfg.Loader == nil {
+		return nil, errors.New("serve: Config.Loader is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{cfg: cfg, metrics: NewMetrics(), start: time.Now()}
+	if err := s.Reload(); err != nil {
+		return nil, fmt.Errorf("serve: initial load: %w", err)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("/v1/stream", s.instrument("/v1/stream", s.handleStream))
+	s.mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Metrics exposes the registry (tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the routing handler, for mounting under httptest or an
+// outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Generation returns the current model generation, starting at 1.
+func (s *Server) Generation() uint64 {
+	return s.cur.Load().gen
+}
+
+// Reload runs the loader and atomically swaps the model in. On error the
+// previous model keeps serving. In-flight streaming sessions finish on the
+// generation they started with.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	pred, err := s.cfg.Loader()
+	if err != nil {
+		return err
+	}
+	m, err := s.newModel(pred)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(m)
+	if m.gen > 1 {
+		s.metrics.Reloads.Inc()
+	}
+	return nil
+}
+
+func (s *Server) newModel(pred *core.Predictor) (*model, error) {
+	if pred == nil || pred.Model == nil {
+		return nil, errors.New("serve: loader returned nil predictor")
+	}
+	q, k := pred.Model.NumInputs(), pred.Model.NumOutputs()
+	// Construct one monitor eagerly so a bad alarm config (or degenerate
+	// model shape) fails the swap instead of the first stream.
+	first, err := monitor.New(pred, k, s.cfg.Monitor, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &model{pred: pred, q: q, k: k, gen: s.gen.Add(1)}
+	m.pool = &sync.Pool{New: func() any {
+		mon, err := monitor.New(pred, k, s.cfg.Monitor, nil)
+		if err != nil {
+			// Unreachable: the identical construction above succeeded.
+			panic(err)
+		}
+		return mon
+	}}
+	m.pool.Put(first)
+	return m, nil
+}
+
+// ListenAndServe serves on addr until Shutdown or a listener error. A clean
+// shutdown returns nil.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains the server: new connections are refused,
+// in-flight requests (including streams) get until ctx expires, then any
+// still-open streaming connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
+}
+
+// statusRecorder captures the response code for metrics while passing
+// Flush through so streaming handlers still reach the client incrementally.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.ObserveRequest(path, rec.status, time.Since(t0))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		httpError(w, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, method)
+		return false
+	}
+	return true
+}
+
+// predictRequest is the /v1/predict input: one or more sensor-reading
+// vectors, each of length Q (the loaded model's sensor count).
+type predictRequest struct {
+	Readings [][]float64 `json:"readings"`
+}
+
+// predictResponse carries per-block voltage estimates, one row per input
+// vector, each of length K.
+type predictResponse struct {
+	ModelGeneration uint64      `json:"model_generation"`
+	Blocks          int         `json:"blocks"`
+	Voltages        [][]float64 `json:"voltages"`
+}
+
+func checkVector(v []float64, q int) error {
+	if len(v) != q {
+		return fmt.Errorf("reading has %d values, model wants %d", len(v), q)
+	}
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("reading contains non-finite value %v", x)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	m := s.cur.Load()
+	var req predictRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if len(req.Readings) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: provide at least one readings vector")
+		return
+	}
+	if len(req.Readings) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Readings), s.cfg.MaxBatch)
+		return
+	}
+	for i, v := range req.Readings {
+		if err := checkVector(v, m.q); err != nil {
+			httpError(w, http.StatusBadRequest, "readings[%d]: %v", i, err)
+			return
+		}
+	}
+	out := make([][]float64, len(req.Readings))
+	for i, v := range req.Readings {
+		out[i] = m.pred.Predict(v)
+	}
+	s.metrics.Predictions.Add(uint64(len(req.Readings)))
+	writeJSON(w, http.StatusOK, predictResponse{
+		ModelGeneration: m.gen,
+		Blocks:          m.k,
+		Voltages:        out,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if err := s.Reload(); err != nil {
+		httpError(w, http.StatusInternalServerError, "reload failed, previous model still serving: %v", err)
+		return
+	}
+	m := s.cur.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "reloaded",
+		"model_generation": m.gen,
+		"sensors":          m.q,
+		"blocks":           m.k,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	m := s.cur.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"model_generation": m.gen,
+		"sensors":          m.q,
+		"blocks":           m.k,
+		"active_streams":   s.metrics.ActiveStreams.Value(),
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// sessionConfig resolves per-stream overrides of the default alarm config
+// from query parameters (vth, clear_margin, clear_cycles). The bool reports
+// whether anything was overridden — only default-config sessions use the
+// monitor pool.
+func (s *Server) sessionConfig(r *http.Request) (monitor.Config, bool, error) {
+	cfg := s.cfg.Monitor
+	overridden := false
+	q := r.URL.Query()
+	if v := q.Get("vth"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, false, fmt.Errorf("bad vth %q: %v", v, err)
+		}
+		cfg.Vth = f
+		overridden = true
+	}
+	if v := q.Get("clear_margin"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, false, fmt.Errorf("bad clear_margin %q: %v", v, err)
+		}
+		cfg.ClearMargin = f
+		overridden = true
+	}
+	if v := q.Get("clear_cycles"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return cfg, false, fmt.Errorf("bad clear_cycles %q: %v", v, err)
+		}
+		cfg.ClearCycles = n
+		overridden = true
+	}
+	return cfg, overridden, nil
+}
+
+// streamIn is one NDJSON input line: a cycle's sensor readings. Cycle is
+// optional; omitted cycles number sequentially from the last seen value.
+type streamIn struct {
+	Cycle    *int      `json:"cycle"`
+	Readings []float64 `json:"readings"`
+}
+
+// streamEvent is one NDJSON output line: an alarm transition.
+type streamEvent struct {
+	Cycle   int     `json:"cycle"`
+	Kind    string  `json:"kind"` // "raised" or "cleared"
+	Block   int     `json:"block"`
+	Voltage float64 `json:"voltage"`
+}
+
+// streamVoltages is emitted per cycle when ?emit_voltages=true: the
+// full-chip per-block voltage estimate for that cycle.
+type streamVoltages struct {
+	Cycle    int       `json:"cycle"`
+	Voltages []float64 `json:"voltages"`
+}
+
+// streamSummary closes a clean stream.
+type streamSummary struct {
+	Cycles          int     `json:"cycles"`
+	Alarms          int     `json:"alarms"`
+	EmergencyCycles int     `json:"emergency_cycles"`
+	WorstVoltage    float64 `json:"worst_voltage"`
+	WorstBlock      int     `json:"worst_block"`
+	ActiveAlarms    []int   `json:"active_alarms"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	cfg, overridden, err := s.sessionConfig(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	emitVoltages := r.URL.Query().Get("emit_voltages") == "true"
+	m := s.cur.Load() // session keeps this generation until it ends
+
+	var mon *monitor.Monitor
+	if overridden {
+		mon, err = monitor.New(m.pred, m.k, cfg, nil)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad session config: %v", err)
+			return
+		}
+	} else {
+		mon = m.pool.Get().(*monitor.Monitor)
+		defer func() {
+			mon.Reset()
+			m.pool.Put(mon)
+		}()
+	}
+
+	s.metrics.StreamsTotal.Inc()
+	s.metrics.ActiveStreams.Inc()
+	defer s.metrics.ActiveStreams.Dec()
+
+	// The session interleaves reads of the request body with writes of the
+	// response: without full-duplex mode, net/http closes the request body
+	// at the first write (HTTP/1.x).
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() { rc.Flush() }
+	flush()
+
+	dec := json.NewDecoder(r.Body)
+	cycle := -1
+	for {
+		var in streamIn
+		if err := dec.Decode(&in); err != nil {
+			if errors.Is(err, io.EOF) {
+				st := mon.Stats()
+				active := mon.ActiveAlarms()
+				if active == nil {
+					active = []int{} // NDJSON consumers expect [], not null
+				}
+				enc.Encode(map[string]streamSummary{"summary": {
+					Cycles:          st.Cycles,
+					Alarms:          st.Alarms,
+					EmergencyCycles: st.EmergencyCycles,
+					WorstVoltage:    st.WorstVoltage,
+					WorstBlock:      st.WorstBlock,
+					ActiveAlarms:    active,
+				}})
+				flush()
+				return
+			}
+			// Malformed line or mid-stream disconnect: report if the client
+			// is still there, then end the session.
+			enc.Encode(map[string]string{"error": fmt.Sprintf("bad input line: %v", err)})
+			flush()
+			return
+		}
+		if in.Cycle != nil {
+			cycle = *in.Cycle
+		} else {
+			cycle++
+		}
+		if err := checkVector(in.Readings, m.q); err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			flush()
+			return
+		}
+		f := m.pred.Predict(in.Readings)
+		events := mon.ProcessPredicted(cycle, f)
+		s.metrics.Predictions.Inc()
+		if emitVoltages {
+			enc.Encode(streamVoltages{Cycle: cycle, Voltages: f})
+		}
+		for _, e := range events {
+			switch e.Kind {
+			case monitor.AlarmRaised:
+				s.metrics.AlarmsRaised.Inc()
+			case monitor.AlarmCleared:
+				s.metrics.AlarmsCleared.Inc()
+			}
+			enc.Encode(streamEvent{Cycle: e.Cycle, Kind: e.Kind.String(), Block: e.Block, Voltage: e.Voltage})
+		}
+		if emitVoltages || len(events) > 0 {
+			flush()
+		}
+	}
+}
