@@ -1,0 +1,29 @@
+GO ?= go
+BENCHTIME ?= 100ms
+
+.PHONY: build test race vet bench bench-quick clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the kernel/solver/engine/server benchmark suite and writes
+# BENCH_PR2.json with ns/op, allocs/op, and the speedup of each blocked
+# parallel kernel over its serial naive baseline.
+bench:
+	$(GO) run ./cmd/benchreport -out BENCH_PR2.json -benchtime $(BENCHTIME)
+
+# bench-quick runs every benchmark exactly once — the CI smoke configuration.
+bench-quick:
+	$(GO) run ./cmd/benchreport -out BENCH_PR2.json -benchtime 1x
+
+clean:
+	rm -f BENCH_PR2.json

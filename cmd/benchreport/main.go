@@ -1,0 +1,191 @@
+// Command benchreport runs the repository's benchmark suite and writes a
+// machine-readable summary, including the speedup of each parallel blocked
+// kernel over its serial naive baseline. `make bench` invokes it to produce
+// BENCH_PR2.json; CI runs the same benchmarks once per commit.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-out BENCH_PR2.json] [-benchtime 100ms] [-bench .]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchPackages is the suite the report covers: the kernel layer, the solver
+// hot loops, the transient engine, and the inference server.
+var benchPackages = []string{
+	"./internal/mat/",
+	"./internal/lasso/",
+	"./internal/pdn/",
+	"./internal/serve/",
+}
+
+// speedupPairs maps each parallel/blocked benchmark to the serial baseline it
+// is measured against. Names are as reported by `go test -bench`, without the
+// -GOMAXPROCS suffix.
+var speedupPairs = []struct{ Kernel, Baseline string }{
+	{"BenchmarkMul128", "BenchmarkMulSerial128"},
+	{"BenchmarkMul256", "BenchmarkMulSerial256"},
+	{"BenchmarkMul512", "BenchmarkMulSerial512"},
+	{"BenchmarkMulTGram", "BenchmarkMulTGramSerial"},
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type speedup struct {
+	Kernel     string  `json:"kernel"`
+	Baseline   string  `json:"baseline"`
+	KernelNs   float64 `json:"kernel_ns_per_op"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	BenchTime   string        `json:"benchtime"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Speedups    []speedup     `json:"speedups"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	benchTime := flag.String("benchtime", "100ms", "go test -benchtime value")
+	pattern := flag.String("bench", ".", "go test -bench pattern")
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchTime:   *benchTime,
+	}
+	for _, pkg := range benchPackages {
+		results, err := runPackage(pkg, *pattern, *benchTime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+	}
+
+	byName := make(map[string]benchResult, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	for _, p := range speedupPairs {
+		k, okK := byName[p.Kernel]
+		b, okB := byName[p.Baseline]
+		if !okK || !okB || k.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, speedup{
+			Kernel:     p.Kernel,
+			Baseline:   p.Baseline,
+			KernelNs:   k.NsPerOp,
+			BaselineNs: b.NsPerOp,
+			Speedup:    b.NsPerOp / k.NsPerOp,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d benchmarks, %d speedup pairs\n", *out, len(rep.Benchmarks), len(rep.Speedups))
+	for _, s := range rep.Speedups {
+		fmt.Printf("  %-24s %.2fx over %s\n", strings.TrimPrefix(s.Kernel, "Benchmark"), s.Speedup, strings.TrimPrefix(s.Baseline, "Benchmark"))
+	}
+}
+
+// runPackage runs one package's benchmarks and parses the textual results.
+func runPackage(pkg, pattern, benchTime string) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchTime, pkg)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var results []benchResult
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseBenchLine(pkg, line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	return results, nil
+}
+
+// parseBenchLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkMul128-4   2212   533776 ns/op   131072 B/op   1 allocs/op
+func parseBenchLine(pkg, line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: name, Package: strings.Trim(pkg, "./"), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return benchResult{}, false
+	}
+	return r, true
+}

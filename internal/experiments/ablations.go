@@ -141,7 +141,7 @@ func (p *Pipeline) AblationPCA(q int) (*SelectionComparison, error) {
 	}
 	z := standardizeX(ds.X)
 	n := float64(z.Cols())
-	cov := mat.Scale(1/n, mat.Mul(z, z.T()))
+	cov := mat.Scale(1/n, mat.MulT(z, z))
 	eig, err := mat.FactorSymEigen(cov)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: PCA: %w", err)

@@ -341,5 +341,5 @@ func relErr(pred, truth *mat.Matrix) float64 {
 	if den == 0 {
 		return 0
 	}
-	return mat.Sub(pred, truth).FrobeniusNorm() / den
+	return mat.FrobeniusDistance(pred, truth) / den
 }

@@ -338,16 +338,18 @@ func (p *Pipeline) TestAll() *SampleSet {
 	bench := make([]int, 0, total)
 	col := 0
 	for _, s := range p.TestByBench {
-		for j := 0; j < s.N(); j++ {
-			for i := 0; i < m; i++ {
-				cand.Set(i, col, s.CandV.At(i, j))
-			}
-			for i := 0; i < k; i++ {
-				crit.Set(i, col, s.CritV.At(i, j))
-			}
-			bench = append(bench, s.Bench[j])
-			col++
+		// Concatenate row segments with bulk copies instead of element-wise
+		// At/Set: each source row is a contiguous slice landing at column
+		// offset col of the pooled row.
+		w := s.N()
+		for i := 0; i < m; i++ {
+			copy(cand.Row(i)[col:col+w], s.CandV.Row(i))
 		}
+		for i := 0; i < k; i++ {
+			copy(crit.Row(i)[col:col+w], s.CritV.Row(i))
+		}
+		bench = append(bench, s.Bench...)
+		col += w
 	}
 	return &SampleSet{CandV: cand, CritV: crit, Bench: bench}
 }

@@ -1,0 +1,55 @@
+package lasso
+
+import (
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+func benchProblem(k, m, n int) (*mat.Matrix, *mat.Matrix) {
+	rng := rand.New(rand.NewSource(6))
+	return randn(rng, m, n), randn(rng, k, n)
+}
+
+// BenchmarkSolveConstrained covers the full solve — Gram build, FISTA
+// iterations, group norms. allocs/op is the guard: it must stay proportional
+// to the fixed workspace setup, not to the iteration count.
+func BenchmarkSolveConstrained(b *testing.B) {
+	z, g := benchProblem(8, 60, 600)
+	opt := Options{MaxIter: 300, Tol: 1e-8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveConstrained(z, g, 6, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFistaIterate isolates the steady-state hot loop; with the serial
+// kernel path pinned it must report exactly 0 allocs/op.
+func BenchmarkFistaIterate(b *testing.B) {
+	z, g := benchProblem(8, 60, 600)
+	defer mat.SetParallelism(mat.SetParallelism(1))
+	gr := newGram(z, g)
+	st := newFistaState(gr, g.Rows(), z.Rows(), 6)
+	st.iterate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.iterate()
+	}
+}
+
+func BenchmarkSolvePenalized(b *testing.B) {
+	z, g := benchProblem(8, 60, 600)
+	opt := Options{MaxIter: 300, Tol: 1e-8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolvePenalized(z, g, 0.5, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

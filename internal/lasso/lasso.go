@@ -29,7 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"voltsense/internal/mat"
 )
@@ -82,77 +82,121 @@ func checkShapes(z, g *mat.Matrix) {
 
 // groupNorms computes ‖β_m‖₂ for every column of beta.
 func groupNorms(beta *mat.Matrix) []float64 {
+	out := make([]float64, beta.Cols())
+	groupNormsInto(out, beta)
+	return out
+}
+
+// groupNormsInto fills dst (length beta.Cols()) with ‖β_m‖₂ per column.
+func groupNormsInto(dst []float64, beta *mat.Matrix) {
 	k, m := beta.Rows(), beta.Cols()
-	out := make([]float64, m)
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < k; i++ {
 		row := beta.Row(i)
 		for j := 0; j < m; j++ {
-			out[j] += row[j] * row[j]
+			dst[j] += row[j] * row[j]
 		}
 	}
-	for j := range out {
-		out[j] = math.Sqrt(out[j])
+	for j := range dst {
+		dst[j] = math.Sqrt(dst[j])
 	}
-	return out
 }
 
 // ProjectL1 projects the non-negative vector v onto {x ≥ 0 : Σx ≤ radius}
 // in Euclidean norm (Duchi et al., "Efficient projections onto the
 // ℓ₁-ball"). v is not modified.
 func ProjectL1(v []float64, radius float64) []float64 {
+	for _, x := range v {
+		if x < 0 {
+			panic("lasso: ProjectL1 requires non-negative input")
+		}
+	}
+	out := make([]float64, len(v))
+	projectL1Into(out, make([]float64, len(v)), v, radius)
+	return out
+}
+
+// projectL1Into is the allocation-free core of ProjectL1: it fills out with
+// the projection of the non-negative vector v, using scratch (same length)
+// as sort workspace. out may alias v.
+func projectL1Into(out, scratch, v []float64, radius float64) {
 	if radius < 0 {
 		panic(fmt.Sprintf("lasso: negative radius %v", radius))
 	}
 	sum := 0.0
 	for _, x := range v {
-		if x < 0 {
-			panic("lasso: ProjectL1 requires non-negative input")
-		}
 		sum += x
 	}
-	out := make([]float64, len(v))
 	if sum <= radius {
 		copy(out, v)
-		return out
+		return
 	}
-	// Find θ with Σ max(v_i − θ, 0) = radius via the sorted prefix rule.
-	sorted := make([]float64, len(v))
-	copy(sorted, v)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	// Find θ with Σ max(v_i − θ, 0) = radius via the sorted prefix rule,
+	// walking the ascending sort from the back for descending order.
+	copy(scratch, v)
+	slices.Sort(scratch)
 	var cum, theta float64
 	rho := -1
-	for i, x := range sorted {
+	for i := len(scratch) - 1; i >= 0; i-- {
+		x := scratch[i]
+		cnt := len(scratch) - i
 		cum += x
-		if x-(cum-radius)/float64(i+1) <= 0 {
-			break // the active set is a prefix of the sorted order
+		if x-(cum-radius)/float64(cnt) <= 0 {
+			break // the active set is a prefix of the descending order
 		}
-		rho = i
-		theta = (cum - radius) / float64(i+1)
+		rho = cnt - 1
+		theta = (cum - radius) / float64(cnt)
 	}
 	if rho < 0 {
-		return out // radius == 0
+		for i := range out {
+			out[i] = 0 // radius == 0
+		}
+		return
 	}
 	for i, x := range v {
 		if d := x - theta; d > 0 {
 			out[i] = d
+		} else {
+			out[i] = 0
 		}
 	}
-	return out
 }
 
-// ProjectGroupBall projects beta in place onto {β : Σ_m ‖β_m‖₂ ≤ radius}:
-// each column is rescaled to the ℓ₁-projected value of its norm.
-func ProjectGroupBall(beta *mat.Matrix, radius float64) {
-	norms := groupNorms(beta)
-	proj := ProjectL1(norms, radius)
+// projWS holds the scratch vectors of the group-ball projection so the FISTA
+// loop can project every iterate without allocating.
+type projWS struct {
+	norms, proj, scratch []float64
+}
+
+func newProjWS(m int) *projWS {
+	return &projWS{
+		norms:   make([]float64, m),
+		proj:    make([]float64, m),
+		scratch: make([]float64, m),
+	}
+}
+
+// projectGroupBall projects beta in place onto {β : Σ_m ‖β_m‖₂ ≤ radius}
+// using the workspace buffers.
+func (w *projWS) projectGroupBall(beta *mat.Matrix, radius float64) {
+	groupNormsInto(w.norms, beta)
+	sum := 0.0
+	for _, n := range w.norms {
+		sum += n
+	}
+	if sum <= radius {
+		return // already inside the ball: projection is the identity
+	}
+	projectL1Into(w.proj, w.scratch, w.norms, radius)
 	k, m := beta.Rows(), beta.Cols()
-	scale := make([]float64, m)
+	scale := w.proj
 	for j := range scale {
-		switch {
-		case norms[j] == 0:
+		if w.norms[j] == 0 {
 			scale[j] = 0
-		default:
-			scale[j] = proj[j] / norms[j]
+		} else {
+			scale[j] /= w.norms[j]
 		}
 	}
 	for i := 0; i < k; i++ {
@@ -161,6 +205,15 @@ func ProjectGroupBall(beta *mat.Matrix, radius float64) {
 			row[j] *= scale[j]
 		}
 	}
+}
+
+// ProjectGroupBall projects beta in place onto {β : Σ_m ‖β_m‖₂ ≤ radius}:
+// each column is rescaled to the ℓ₁-projected value of its norm.
+func ProjectGroupBall(beta *mat.Matrix, radius float64) {
+	if radius < 0 {
+		panic(fmt.Sprintf("lasso: negative radius %v", radius))
+	}
+	newProjWS(beta.Cols()).projectGroupBall(beta, radius)
 }
 
 // gram holds the sufficient statistics of a group-lasso instance: both
@@ -174,9 +227,10 @@ type gram struct {
 }
 
 func newGram(z, g *mat.Matrix) *gram {
-	zt := z.T()
 	f := g.FrobeniusNorm()
-	return &gram{zzt: mat.Mul(z, zt), gzt: mat.Mul(g, zt), trGG: f * f}
+	// MulT walks both operands along contiguous rows — no transpose is ever
+	// materialized, and the products parallelize across the mat worker pool.
+	return &gram{zzt: mat.MulT(z, z), gzt: mat.MulT(g, z), trGG: f * f}
 }
 
 // objective returns ½‖G − βZ‖_F² from the Gram statistics:
@@ -200,12 +254,13 @@ func (gr *gram) objective(beta *mat.Matrix) float64 {
 func (gr *gram) lipschitz() float64 {
 	m := gr.zzt.Rows()
 	v := make([]float64, m)
+	u := make([]float64, m)
 	for i := range v {
 		v[i] = 1 / math.Sqrt(float64(m))
 	}
 	est := 0.0
 	for it := 0; it < 60; it++ {
-		u := mat.MulVec(gr.zzt, v)
+		mat.MulVecInto(u, gr.zzt, v)
 		nrm := mat.Norm2(u)
 		if nrm == 0 {
 			return 1 // Z is all zeros; any positive constant works
@@ -222,9 +277,76 @@ func (gr *gram) lipschitz() float64 {
 	return est
 }
 
+// fistaState is the preallocated workspace of one constrained solve: the
+// iterate, momentum and gradient buffers are created once and reused every
+// iteration, so the steady-state loop performs zero heap allocations.
+type fistaState struct {
+	gr     *gram
+	lambda float64
+	step   float64
+	tk     float64
+
+	beta *mat.Matrix // current iterate β_k
+	next *mat.Matrix // scratch for β_{k+1}; swapped with beta each step
+	y    *mat.Matrix // momentum point
+	grad *mat.Matrix // y·ZZᵀ scratch
+	proj *projWS
+}
+
+func newFistaState(gr *gram, k, m int, lambda float64) *fistaState {
+	return &fistaState{
+		gr:     gr,
+		lambda: lambda,
+		step:   1 / gr.lipschitz(),
+		tk:     1,
+		beta:   mat.Zeros(k, m),
+		next:   mat.Zeros(k, m),
+		y:      mat.Zeros(k, m),
+		grad:   mat.Zeros(k, m),
+		proj:   newProjWS(m),
+	}
+}
+
+// iterate performs one accelerated projected-gradient step and returns the
+// relative change ‖β_{k+1} − β_k‖_F / ‖β_{k+1}‖_F of the iterate. It does
+// not allocate: every buffer lives in the workspace.
+func (f *fistaState) iterate() float64 {
+	// Gradient step at y: next = y − step·(y·ZZᵀ − GZᵀ), fused elementwise.
+	mat.MulInto(f.grad, f.y, f.gr.zzt)
+	gd, gzd := f.grad.Data(), f.gr.gzt.Data()
+	yd, nd, bd := f.y.Data(), f.next.Data(), f.beta.Data()
+	for i, gv := range gd {
+		nd[i] = yd[i] - f.step*(gv-gzd[i])
+	}
+	f.proj.projectGroupBall(f.next, f.lambda)
+
+	tNext := (1 + math.Sqrt(1+4*f.tk*f.tk)) / 2
+	mom := (f.tk - 1) / tNext
+	// y = next + mom*(next − beta), fused with the convergence statistics
+	// ‖next − beta‖_F and ‖next‖_F.
+	var diffSq, baseSq float64
+	for i, nv := range nd {
+		d := nv - bd[i]
+		yd[i] = nv + mom*d
+		diffSq += d * d
+		baseSq += nv * nv
+	}
+	f.beta, f.next = f.next, f.beta
+	f.tk = tNext
+
+	base := math.Sqrt(baseSq)
+	if base == 0 {
+		base = 1
+	}
+	return math.Sqrt(diffSq) / base
+}
+
 // SolveConstrained solves the paper's Eq. 12 with accelerated projected
 // gradient. Z is M-by-N (normalized candidates), G is K-by-N (normalized
-// outputs), lambda is the group-norm budget.
+// outputs), lambda is the group-norm budget. All per-iteration buffers are
+// preallocated in a workspace, so the iteration loop itself does not touch
+// the heap; the Gram products and the gradient multiply run on the parallel
+// blocked kernels of package mat.
 func SolveConstrained(z, g *mat.Matrix, lambda float64, opt Options) (*Result, error) {
 	checkShapes(z, g)
 	if lambda < 0 {
@@ -234,53 +356,24 @@ func SolveConstrained(z, g *mat.Matrix, lambda float64, opt Options) (*Result, e
 	k, m := g.Rows(), z.Rows()
 
 	gr := newGram(z, g)
-	lip := gr.lipschitz()
-	step := 1 / lip
-
-	beta := mat.Zeros(k, m)
-	betaPrev := mat.Zeros(k, m)
-	y := mat.Zeros(k, m)
-	tk := 1.0
+	st := newFistaState(gr, k, m, lambda)
 
 	var iters int
 	for iters = 1; iters <= opt.MaxIter; iters++ {
-		// Gradient at y: y·(ZZᵀ) − GZᵀ.
-		grad := mat.Sub(mat.Mul(y, gr.zzt), gr.gzt)
-
-		next := mat.Sub(y, mat.Scale(step, grad))
-		ProjectGroupBall(next, lambda)
-
-		tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
-		mom := (tk - 1) / tNext
-		// y = next + mom*(next − beta)   [beta here is the previous iterate]
-		yd := y.Data()
-		nd := next.Data()
-		bd := beta.Data()
-		for i := range yd {
-			yd[i] = nd[i] + mom*(nd[i]-bd[i])
-		}
-		betaPrev, beta = beta, next
-		tk = tNext
-
-		// Convergence: relative change of the iterate.
-		diff := mat.Sub(beta, betaPrev).FrobeniusNorm()
-		base := beta.FrobeniusNorm()
-		if base == 0 {
-			base = 1
-		}
-		if diff/base < opt.Tol {
+		if st.iterate() < opt.Tol {
 			break
 		}
 	}
+	beta := st.beta
+	res := &Result{Beta: beta, GroupNorms: groupNorms(beta), Iters: iters,
+		Objective: gr.objective(beta)}
 	if iters > opt.MaxIter {
-		iters = opt.MaxIter
+		res.Iters = opt.MaxIter
 		// Fall through with the best iterate; callers treat the tolerance
 		// as advisory for the selection use-case, but we still signal it.
-		return &Result{Beta: beta, GroupNorms: groupNorms(beta), Iters: iters,
-			Objective: gr.objective(beta)}, ErrDidNotConverge
+		return res, ErrDidNotConverge
 	}
-	return &Result{Beta: beta, GroupNorms: groupNorms(beta), Iters: iters,
-		Objective: gr.objective(beta)}, nil
+	return res, nil
 }
 
 // SolvePenalized solves the Lagrangian form

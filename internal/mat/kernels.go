@@ -1,0 +1,291 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Blocked-kernel tile sizes. The multiply kernels walk the k (inner) and j
+// (column) dimensions in tiles so the B panel a row-chunk is streaming stays
+// resident in cache while every row of the chunk reuses it, and unroll the
+// k loop four-wide so each inner-loop trip carries four independent
+// multiply-add chains instead of one.
+const (
+	mulKC = 256  // rows of B live per k-tile: 4 streams × 2 KiB fits L1
+	mulJC = 2048 // dst/B column-tile width: 16 KiB per stream
+
+	// parMinFlops is the minimum amount of multiply-add work a chunk must
+	// carry before a kernel splits it across the pool; below it, goroutine
+	// handoff costs more than it saves.
+	parMinFlops = 1 << 16
+)
+
+// minRowsPerChunk converts a per-row flop count into the smallest row-chunk
+// worth shipping to a worker.
+func minRowsPerChunk(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		return 1 << 30 // degenerate shapes: never parallelize
+	}
+	r := parMinFlops / flopsPerRow
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// runSerial reports whether n rows of flopsPerRow work each should skip the
+// pool entirely. The check lives at the kernel call sites (not inside
+// parallelFor) so the serial path never builds the escaping closure the
+// dispatcher needs — keeping allocation-free hot loops truly allocation-free.
+func runSerial(n, flopsPerRow int) bool {
+	return Parallelism() <= 1 || n < 2*minRowsPerChunk(flopsPerRow)
+}
+
+// noAlias panics when dst shares a backing array with src: the multiply
+// kernels read their operands while writing dst, so in-place multiplication
+// is never legal (unlike the elementwise *Into kernels).
+func noAlias(op string, dst, src *Matrix) {
+	if len(dst.data) > 0 && len(src.data) > 0 && &dst.data[0] == &src.data[0] {
+		panic(fmt.Sprintf("mat: %s destination aliases an operand", op))
+	}
+}
+
+// MulInto computes dst = a * b without allocating, overwriting dst, which
+// must be a.Rows()-by-b.Cols() and must not alias a or b. It returns dst.
+// Large products are tiled and split row-wise across the worker pool; see
+// SetParallelism. The result is bitwise identical for every worker count.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	noAlias("MulInto", dst, a)
+	noAlias("MulInto", dst, b)
+	flopsPerRow := 2 * a.cols * b.cols
+	if runSerial(a.rows, flopsPerRow) {
+		mulPanel(dst, a, b, 0, a.rows)
+		return dst
+	}
+	parallelFor(a.rows, minRowsPerChunk(flopsPerRow), func(lo, hi int) {
+		mulPanel(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// mulPanel computes rows [lo, hi) of dst = a * b with k- and j-tiling and a
+// four-wide unrolled saxpy inner kernel. Per-element accumulation order
+// depends only on the operand shapes, never on the panel bounds.
+func mulPanel(dst, a, b *Matrix, lo, hi int) {
+	n, kk := b.cols, a.cols
+	if n == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		row := dst.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for jb := 0; jb < n; jb += mulJC {
+		je := jb + mulJC
+		if je > n {
+			je = n
+		}
+		for kb := 0; kb < kk; kb += mulKC {
+			ke := kb + mulKC
+			if ke > kk {
+				ke = kk
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*kk+kb : i*kk+ke]
+				orow := dst.data[i*n+jb : i*n+je]
+				k := 0
+				for ; k+4 <= len(arow); k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					r := (kb + k) * n
+					b0 := b.data[r+jb : r+je]
+					b1 := b.data[r+n+jb : r+n+je]
+					b2 := b.data[r+2*n+jb : r+2*n+je]
+					b3 := b.data[r+3*n+jb : r+3*n+je]
+					_ = b1[len(b0)-1]
+					_ = b2[len(b0)-1]
+					_ = b3[len(b0)-1]
+					_ = orow[len(b0)-1]
+					for j, v0 := range b0 {
+						orow[j] += a0*v0 + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; k < len(arow); k++ {
+					aik := arow[k]
+					if aik == 0 {
+						continue
+					}
+					r := (kb + k) * n
+					brow := b.data[r+jb : r+je]
+					for j, v := range brow {
+						orow[j] += aik * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// MulT returns a * bᵀ without materializing the transpose: both operands are
+// walked along their contiguous rows, which is exactly the layout of the Gram
+// products Z·Zᵀ and G·Zᵀ at the heart of the group-lasso solvers.
+func MulT(a, b *Matrix) *Matrix {
+	out := Zeros(a.rows, b.rows)
+	return MulTInto(out, a, b)
+}
+
+// MulTInto computes dst = a * bᵀ without allocating. dst must be
+// a.Rows()-by-b.Rows() and must not alias a or b. It returns dst.
+func MulTInto(dst, a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTInto shape mismatch %dx%d * (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulTInto dst is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	noAlias("MulTInto", dst, a)
+	noAlias("MulTInto", dst, b)
+	flopsPerRow := 2 * a.cols * b.rows
+	if runSerial(a.rows, flopsPerRow) {
+		mulTPanel(dst, a, b, 0, a.rows)
+		return dst
+	}
+	parallelFor(a.rows, minRowsPerChunk(flopsPerRow), func(lo, hi int) {
+		mulTPanel(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// mulTPanel computes rows [lo, hi) of dst = a * bᵀ as row-row dot products,
+// four columns at a time so each pass over a's row feeds four accumulators.
+func mulTPanel(dst, a, b *Matrix, lo, hi int) {
+	kk, m := a.cols, b.rows
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*kk : (i+1)*kk]
+		orow := dst.data[i*m : (i+1)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b.data[j*kk : (j+1)*kk]
+			b1 := b.data[(j+1)*kk : (j+2)*kk]
+			b2 := b.data[(j+2)*kk : (j+3)*kk]
+			b3 := b.data[(j+3)*kk : (j+4)*kk]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < m; j++ {
+			brow := b.data[j*kk : (j+1)*kk]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MulVecInto computes dst = a * x without allocating; dst must have length
+// a.Rows() and must not alias x. It returns dst.
+func MulVecInto(dst []float64, a *Matrix, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVecInto shape mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst length %d, want %d", len(dst), a.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// AddInto computes dst = a + b elementwise; dst may alias a or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
+	sameShape(a, b, "AddInto")
+	sameShape(dst, a, "AddInto")
+	bd := b.data
+	for i, v := range a.data {
+		dst.data[i] = v + bd[i]
+	}
+	return dst
+}
+
+// SubInto computes dst = a - b elementwise; dst may alias a or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
+	sameShape(a, b, "SubInto")
+	sameShape(dst, a, "SubInto")
+	bd := b.data
+	for i, v := range a.data {
+		dst.data[i] = v - bd[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s * a elementwise; dst may alias a.
+func ScaleInto(dst *Matrix, s float64, a *Matrix) *Matrix {
+	sameShape(dst, a, "ScaleInto")
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+	return dst
+}
+
+// AddScaledInto computes dst = a + s*b elementwise (the matrix axpy of the
+// gradient and momentum updates); dst may alias a or b.
+func AddScaledInto(dst, a *Matrix, s float64, b *Matrix) *Matrix {
+	sameShape(a, b, "AddScaledInto")
+	sameShape(dst, a, "AddScaledInto")
+	bd := b.data
+	for i, v := range a.data {
+		dst.data[i] = v + s*bd[i]
+	}
+	return dst
+}
+
+// FrobeniusDistance returns ‖a − b‖_F without materializing the difference.
+func FrobeniusDistance(a, b *Matrix) float64 {
+	sameShape(a, b, "FrobeniusDistance")
+	s := 0.0
+	for i, v := range a.data {
+		d := v - b.data[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_ij |a_ij − b_ij| without materializing the
+// difference, or 0 for empty matrices.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	sameShape(a, b, "MaxAbsDiff")
+	mx := 0.0
+	for i, v := range a.data {
+		d := v - b.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

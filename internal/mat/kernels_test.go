@@ -1,0 +1,230 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mulNaive is the pre-kernel reference implementation (plain ikj triple
+// loop): the golden oracle the blocked parallel kernels are tested against.
+func mulNaive(a, b *Matrix) *Matrix {
+	out := Zeros(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// mulTNaive is the reference a·bᵀ: explicit transpose followed by the naive
+// multiply.
+func mulTNaive(a, b *Matrix) *Matrix {
+	return mulNaive(a, b.T())
+}
+
+// kernelShapes exercises the tile boundaries: vectors, degenerate dims, odd
+// primes straddling the 4-wide unroll, and sizes crossing the kc/jc tiles.
+var kernelShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{7, 1, 5},
+	{1, 64, 9},
+	{9, 64, 1},
+	{3, 4, 5},
+	{5, 5, 5},
+	{17, 33, 29},
+	{31, 257, 63},
+	{2, 300, 2049}, // crosses both the k-tile (256) and the j-tile (2048)
+	{64, 64, 64},
+}
+
+func maxRelDiff(a, b *Matrix) float64 {
+	worst := 0.0
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		d := math.Abs(ad[i] - bd[i])
+		scale := math.Max(1, math.Max(math.Abs(ad[i]), math.Abs(bd[i])))
+		if r := d / scale; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestMulMatchesNaiveAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range kernelShapes {
+		a := randMatrix(rng, s.m, s.k)
+		b := randMatrix(rng, s.k, s.n)
+		want := mulNaive(a, b)
+		got := Mul(a, b)
+		if d := maxRelDiff(got, want); d > 1e-12 {
+			t.Errorf("Mul %dx%d*%dx%d: max rel diff %g vs naive", s.m, s.k, s.k, s.n, d)
+		}
+	}
+}
+
+func TestMulTMatchesNaiveAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range kernelShapes {
+		a := randMatrix(rng, s.m, s.k)
+		b := randMatrix(rng, s.n, s.k) // MulT contracts over columns
+		want := mulTNaive(a, b)
+		got := MulT(a, b)
+		if d := maxRelDiff(got, want); d > 1e-12 {
+			t.Errorf("MulT %dx%d*(%dx%d)ᵀ: max rel diff %g vs naive", s.m, s.k, s.n, s.k, d)
+		}
+	}
+}
+
+func TestMulBitwiseInvariantUnderParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 67, 131)
+	b := randMatrix(rng, 131, 43)
+	defer SetParallelism(SetParallelism(1))
+	serial := Mul(a, b)
+	serialT := MulT(a, b.T())
+	for _, workers := range []int{2, 3, 8} {
+		SetParallelism(workers)
+		par := Mul(a, b)
+		parT := MulT(a, b.T())
+		for i, v := range serial.Data() {
+			if par.Data()[i] != v {
+				t.Fatalf("workers=%d: Mul element %d differs bitwise: %v vs %v", workers, i, par.Data()[i], v)
+			}
+		}
+		for i, v := range serialT.Data() {
+			if parT.Data()[i] != v {
+				t.Fatalf("workers=%d: MulT element %d differs bitwise: %v vs %v", workers, i, parT.Data()[i], v)
+			}
+		}
+	}
+}
+
+func TestStandardizeBitwiseInvariantUnderParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := randMatrix(rng, 37, 211)
+	defer SetParallelism(SetParallelism(1))
+	wantZ, wantS := Standardize(m)
+	SetParallelism(4)
+	gotZ, gotS := Standardize(m)
+	for i, v := range wantZ.Data() {
+		if gotZ.Data()[i] != v {
+			t.Fatalf("Standardize element %d differs across worker counts", i)
+		}
+	}
+	for i := range wantS.Mean {
+		if gotS.Mean[i] != wantS.Mean[i] || gotS.Std[i] != wantS.Std[i] {
+			t.Fatalf("Standardization row %d transform differs across worker counts", i)
+		}
+	}
+}
+
+func TestMulIntoWritesDirtyDestination(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 13, 21)
+	b := randMatrix(rng, 21, 17)
+	dst := randMatrix(rng, 13, 17) // garbage that must be fully overwritten
+	MulInto(dst, a, b)
+	if d := maxRelDiff(dst, mulNaive(a, b)); d > 1e-12 {
+		t.Errorf("MulInto into dirty dst: max rel diff %g", d)
+	}
+	dstT := randMatrix(rng, 13, 19)
+	bT := randMatrix(rng, 19, 21)
+	MulTInto(dstT, a, bT)
+	if d := maxRelDiff(dstT, mulTNaive(a, bT)); d > 1e-12 {
+		t.Errorf("MulTInto into dirty dst: max rel diff %g", d)
+	}
+}
+
+func TestMulIntoRejectsAliasedDestination(t *testing.T) {
+	a := Eye(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulInto(a, a, a) should panic: dst aliases an operand")
+		}
+	}()
+	MulInto(a, a, a)
+}
+
+func TestElementwiseIntoKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMatrix(rng, 9, 14)
+	b := randMatrix(rng, 9, 14)
+
+	if d := maxRelDiff(SubInto(Zeros(9, 14), a, b), Sub(a, b)); d != 0 {
+		t.Errorf("SubInto differs from Sub by %g", d)
+	}
+	if d := maxRelDiff(AddInto(Zeros(9, 14), a, b), Add(a, b)); d != 0 {
+		t.Errorf("AddInto differs from Add by %g", d)
+	}
+	if d := maxRelDiff(ScaleInto(Zeros(9, 14), -2.5, a), Scale(-2.5, a)); d != 0 {
+		t.Errorf("ScaleInto differs from Scale by %g", d)
+	}
+	want := Add(a, Scale(0.75, b))
+	if d := maxRelDiff(AddScaledInto(Zeros(9, 14), a, 0.75, b), want); d != 0 {
+		t.Errorf("AddScaledInto differs from Add+Scale by %g", d)
+	}
+
+	// The elementwise kernels allow aliasing: dst == a must equal the
+	// out-of-place result.
+	aliased := a.Clone()
+	SubInto(aliased, aliased, b)
+	if d := maxRelDiff(aliased, Sub(a, b)); d != 0 {
+		t.Errorf("aliased SubInto differs by %g", d)
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 11, 23)
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := MulVec(a, x)
+	got := MulVecInto(make([]float64, 11), a, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecInto element %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrobeniusDistanceAndMaxAbsDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMatrix(rng, 8, 31)
+	b := randMatrix(rng, 8, 31)
+	d := Sub(a, b)
+	if got, want := FrobeniusDistance(a, b), d.FrobeniusNorm(); math.Abs(got-want) > 1e-12*(1+want) {
+		t.Errorf("FrobeniusDistance = %v, want %v", got, want)
+	}
+	if got, want := MaxAbsDiff(a, b), d.MaxAbs(); got != want {
+		t.Errorf("MaxAbsDiff = %v, want %v", got, want)
+	}
+}
+
+func TestSetParallelismRestores(t *testing.T) {
+	orig := Parallelism()
+	prev := SetParallelism(3)
+	if prev != orig {
+		t.Errorf("SetParallelism returned %d, want previous %d", prev, orig)
+	}
+	if Parallelism() != 3 {
+		t.Errorf("Parallelism = %d after SetParallelism(3)", Parallelism())
+	}
+	SetParallelism(0) // restore default
+	if Parallelism() < 1 {
+		t.Errorf("default Parallelism = %d, want >= 1", Parallelism())
+	}
+}

@@ -153,30 +153,18 @@ func (m *Matrix) T() *Matrix {
 // Add returns a + b.
 func Add(a, b *Matrix) *Matrix {
 	sameShape(a, b, "Add")
-	out := Zeros(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v + b.data[i]
-	}
-	return out
+	return AddInto(Zeros(a.rows, a.cols), a, b)
 }
 
 // Sub returns a - b.
 func Sub(a, b *Matrix) *Matrix {
 	sameShape(a, b, "Sub")
-	out := Zeros(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = v - b.data[i]
-	}
-	return out
+	return SubInto(Zeros(a.rows, a.cols), a, b)
 }
 
 // Scale returns s * a.
 func Scale(s float64, a *Matrix) *Matrix {
-	out := Zeros(a.rows, a.cols)
-	for i, v := range a.data {
-		out.data[i] = s * v
-	}
-	return out
+	return ScaleInto(Zeros(a.rows, a.cols), s, a)
 }
 
 func sameShape(a, b *Matrix, op string) {
@@ -185,28 +173,13 @@ func sameShape(a, b *Matrix, op string) {
 	}
 }
 
-// Mul returns the matrix product a * b.
+// Mul returns the matrix product a * b, computed by the tiled parallel
+// kernel in kernels.go (see MulInto for the allocation-free variant).
 func Mul(a, b *Matrix) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := Zeros(a.rows, b.cols)
-	// ikj loop order keeps the inner loop streaming over contiguous rows of
-	// b and out, which matters for the NxM training matrices used here.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
-			}
-		}
-	}
-	return out
+	return MulInto(Zeros(a.rows, b.cols), a, b)
 }
 
 // MulVec returns the matrix-vector product a * x.

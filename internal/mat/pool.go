@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package split work across a small persistent pool of
+// goroutines. The pool is sized to GOMAXPROCS-1 (the caller always executes
+// one share itself) and started lazily on first use; work is handed off over
+// an unbuffered channel with an inline fallback, so a saturated pool — or a
+// nested parallel section — degrades to serial execution instead of queueing
+// or deadlocking.
+//
+// Determinism: work is partitioned by index range and every output element is
+// written by exactly one goroutine, with the same per-element operation order
+// regardless of the worker count. Results are therefore bitwise identical
+// whether a kernel runs serial or fully parallel.
+
+// parDegree holds the configured parallel degree; 0 means "track GOMAXPROCS".
+var parDegree atomic.Int64
+
+var (
+	poolOnce sync.Once
+	poolJobs chan func() // nil when GOMAXPROCS == 1 at pool start
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		return // single-proc: poolJobs stays nil, everything runs inline
+	}
+	poolJobs = make(chan func())
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range poolJobs {
+				f()
+			}
+		}()
+	}
+}
+
+// Parallelism returns the maximum number of concurrent shares a kernel call
+// may split into. The default tracks runtime.GOMAXPROCS.
+func Parallelism() int {
+	if d := parDegree.Load(); d > 0 {
+		return int(d)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism bounds the number of concurrent shares used by the blocked
+// kernels and returns the previous bound. n <= 0 restores the default
+// (GOMAXPROCS). SetParallelism(1) forces fully serial execution; results are
+// identical either way, so the knob exists for benchmarking serial baselines
+// and for embedding in already-parallel callers.
+func SetParallelism(n int) int {
+	prev := int(parDegree.Load())
+	if prev == 0 {
+		prev = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 {
+		parDegree.Store(0)
+	} else {
+		parDegree.Store(int64(n))
+	}
+	return prev
+}
+
+// parallelFor partitions [0, n) into contiguous chunks of at least minChunk
+// indices and runs fn on each, using the worker pool for all but the first
+// chunk. It returns after every chunk has completed. fn must not depend on
+// chunk execution order; chunks never overlap.
+func parallelFor(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	p := Parallelism()
+	if max := n / minChunk; p > max {
+		p = max
+	}
+	if p <= 1 {
+		fn(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	if poolJobs == nil {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 1; c < p; c++ {
+		lo, hi := c*n/p, (c+1)*n/p
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		job := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case poolJobs <- job:
+		default:
+			job() // pool busy (or nested call): run this share inline
+		}
+	}
+	fn(0, n/p)
+	wg.Wait()
+}

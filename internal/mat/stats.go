@@ -31,22 +31,29 @@ type Standardization struct {
 
 // Standardize returns a normalized copy of m (each row zero-mean,
 // unit-variance) plus the transform that produced it. Constant rows are
-// centered but left unscaled.
+// centered but left unscaled. Rows are independent, so the work is split
+// across the package worker pool (see SetParallelism); results are identical
+// to the serial computation for any worker count.
 func Standardize(m *Matrix) (*Matrix, *Standardization) {
-	s := &Standardization{Mean: RowMeans(m), Std: RowStdDevs(m)}
-	for i, v := range s.Std {
-		if v == 0 {
-			s.Std[i] = 1
-		}
+	s := &Standardization{
+		Mean: make([]float64, m.rows),
+		Std:  make([]float64, m.rows),
 	}
 	out := Zeros(m.rows, m.cols)
-	for i := 0; i < m.rows; i++ {
-		mu, sd := s.Mean[i], s.Std[i]
-		src, dst := m.Row(i), out.Row(i)
-		for j, v := range src {
-			dst[j] = (v - mu) / sd
+	parallelFor(m.rows, minRowsPerChunk(4*m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src, dst := m.Row(i), out.Row(i)
+			mu := Mean(src)
+			sd := StdDev(src)
+			if sd == 0 {
+				sd = 1
+			}
+			s.Mean[i], s.Std[i] = mu, sd
+			for j, v := range src {
+				dst[j] = (v - mu) / sd
+			}
 		}
-	}
+	})
 	return out, s
 }
 

@@ -41,21 +41,24 @@ func Fit(x, f *mat.Matrix) (*Model, error) {
 	fMean := mat.RowMeans(f)
 
 	// Design matrix: centered samples as rows (N-by-Q), one RHS column per
-	// output (N-by-K).
+	// output (N-by-K). Written through the raw row-major storage: the
+	// sources are rows, the destinations strided columns.
 	design := mat.Zeros(n, q)
+	dd := design.Data()
 	for i := 0; i < q; i++ {
 		row := x.Row(i)
 		mu := xMean[i]
-		for j := 0; j < n; j++ {
-			design.Set(j, i, row[j]-mu)
+		for j, v := range row {
+			dd[j*q+i] = v - mu
 		}
 	}
 	rhs := mat.Zeros(n, k)
+	rd := rhs.Data()
 	for i := 0; i < k; i++ {
 		row := f.Row(i)
 		mu := fMean[i]
-		for j := 0; j < n; j++ {
-			rhs.Set(j, i, row[j]-mu)
+		for j, v := range row {
+			rd[j*k+i] = v - mu
 		}
 	}
 	sol, err := mat.FactorQR(design).SolveMatrix(rhs) // Q-by-K
@@ -102,27 +105,25 @@ func (m *Model) PredictMatrix(x *mat.Matrix) *mat.Matrix {
 
 // RelativeError returns ‖pred − truth‖_F / ‖truth‖_F — the aggregated
 // relative prediction error the paper's Table 1 reports over all function
-// blocks and benchmarks.
+// blocks and benchmarks. The difference is never materialized.
 func RelativeError(pred, truth *mat.Matrix) float64 {
 	den := truth.FrobeniusNorm()
 	if den == 0 {
 		return math.Inf(1)
 	}
-	return mat.Sub(pred, truth).FrobeniusNorm() / den
+	return mat.FrobeniusDistance(pred, truth) / den
 }
 
 // RMSE returns the root-mean-square elementwise error.
 func RMSE(pred, truth *mat.Matrix) float64 {
-	d := mat.Sub(pred, truth)
-	n := float64(d.Rows() * d.Cols())
+	n := float64(pred.Rows() * pred.Cols())
 	if n == 0 {
 		return 0
 	}
-	f := d.FrobeniusNorm()
-	return f / math.Sqrt(n)
+	return mat.FrobeniusDistance(pred, truth) / math.Sqrt(n)
 }
 
 // MaxAbsError returns the worst elementwise error.
 func MaxAbsError(pred, truth *mat.Matrix) float64 {
-	return mat.Sub(pred, truth).MaxAbs()
+	return mat.MaxAbsDiff(pred, truth)
 }

@@ -4,18 +4,14 @@ import (
 	"math"
 	"math/rand"
 	"testing"
-
-	"voltsense/internal/mat"
 )
 
 func TestFiniteDifferenceGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	z := randn(rng, 3, 40)
 	g := randn(rng, 2, 40)
-	zt := z.T()
 	fro := g.FrobeniusNorm()
-	p := &problem{z: z, g: g, zzt: mat.Mul(z, zt), gzt: mat.Mul(g, zt),
-		trGG: fro * fro, k: 2, m: 3, lambda: 2, n: 2*3 + 3 + 1}
+	p := newProblem(z, g, 2)
 	x := make([]float64, p.n)
 	for j := 0; j < 3; j++ {
 		x[6+j] = 2.0 / 6
@@ -26,10 +22,13 @@ func TestFiniteDifferenceGradient(t *testing.T) {
 		x[i] = 0.01 * rng.NormFloat64()
 	}
 	mu := 3.0
-	grad, hess, err := p.derivatives(x, mu)
+	// derivatives returns shared workspace slices: copy before the next call.
+	gradWS, hessWS, err := p.derivatives(x, mu)
 	if err != nil {
 		t.Fatal(err)
 	}
+	grad := append([]float64(nil), gradWS...)
+	hess := hessWS.Clone()
 	h := 1e-6
 	for i := 0; i < p.n; i++ {
 		xp := append([]float64(nil), x...)
@@ -47,7 +46,8 @@ func TestFiniteDifferenceGradient(t *testing.T) {
 		xm := append([]float64(nil), x...)
 		xp[i] += h
 		xm[i] -= h
-		gp, _, _ := p.derivatives(xp, mu)
+		gpWS, _, _ := p.derivatives(xp, mu)
+		gp := append([]float64(nil), gpWS...)
 		gm, _, _ := p.derivatives(xm, mu)
 		for j := 0; j < p.n; j++ {
 			fd := (gp[j] - gm[j]) / (2 * h)

@@ -68,6 +68,10 @@ type Result struct {
 
 // problem carries the instance and the flattened variable layout:
 // x = [vec(β) (K*M, row-major), s (M), t].
+//
+// The workspace fields at the bottom are preallocated once per solve and
+// reused by every Newton step and line-search trial: the barrier Hessian
+// alone is (KM+M+1)² and used to be reallocated on every iteration.
 type problem struct {
 	z, g   *mat.Matrix
 	zzt    *mat.Matrix
@@ -77,6 +81,32 @@ type problem struct {
 	lambda float64
 	n      int     // total variables
 	curMu  float64 // barrier weight of the current Newton phase
+
+	bzz   *mat.Matrix // β·ZZᵀ scratch (K-by-M)
+	rgrad []float64   // ∇½‖r‖² scratch (K*M)
+	grad  []float64   // barrier gradient scratch (n)
+	hess  *mat.Matrix // barrier Hessian scratch (n-by-n)
+	dv    []float64   // ∇d scratch for the residual cone (n)
+	trial []float64   // line-search trial point (n)
+}
+
+// newProblem assembles the Gram statistics and the reusable solver
+// workspaces for one instance.
+func newProblem(z, g *mat.Matrix, lambda float64) *problem {
+	k, m := g.Rows(), z.Rows()
+	fro := g.FrobeniusNorm()
+	n := k*m + m + 1
+	return &problem{
+		z: z, g: g,
+		zzt: mat.MulT(z, z), gzt: mat.MulT(g, z), trGG: fro * fro,
+		k: k, m: m, lambda: lambda, n: n,
+		bzz:   mat.Zeros(k, m),
+		rgrad: make([]float64, k*m),
+		grad:  make([]float64, n),
+		hess:  mat.Zeros(n, n),
+		dv:    make([]float64, n),
+		trial: make([]float64, n),
+	}
 }
 
 func (p *problem) betaOf(x []float64) *mat.Matrix {
@@ -86,15 +116,17 @@ func (p *problem) betaOf(x []float64) *mat.Matrix {
 }
 
 // resSq returns ‖G − βZ‖_F² and the gradient of ½ of it w.r.t. vec(β)
-// (row-major K×M), all from Gram statistics.
+// (row-major K×M), all from Gram statistics. The returned slice is the
+// shared p.rgrad workspace: it is valid until the next resSq call.
 func (p *problem) resSq(x []float64) (float64, []float64) {
-	beta := mat.New(p.k, p.m, x[:p.k*p.m])
-	bzz := mat.Mul(beta, p.zzt)
-	grad := make([]float64, p.k*p.m)
+	km := p.k * p.m
+	beta := mat.New(p.k, p.m, x[:km:km])
+	mat.MulInto(p.bzz, beta, p.zzt)
+	grad := p.rgrad
 	cross, quad := 0.0, 0.0
 	bd := beta.Data()
 	gd := p.gzt.Data()
-	qd := bzz.Data()
+	qd := p.bzz.Data()
 	for i := range bd {
 		cross += bd[i] * gd[i]
 		quad += bd[i] * qd[i]
@@ -119,14 +151,9 @@ func SolveGroupLasso(z, g *mat.Matrix, lambda float64, opt Options) (*Result, er
 		panic(fmt.Sprintf("socp: lambda %v must be positive", lambda))
 	}
 	opt = opt.withDefaults()
-	k, m := g.Rows(), z.Rows()
-	zt := z.T()
-	fro := g.FrobeniusNorm()
-	p := &problem{
-		z: z, g: g,
-		zzt: mat.Mul(z, zt), gzt: mat.Mul(g, zt), trGG: fro * fro,
-		k: k, m: m, lambda: lambda, n: k*m + m + 1,
-	}
+	p := newProblem(z, g, lambda)
+	k, m := p.k, p.m
+	fro := math.Sqrt(p.trGG)
 
 	// Strictly feasible start: β = 0, s_m = λ/(2M), t = ‖G‖_F + 1.
 	x := make([]float64, p.n)
@@ -252,7 +279,7 @@ func (p *problem) value(x []float64, mu float64) float64 {
 func (p *problem) lineSearch(x, step []float64) float64 {
 	f0 := p.value(x, p.curMu)
 	alpha := 1.0
-	trial := make([]float64, len(x))
+	trial := p.trial
 	for iter := 0; iter < 60; iter++ {
 		for i := range x {
 			trial[i] = x[i] - alpha*step[i]
@@ -266,7 +293,8 @@ func (p *problem) lineSearch(x, step []float64) float64 {
 }
 
 // derivatives evaluates the gradient and Hessian of the barrier objective
-// at x with weight mu, caching mu for the line search.
+// at x with weight mu, caching mu for the line search. The returned slices
+// are the shared p.grad/p.hess workspaces, valid until the next call.
 func (p *problem) derivatives(x []float64, mu float64) ([]float64, *mat.Matrix, error) {
 	p.curMu = mu
 	if !p.feasible(x) {
@@ -274,8 +302,10 @@ func (p *problem) derivatives(x []float64, mu float64) ([]float64, *mat.Matrix, 
 	}
 	km := p.k * p.m
 	n := p.n
-	grad := make([]float64, n)
-	hess := mat.Zeros(n, n)
+	grad := p.grad
+	hess := p.hess
+	clear(grad)
+	clear(hess.Data())
 
 	// --- Residual cone: −log(t² − ‖r‖²).
 	t := x[n-1]
@@ -294,7 +324,8 @@ func (p *problem) derivatives(x []float64, mu float64) ([]float64, *mat.Matrix, 
 	// ∇d over β = −2 rGrad, over t = 2t. ∇²d over β = −2·(ZZᵀ ⊗ I_K) block
 	// structure (row-major vec(β)), over t = 2.
 	// ∇d ∇dᵀ / d² term:
-	dv := make([]float64, n)
+	dv := p.dv
+	clear(dv)
 	for i := 0; i < km; i++ {
 		dv[i] = -2 * rGrad[i]
 	}
