@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: build test race vet bench bench-quick clean
+.PHONY: build test race vet bench bench-quick fault-ablation docs-check clean
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,17 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/benchreport -out BENCH_PR2.json -benchtime 1x
 
+# fault-ablation regenerates the sensor-failure table (naive vs leave-k-out
+# fallback) that CI uploads as an artifact.
+fault-ablation:
+	$(GO) run ./cmd/voltmap faults | tee FAULT_ABLATION.txt
+	$(GO) run ./cmd/voltmap -csv faults > FAULT_ABLATION.csv
+
+# docs-check enforces the documentation bar: package comments everywhere,
+# intra-repo markdown links resolve, examples compile and pass.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) test -run Example ./...
+
 clean:
-	rm -f BENCH_PR2.json
+	rm -f BENCH_PR2.json FAULT_ABLATION.txt FAULT_ABLATION.csv

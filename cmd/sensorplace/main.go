@@ -8,8 +8,11 @@
 // either at a fixed budget (-lambda) or targeting a sensor count (-count) —
 // refits the unbiased prediction model, reports held-out accuracy, and
 // optionally writes the runtime model as JSON (-model) for deployment.
+// With -fallback-budget the artifact additionally carries leave-k-out
+// fallback submodels so voltserved can survive up to that many sensor
+// failures at runtime (see internal/faults).
 //
-//	sensorplace -x candidates.csv -f blocks.csv -count 4 -model model.json
+//	sensorplace -x candidates.csv -f blocks.csv -count 4 -fallback-budget 1 -model model.json
 package main
 
 import (
@@ -42,6 +45,7 @@ func run(args []string, out *os.File) error {
 	threshold := fs.Float64("threshold", core.DefaultThreshold, "group-norm selection threshold T")
 	holdout := fs.Float64("holdout", 0.25, "fraction of samples reserved for accuracy reporting")
 	modelPath := fs.String("model", "", "write the fitted runtime model as JSON to this path")
+	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,9 +114,19 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "selected candidate names:   %v\n", names)
 
-	pred, err := core.BuildPredictor(train, selected)
-	if err != nil {
-		return err
+	var pred *core.Predictor
+	if *fallbackBudget > 0 {
+		pred, err = core.BuildPredictorWithFallbacks(train, selected, *fallbackBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fitted %d fallback submodels (budget %d failed sensors)\n",
+			len(pred.Fallbacks.Models), *fallbackBudget)
+	} else {
+		pred, err = core.BuildPredictor(train, selected)
+		if err != nil {
+			return err
+		}
 	}
 	if test != nil {
 		rel := ols.RelativeError(pred.PredictDataset(test), test.F)

@@ -26,6 +26,7 @@
 //	variation    deploy the design-time model on a process-varied die
 //	closedloop   alarms throttle the cores; emergencies drop (the payoff)
 //	loo          leave-one-benchmark-out workload generalization
+//	faults       detection quality with failed sensors: naive vs fallback
 //
 // Flags select the pipeline scale (-full for the paper-scale run), CSV
 // output, sensor budgets and benchmark choice; see -help.
@@ -62,8 +63,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "pipeline master seed")
 	useUarch := fs.Bool("uarch", false, "drive the grid from the microarchitectural performance model instead of the phase generator")
 	useThermal := fs.Bool("thermal", false, "couple average power to temperature and scale leakage (hotter blocks leak more)")
+	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo>\n")
+		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +130,7 @@ func run(args []string) error {
 		"variation":   func() error { return doVariation(p, *sensors) },
 		"closedloop":  func() error { return doClosedLoop(p, bench, *sensors) },
 		"loo":         func() error { return doLOO(p, *sensors) },
+		"faults":      func() error { return doFaults(p, *sensors, *budget, *csv) },
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig2", "fig3", "table2", "fig4", "map"} {
@@ -147,7 +150,7 @@ var knownExperiments = map[string]bool{
 	"table1": true, "table2": true, "fig1": true, "fig2": true, "fig3": true,
 	"fig4": true, "map": true, "all": true, "correlation": true,
 	"perblock": true, "ablations": true, "robustness": true, "variation": true,
-	"closedloop": true, "loo": true,
+	"closedloop": true, "loo": true, "faults": true,
 }
 
 func scaleName(full bool) string {
@@ -324,6 +327,19 @@ func doVariation(p *experiments.Pipeline, sensors int) error {
 	fmt.Printf("nominal die           : rel err %.4f%%, %v\n", 100*d.NominalRelErr, d.NominalRates)
 	fmt.Printf("varied die, no recal  : rel err %.4f%%, %v\n", 100*d.VariedRelErr, d.VariedRates)
 	fmt.Printf("varied die, recalib'd : rel err %.4f%%, %v\n", 100*d.RecalRelErr, d.RecalRates)
+	return nil
+}
+
+func doFaults(p *experiments.Pipeline, sensors, budget int, csv bool) error {
+	d, err := p.AblationFaultTolerance(sensors, budget)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(d.CSV())
+	} else {
+		fmt.Print(d.Render())
+	}
 	return nil
 }
 

@@ -14,6 +14,13 @@
 //
 // SIGHUP reloads the model atomically without dropping in-flight streams;
 // SIGINT/SIGTERM drain gracefully for -shutdown-grace before force-closing.
+//
+// When the model artifact carries fallback submodels (sensorplace
+// -fallback-budget), the server detects failed sensors at runtime and
+// switches to the matching leave-k-out fallback; -fault-spec injects
+// synthetic sensor faults for drilling that path against a live server:
+//
+//	voltserved -model model.json -fault-spec '{"faults":[{"sensor":0,"kind":"stuck","start":100,"value":0.93}]}'
 package main
 
 import (
@@ -24,10 +31,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"voltsense/internal/core"
+	"voltsense/internal/faults"
 	"voltsense/internal/monitor"
 	"voltsense/internal/serve"
 )
@@ -48,12 +57,19 @@ func run(args []string) error {
 	clearCycles := fs.Int("clear-cycles", 0, "consecutive recovered cycles to clear an alarm (0 = monitor default)")
 	maxBatch := fs.Int("max-batch", 4096, "largest /v1/predict batch accepted")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "drain time before force-closing streams on SIGINT/SIGTERM")
+	faultSpec := fs.String("fault-spec", "", "inject synthetic sensor faults: inline JSON or a path to a spec file (chaos drills)")
+	detWindow := fs.Int("detector-window", 0, "fault-detector rolling window in cycles (0 = default 32)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After sent with degraded 503s (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" {
 		fs.Usage()
 		return errors.New("-model is required")
+	}
+	injected, err := loadFaultSpec(*faultSpec)
+	if err != nil {
+		return err
 	}
 
 	loader := func() (*core.Predictor, error) {
@@ -72,12 +88,18 @@ func run(args []string) error {
 			ClearMargin: *clearMargin,
 			ClearCycles: *clearCycles,
 		},
-		MaxBatch: *maxBatch,
+		MaxBatch:     *maxBatch,
+		Detector:     faults.DetectorConfig{Window: *detWindow},
+		InjectFaults: injected,
+		RetryAfter:   *retryAfter,
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("voltserved: model %s loaded (generation %d), listening on %s", *modelPath, srv.Generation(), *addr)
+	if len(injected) > 0 {
+		log.Printf("voltserved: CHAOS MODE — injecting %d synthetic sensor faults per -fault-spec", len(injected))
+	}
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -108,4 +130,25 @@ func run(args []string) error {
 		}
 		return <-errc
 	}
+}
+
+// loadFaultSpec resolves the -fault-spec flag: empty means none, a leading
+// '{' means inline JSON, anything else is a file path.
+func loadFaultSpec(spec string) ([]faults.Fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	data := []byte(spec)
+	if !strings.HasPrefix(strings.TrimSpace(spec), "{") {
+		b, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-spec: %w", err)
+		}
+		data = b
+	}
+	fl, err := faults.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-spec: %w", err)
+	}
+	return fl, nil
 }

@@ -99,20 +99,36 @@ func PlaceSensors(ds *Dataset, cfg Config) (*Placement, error) {
 }
 
 // Predictor is the runtime model of Eq. 20: f* = αˢ·xˢ + c evaluated on the
-// raw voltages of the selected sensors.
+// raw voltages of the selected sensors. Fallbacks, when present, carries the
+// fault-tolerance tier: leave-k-out submodels and the per-sensor training
+// statistics the runtime fault detector needs (see FitFallbacks).
 type Predictor struct {
-	Selected []int // candidate indices feeding the model, ascending
-	Model    *ols.Model
+	Selected  []int // candidate indices feeding the model, ascending
+	Model     *ols.Model
+	Fallbacks *FallbackSet // optional; nil for legacy artifacts
 }
 
 // BuildPredictor runs Steps 6-8: restrict X to the selected sensors and
-// refit an unbiased OLS model with intercept on the raw data.
+// refit an unbiased OLS model with intercept on the raw data. The selection
+// must be strictly ascending: a duplicated index would feed the same
+// reading into two coefficients and silently double-count it.
 func BuildPredictor(ds *Dataset, selected []int) (*Predictor, error) {
 	if err := ds.Check(); err != nil {
 		return nil, err
 	}
 	if len(selected) == 0 {
 		return nil, errors.New("core: no sensors selected; increase lambda")
+	}
+	for i, s := range selected {
+		if s < 0 || s >= ds.X.Rows() {
+			return nil, fmt.Errorf("core: selected sensor %d out of range 0..%d", s, ds.X.Rows()-1)
+		}
+		if i > 0 && s == selected[i-1] {
+			return nil, fmt.Errorf("core: duplicate selected sensor %d", s)
+		}
+		if i > 0 && s < selected[i-1] {
+			return nil, fmt.Errorf("core: selected sensors not ascending at position %d", i)
+		}
 	}
 	xs := ds.X.SelectRows(selected)
 	m, err := ols.Fit(xs, ds.F)

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"voltsense/internal/ols"
+)
+
+func fallbackFixture(t *testing.T, budget int) (*Dataset, *Predictor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ds := syntheticDataset(rng, 12, 4, 400, []int{1, 4, 8, 10}, 0.002)
+	pred, err := BuildPredictorWithFallbacks(ds, []int{1, 4, 8, 10}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, pred
+}
+
+func TestFitFallbacksShape(t *testing.T) {
+	_, pred := fallbackFixture(t, 2)
+	fb := pred.Fallbacks
+	if fb == nil {
+		t.Fatal("no fallbacks fitted")
+	}
+	if len(fb.Stats) != 4 {
+		t.Fatalf("stats for %d sensors, want 4", len(fb.Stats))
+	}
+	for i, s := range fb.Stats {
+		if s.Std <= 0 || math.Abs(s.Mean-1.0) > 0.2 {
+			t.Fatalf("implausible training stats for sensor %d: %+v", i, s)
+		}
+	}
+	// 4 leave-one-out singletons plus one depth-2 chain entry.
+	if len(fb.Models) != 5 {
+		t.Fatalf("%d fallback models, want 5", len(fb.Models))
+	}
+	if fb.MaxExcluded() != 2 {
+		t.Fatalf("MaxExcluded = %d, want 2", fb.MaxExcluded())
+	}
+	seen := map[int]bool{}
+	for _, fm := range fb.Models[:4] {
+		if len(fm.Excluded) != 1 {
+			t.Fatalf("singleton model excludes %v", fm.Excluded)
+		}
+		seen[fm.Excluded[0]] = true
+		if fm.Model.NumInputs() != 3 {
+			t.Fatalf("leave-one-out model has %d inputs", fm.Model.NumInputs())
+		}
+		if fm.RelError <= 0 || fm.RelError > 0.5 {
+			t.Fatalf("implausible training error %v for excluded %v", fm.RelError, fm.Excluded)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("singletons cover %d sensors, want all 4", len(seen))
+	}
+	chain := fb.Models[4]
+	if len(chain.Excluded) != 2 || chain.Model.NumInputs() != 2 {
+		t.Fatalf("chain model: excluded %v, inputs %d", chain.Excluded, chain.Model.NumInputs())
+	}
+}
+
+func TestFallbackLookup(t *testing.T) {
+	_, pred := fallbackFixture(t, 2)
+	fb := pred.Fallbacks
+	if fb.Lookup(nil) != nil {
+		t.Fatal("empty faulty set should route to the primary, not a fallback")
+	}
+	for i := 0; i < 4; i++ {
+		fm := fb.Lookup([]int{i})
+		if fm == nil {
+			t.Fatalf("no fallback for single failure of sensor %d", i)
+		}
+		if !reflect.DeepEqual(fm.Excluded, []int{i}) {
+			t.Fatalf("single failure %d routed to excluded %v (want the exact leave-one-out)", i, fm.Excluded)
+		}
+	}
+	chain := fb.Models[4].Excluded
+	if fm := fb.Lookup(chain); fm == nil || len(fm.Excluded) != 2 {
+		t.Fatalf("chain pair %v not covered", chain)
+	}
+	// A pair off the chain is uncovered at budget 2.
+	var offChain []int
+	for a := 0; a < 4 && offChain == nil; a++ {
+		for b := a + 1; b < 4; b++ {
+			if !(contains(chain, a) && contains(chain, b)) {
+				offChain = []int{a, b}
+				break
+			}
+		}
+	}
+	if fm := fb.Lookup(offChain); fm != nil {
+		t.Fatalf("off-chain pair %v claims coverage by %v", offChain, fm.Excluded)
+	}
+}
+
+func TestFallbackPredictFullIgnoresExcluded(t *testing.T) {
+	_, pred := fallbackFixture(t, 1)
+	fm := pred.Fallbacks.Lookup([]int{2})
+	x := []float64{1.01, 0.99, 1.02, 0.98}
+	want := fm.PredictFull(x)
+	x[2] = math.NaN() // the failed sensor's reading must never be read
+	got := fm.PredictFull(x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("excluded reading leaked into prediction: %v vs %v", want, got)
+		}
+	}
+}
+
+func TestFallbackAccuracyDegradesGracefully(t *testing.T) {
+	ds, pred := fallbackFixture(t, 1)
+	xs := ds.X.SelectRows(pred.Selected)
+	primaryErr := ols.RelativeError(pred.Model.PredictMatrix(xs), ds.F)
+	for _, fm := range pred.Fallbacks.Models {
+		if fm.RelError < primaryErr {
+			t.Fatalf("fallback excluding %v beats the full model (%v < %v)", fm.Excluded, fm.RelError, primaryErr)
+		}
+		if fm.RelError > 20*primaryErr+0.05 {
+			t.Fatalf("fallback excluding %v collapsed: %v vs primary %v", fm.Excluded, fm.RelError, primaryErr)
+		}
+	}
+}
+
+func TestSaveLoadRoundTripWithFallbacks(t *testing.T) {
+	_, pred := fallbackFixture(t, 2)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fallbacks == nil {
+		t.Fatal("fallbacks lost in round-trip")
+	}
+	if len(got.Fallbacks.Models) != len(pred.Fallbacks.Models) {
+		t.Fatalf("%d models after round-trip, want %d", len(got.Fallbacks.Models), len(pred.Fallbacks.Models))
+	}
+	x := []float64{1.01, 0.99, 1.02, 0.98}
+	for i := range pred.Fallbacks.Models {
+		a := pred.Fallbacks.Models[i].PredictFull(x)
+		b := got.Fallbacks.Models[i].PredictFull(x)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-15 {
+				t.Fatalf("fallback %d prediction drifted after round-trip", i)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Fallbacks.Stats, pred.Fallbacks.Stats) {
+		t.Fatal("sensor stats drifted after round-trip")
+	}
+}
+
+func TestFitFallbacksValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := syntheticDataset(rng, 6, 2, 200, []int{1, 3}, 0.002)
+	if _, err := FitFallbacks(ds, []int{1}, 1); err == nil {
+		t.Error("single-sensor selection accepted")
+	}
+	if _, err := FitFallbacks(ds, []int{1, 3}, 2); err == nil {
+		t.Error("budget leaving zero sensors accepted")
+	}
+	if _, err := FitFallbacks(ds, []int{1, 3}, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestBuildPredictorRejectsBadSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := syntheticDataset(rng, 6, 2, 200, []int{1, 3}, 0.002)
+	if _, err := BuildPredictor(ds, []int{1, 1}); err == nil {
+		t.Error("duplicate selected sensor accepted")
+	}
+	if _, err := BuildPredictor(ds, []int{3, 1}); err == nil {
+		t.Error("descending selection accepted")
+	}
+	if _, err := BuildPredictor(ds, []int{1, 6}); err == nil {
+		t.Error("out-of-range selection accepted")
+	}
+}

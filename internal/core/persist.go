@@ -6,34 +6,81 @@ import (
 	"io"
 	"math"
 
+	"voltsense/internal/faults"
 	"voltsense/internal/mat"
 	"voltsense/internal/ols"
 )
 
 // predictorJSON is the stable serialized form of a Predictor: everything the
-// runtime needs to evaluate Eq. 20 on hardware sensor readings.
+// runtime needs to evaluate Eq. 20 on hardware sensor readings, plus the
+// optional fault-tolerance payload. Artifacts written before the fallbacks
+// section existed decode with Fallbacks nil and serve unchanged.
 type predictorJSON struct {
-	Format   string      `json:"format"` // "voltsense-predictor/v1"
-	Selected []int       `json:"selected_sensors"`
-	Alpha    [][]float64 `json:"alpha"` // K rows of Q coefficients
-	C        []float64   `json:"c"`     // K intercepts
+	Format    string         `json:"format"` // "voltsense-predictor/v1"
+	Selected  []int          `json:"selected_sensors"`
+	Alpha     [][]float64    `json:"alpha"` // K rows of Q coefficients
+	C         []float64      `json:"c"`     // K intercepts
+	Fallbacks *fallbacksJSON `json:"fallbacks,omitempty"`
+}
+
+// fallbacksJSON is the artifact's optional fault-tolerance section.
+type fallbacksJSON struct {
+	SensorStats []sensorStatsJSON   `json:"sensor_stats"` // length Q, reading-vector order
+	Models      []fallbackModelJSON `json:"models"`
+}
+
+type sensorStatsJSON struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// fallbackModelJSON is one leave-k-out submodel. Excluded holds positions
+// into selected_sensors (0..Q-1), strictly ascending; alpha has K rows of
+// Q-len(excluded) coefficients, ordered as the surviving positions.
+type fallbackModelJSON struct {
+	Excluded []int       `json:"excluded"`
+	Alpha    [][]float64 `json:"alpha"`
+	C        []float64   `json:"c"`
+	RelError float64     `json:"rel_error"`
 }
 
 const predictorFormat = "voltsense-predictor/v1"
 
-// Save writes the predictor as JSON.
+// marshalAlpha copies a coefficient matrix into row slices.
+func marshalAlpha(a *mat.Matrix) [][]float64 {
+	out := make([][]float64, a.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		row := make([]float64, a.Cols())
+		copy(row, a.Row(i))
+		out[i] = row
+	}
+	return out
+}
+
+// Save writes the predictor as JSON, including the fallbacks section when
+// the predictor carries one.
 func (p *Predictor) Save(w io.Writer) error {
-	k := p.Model.Alpha.Rows()
 	pj := predictorJSON{
 		Format:   predictorFormat,
 		Selected: p.Selected,
-		Alpha:    make([][]float64, k),
+		Alpha:    marshalAlpha(p.Model.Alpha),
 		C:        p.Model.C,
 	}
-	for i := 0; i < k; i++ {
-		row := make([]float64, p.Model.Alpha.Cols())
-		copy(row, p.Model.Alpha.Row(i))
-		pj.Alpha[i] = row
+	if p.Fallbacks != nil {
+		fj := &fallbacksJSON{}
+		for _, s := range p.Fallbacks.Stats {
+			fj.SensorStats = append(fj.SensorStats, sensorStatsJSON{Mean: s.Mean, Std: s.Std})
+		}
+		for i := range p.Fallbacks.Models {
+			fm := &p.Fallbacks.Models[i]
+			fj.Models = append(fj.Models, fallbackModelJSON{
+				Excluded: fm.Excluded,
+				Alpha:    marshalAlpha(fm.Model.Alpha),
+				C:        fm.Model.C,
+				RelError: fm.RelError,
+			})
+		}
+		pj.Fallbacks = fj
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -43,9 +90,46 @@ func (p *Predictor) Save(w io.Writer) error {
 	return nil
 }
 
+// unmarshalAlpha validates and copies a serialized coefficient matrix of
+// the expected shape, rejecting ragged rows and non-finite values.
+func unmarshalAlpha(rows [][]float64, k, q int, what string) (*mat.Matrix, error) {
+	if len(rows) != k {
+		return nil, fmt.Errorf("core: %s has %d rows for %d outputs", what, len(rows), k)
+	}
+	alpha := mat.Zeros(k, q)
+	for i, row := range rows {
+		if len(row) != q {
+			return nil, fmt.Errorf("core: ragged %s row %d: %d values, want %d", what, i, len(row), q)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: non-finite coefficient %s[%d][%d] = %v", what, i, j, v)
+			}
+		}
+		copy(alpha.Row(i), row)
+	}
+	return alpha, nil
+}
+
+// checkFinite rejects non-finite intercepts.
+func checkFinite(c []float64, k int, what string) error {
+	if len(c) != k {
+		return fmt.Errorf("core: %d %s intercepts for %d outputs", len(c), what, k)
+	}
+	for i, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite %s intercept c[%d] = %v", what, i, v)
+		}
+	}
+	return nil
+}
+
 // LoadPredictor reads a predictor saved by Save, validating its shape and
-// rejecting non-finite coefficients: a corrupt artifact must fail here, at
-// load time, rather than poison every runtime prediction with NaN/Inf.
+// rejecting duplicate or out-of-order sensor indices and any non-finite
+// coefficient: a corrupt artifact must fail here, at load time, rather than
+// double-count a reading or poison every runtime prediction with NaN/Inf.
+// The optional fallbacks section, when present, is validated just as
+// strictly; artifacts without one load with Fallbacks nil.
 func LoadPredictor(r io.Reader) (*Predictor, error) {
 	var pj predictorJSON
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
@@ -62,35 +146,83 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if q == 0 || q != len(pj.Selected) {
 		return nil, fmt.Errorf("core: predictor has %d coefficients per row but %d sensors", q, len(pj.Selected))
 	}
-	if len(pj.C) != k {
-		return nil, fmt.Errorf("core: %d intercepts for %d outputs", len(pj.C), k)
-	}
 	for i, s := range pj.Selected {
 		if s < 0 {
 			return nil, fmt.Errorf("core: negative sensor index %d", s)
 		}
-		if i > 0 && s <= pj.Selected[i-1] {
-			return nil, fmt.Errorf("core: sensor indices not strictly ascending at position %d", i)
+		if i > 0 && s == pj.Selected[i-1] {
+			return nil, fmt.Errorf("core: duplicate sensor index %d", s)
+		}
+		if i > 0 && s < pj.Selected[i-1] {
+			return nil, fmt.Errorf("core: sensor indices not ascending at position %d", i)
 		}
 	}
-	alpha := mat.Zeros(k, q)
-	for i, row := range pj.Alpha {
-		if len(row) != q {
-			return nil, fmt.Errorf("core: ragged alpha row %d", i)
-		}
-		for j, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("core: non-finite coefficient alpha[%d][%d] = %v", i, j, v)
-			}
-		}
-		copy(alpha.Row(i), row)
+	alpha, err := unmarshalAlpha(pj.Alpha, k, q, "alpha")
+	if err != nil {
+		return nil, err
 	}
-	for i, v := range pj.C {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("core: non-finite intercept c[%d] = %v", i, v)
-		}
+	if err := checkFinite(pj.C, k, "model"); err != nil {
+		return nil, err
 	}
 	sel := make([]int, len(pj.Selected))
 	copy(sel, pj.Selected)
-	return &Predictor{Selected: sel, Model: &ols.Model{Alpha: alpha, C: pj.C}}, nil
+	p := &Predictor{Selected: sel, Model: &ols.Model{Alpha: alpha, C: pj.C}}
+	if pj.Fallbacks != nil {
+		fb, err := loadFallbacks(pj.Fallbacks, k, q)
+		if err != nil {
+			return nil, err
+		}
+		p.Fallbacks = fb
+	}
+	return p, nil
+}
+
+// loadFallbacks validates the artifact's fallbacks section against the
+// primary model's K outputs and Q sensors.
+func loadFallbacks(fj *fallbacksJSON, k, q int) (*FallbackSet, error) {
+	if len(fj.SensorStats) != q {
+		return nil, fmt.Errorf("core: fallbacks carry stats for %d sensors, model has %d", len(fj.SensorStats), q)
+	}
+	fs := &FallbackSet{Stats: make([]faults.SensorStats, q)}
+	for i, s := range fj.SensorStats {
+		if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) || math.IsNaN(s.Std) || math.IsInf(s.Std, 0) || s.Std < 0 {
+			return nil, fmt.Errorf("core: bad sensor_stats[%d]: mean=%v std=%v", i, s.Mean, s.Std)
+		}
+		fs.Stats[i] = faults.SensorStats{Mean: s.Mean, Std: s.Std}
+	}
+	if len(fj.Models) == 0 {
+		return nil, fmt.Errorf("core: fallbacks section has no models")
+	}
+	for mi, mj := range fj.Models {
+		if len(mj.Excluded) == 0 || len(mj.Excluded) >= q {
+			return nil, fmt.Errorf("core: fallback %d excludes %d of %d sensors", mi, len(mj.Excluded), q)
+		}
+		for i, e := range mj.Excluded {
+			if e < 0 || e >= q {
+				return nil, fmt.Errorf("core: fallback %d excluded position %d out of 0..%d", mi, e, q-1)
+			}
+			if i > 0 && e <= mj.Excluded[i-1] {
+				return nil, fmt.Errorf("core: fallback %d excluded positions not strictly ascending", mi)
+			}
+		}
+		kept := q - len(mj.Excluded)
+		alpha, err := unmarshalAlpha(mj.Alpha, k, kept, fmt.Sprintf("fallback %d alpha", mi))
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFinite(mj.C, k, fmt.Sprintf("fallback %d", mi)); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(mj.RelError) || math.IsInf(mj.RelError, 0) || mj.RelError < 0 {
+			return nil, fmt.Errorf("core: fallback %d has bad rel_error %v", mi, mj.RelError)
+		}
+		fm := FallbackModel{
+			Excluded: append([]int(nil), mj.Excluded...),
+			Model:    &ols.Model{Alpha: alpha, C: mj.C},
+			RelError: mj.RelError,
+		}
+		fm.buildKeep(q)
+		fs.Models = append(fs.Models, fm)
+	}
+	return fs, nil
 }

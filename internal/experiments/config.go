@@ -3,6 +3,15 @@
 // 19 workloads, runs the power-grid transient simulations, collects training
 // and test voltage maps, and drives the placement/prediction/detection
 // machinery from the other packages.
+//
+// The paper artifacts map as: Table 1 → Table1 (λ sweep, Section 3.1),
+// Table 2 → Table2 (ME/WAE/TE vs Eagle-Eye, Section 3.2), Figures 1-4 →
+// Figure1..Figure4. Beyond the paper, the Ablation* methods stress the
+// methodology's assumptions — alternative selectors, imperfect sensors,
+// process variation, workload holdout, closed-loop throttling, and
+// AblationFaultTolerance, which fails placed sensors on the held-out data
+// and compares feeding stuck readings to the primary Eq. 17 model against
+// switching to the leave-k-out fallbacks served by internal/serve.
 package experiments
 
 import (

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"voltsense/internal/core"
+	"voltsense/internal/detect"
+)
+
+// FaultPoint is one covered sensor-failure set of the fault-tolerance
+// ablation: the same held-out samples scored twice, once feeding the stuck
+// readings into the primary model (what a runtime without the degradation
+// tier silently does) and once through the matching leave-k-out fallback.
+type FaultPoint struct {
+	Failed        []int // positions within the placement (0..Q-1)
+	FailedGlobal  []int // global candidate indices of the failed sensors
+	NaiveRelErr   float64
+	FallbackRel   float64
+	Naive         detect.Rates
+	Fallback      detect.Rates
+	TrainFallback float64 // the fallback's training-time relative error
+}
+
+// FaultTolerance is the Table-2-style ablation result: emergency detection
+// quality versus number of failed sensors, naive versus fallback.
+type FaultTolerance struct {
+	SensorsPerCore int
+	Budget         int
+	Sensors        int // Q, total placed sensors
+	BaselineRelErr float64
+	Baseline       detect.Rates // all sensors healthy
+	Points         []FaultPoint
+}
+
+// AblationFaultTolerance quantifies what sensor failures cost at runtime.
+// It places q sensors per core, fits the primary Eq. 17 model plus
+// leave-k-out fallbacks up to the budget, then fails each covered sensor
+// set on the held-out data: the failed sensors freeze at their first test
+// reading (a stuck sensor holds its last sampled value) while the rails
+// keep moving. The naive scheme pushes the frozen readings through the
+// primary model; the fallback scheme switches to the precomputed submodel
+// that excludes them — exactly what internal/serve does live.
+func (p *Pipeline) AblationFaultTolerance(q, budget int) (*FaultTolerance, error) {
+	_, union, err := p.ChipPlacementCount(q)
+	if err != nil {
+		return nil, err
+	}
+	ds := &core.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+	pred, err := core.BuildPredictorWithFallbacks(ds, union, budget)
+	if err != nil {
+		return nil, err
+	}
+	test := p.TestAll()
+	truth := detect.TruthFromVoltages(test.CritV, p.Cfg.Vth)
+	sensorRows := test.CandV.SelectRows(union)
+
+	out := &FaultTolerance{
+		SensorsPerCore: q,
+		Budget:         budget,
+		Sensors:        len(union),
+	}
+	base := pred.Model.PredictMatrix(sensorRows)
+	out.BaselineRelErr = relErr(base, test.CritV)
+	out.Baseline = detect.Score(truth, detect.AlarmsFromPredictions(base, p.Cfg.Vth))
+
+	for _, fm := range pred.Fallbacks.Models {
+		// Stuck readings: the failed rows hold their first held-out value
+		// for the whole evaluation.
+		corrupted := sensorRows.Clone()
+		for _, pos := range fm.Excluded {
+			row := corrupted.Row(pos)
+			frozen := row[0]
+			for j := range row {
+				row[j] = frozen
+			}
+		}
+		naive := pred.Model.PredictMatrix(corrupted)
+
+		kept := make([]int, 0, len(union)-len(fm.Excluded))
+		failedGlobal := make([]int, 0, len(fm.Excluded))
+		ex := make(map[int]bool, len(fm.Excluded))
+		for _, pos := range fm.Excluded {
+			ex[pos] = true
+			failedGlobal = append(failedGlobal, union[pos])
+		}
+		for pos, g := range union {
+			if !ex[pos] {
+				kept = append(kept, g)
+			}
+		}
+		fb := fm.Model.PredictMatrix(test.CandV.SelectRows(kept))
+
+		out.Points = append(out.Points, FaultPoint{
+			Failed:        append([]int(nil), fm.Excluded...),
+			FailedGlobal:  failedGlobal,
+			NaiveRelErr:   relErr(naive, test.CritV),
+			FallbackRel:   relErr(fb, test.CritV),
+			Naive:         detect.Score(truth, detect.AlarmsFromPredictions(naive, p.Cfg.Vth)),
+			Fallback:      detect.Score(truth, detect.AlarmsFromPredictions(fb, p.Cfg.Vth)),
+			TrainFallback: fm.RelError,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the ablation as a table, one row per failure set.
+func (f *FaultTolerance) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault tolerance at %d sensors/core (%d sensors, fallback budget %d)\n",
+		f.SensorsPerCore, f.Sensors, f.Budget)
+	fmt.Fprintf(&b, "%-14s %10s | %8s %8s %8s | %8s %8s %8s\n",
+		"failed", "rel err(%)", "naive ME", "WAE", "TE", "fb ME", "WAE", "TE")
+	fmt.Fprintf(&b, "%-14s %10.4f | %8.4f %8.4f %8.4f | %8s %8s %8s\n",
+		"none", 100*f.BaselineRelErr, f.Baseline.ME, f.Baseline.WAE, f.Baseline.TE, "-", "-", "-")
+	for _, pt := range f.Points {
+		label := strings.Trim(strings.ReplaceAll(fmt.Sprint(pt.Failed), " ", ","), "[]")
+		fmt.Fprintf(&b, "%-14s %10.4f | %8.4f %8.4f %8.4f | %8.4f %8.4f %8.4f\n",
+			fmt.Sprintf("{%s}", label), 100*pt.FallbackRel,
+			pt.Naive.ME, pt.Naive.WAE, pt.Naive.TE,
+			pt.Fallback.ME, pt.Fallback.WAE, pt.Fallback.TE)
+	}
+	return b.String()
+}
+
+// CSV emits the ablation for plotting.
+func (f *FaultTolerance) CSV() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "failed,num_failed,fallback_rel_err,naive_me,naive_wae,naive_te,fb_me,fb_wae,fb_te")
+	fmt.Fprintf(&b, "none,0,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+		f.BaselineRelErr, f.Baseline.ME, f.Baseline.WAE, f.Baseline.TE,
+		f.Baseline.ME, f.Baseline.WAE, f.Baseline.TE)
+	for _, pt := range f.Points {
+		label := strings.Trim(strings.ReplaceAll(fmt.Sprint(pt.Failed), " ", ";"), "[]")
+		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			label, len(pt.Failed), pt.FallbackRel,
+			pt.Naive.ME, pt.Naive.WAE, pt.Naive.TE,
+			pt.Fallback.ME, pt.Fallback.WAE, pt.Fallback.TE)
+	}
+	return b.String()
+}

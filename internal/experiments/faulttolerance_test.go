@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestAblationFaultTolerance(t *testing.T) {
+	p := quick(t)
+	d, err := p.AblationFaultTolerance(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 2 yields every leave-one-out singleton plus one greedy pair.
+	if want := d.Sensors + 1; len(d.Points) != want {
+		t.Fatalf("got %d failure sets, want %d", len(d.Points), want)
+	}
+	if d.Baseline.Samples == 0 || d.Baseline.Emergencies == 0 {
+		t.Fatalf("degenerate baseline: %+v", d.Baseline)
+	}
+	for _, pt := range d.Points {
+		// The headline acceptance criterion: with failed sensors, the
+		// fallback's emergency miss error stays within 2x the all-sensors
+		// baseline (with a small absolute allowance for a near-zero
+		// baseline on the quick pipeline).
+		limit := 2*d.Baseline.ME + 0.02
+		if pt.Fallback.ME > limit {
+			t.Errorf("failure %v: fallback ME %.4f exceeds 2x baseline %.4f",
+				pt.Failed, pt.Fallback.ME, d.Baseline.ME)
+		}
+		// Fewer sensors can never beat the full placement on training data;
+		// the held-out gap should stay moderate too.
+		if pt.FallbackRel > 10*d.BaselineRelErr+0.05 {
+			t.Errorf("failure %v: fallback rel err %.4f vs baseline %.4f",
+				pt.Failed, pt.FallbackRel, d.BaselineRelErr)
+		}
+	}
+	if out := d.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+	if out := d.CSV(); out == "" {
+		t.Fatal("empty CSV")
+	}
+}

@@ -1,0 +1,223 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// SensorStats is the training-time reference distribution of one sensor's
+// raw readings — the per-row mean and standard deviation of Xˢ, computed
+// when the Eq. 17 model is fitted and serialized beside the fallbacks. The
+// detector judges runtime windows against these references.
+type SensorStats struct {
+	Mean float64
+	Std  float64
+}
+
+// DetectorConfig tunes fault detection.
+type DetectorConfig struct {
+	// Window is the rolling-statistics window in cycles. Flatline and drift
+	// need a full window before they can fire. Default 32.
+	Window int
+	// FlatlineFrac flags a sensor stuck when its window standard deviation
+	// falls below FlatlineFrac times its training standard deviation. Real
+	// supply nodes always carry noise; a flat window means the sensor froze.
+	// Default 0.01.
+	FlatlineFrac float64
+	// DriftSigma flags a sensor drifting when its window mean deviates from
+	// the training mean by more than DriftSigma training standard
+	// deviations. Legitimate droops move individual readings several σ but
+	// recover; a sustained window-mean excursion this large means the
+	// sensor, not the rail, moved. Default 8.
+	DriftSigma float64
+	// DropoutCycles flags a sensor dropped out after this many consecutive
+	// non-finite readings. Default 2, so a single transient glitch (which
+	// the guard papers over with the last good value) is forgiven.
+	DropoutCycles int
+}
+
+func (c DetectorConfig) withDefaults() (DetectorConfig, error) {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Window < 2 {
+		return c, fmt.Errorf("faults: detector window %d must be at least 2", c.Window)
+	}
+	if c.FlatlineFrac == 0 {
+		c.FlatlineFrac = 0.01
+	}
+	if c.FlatlineFrac < 0 {
+		return c, fmt.Errorf("faults: negative FlatlineFrac %v", c.FlatlineFrac)
+	}
+	if c.DriftSigma == 0 {
+		c.DriftSigma = 8
+	}
+	if c.DriftSigma < 0 {
+		return c, fmt.Errorf("faults: negative DriftSigma %v", c.DriftSigma)
+	}
+	if c.DropoutCycles == 0 {
+		c.DropoutCycles = 2
+	}
+	if c.DropoutCycles < 0 {
+		return c, fmt.Errorf("faults: negative DropoutCycles %d", c.DropoutCycles)
+	}
+	return c, nil
+}
+
+// sensorState is the per-sensor rolling window plus diagnosis. The window
+// holds only finite readings; non-finite readings advance the dropout
+// counter instead.
+type sensorState struct {
+	ring     []float64
+	head     int
+	fill     int
+	sum      float64 // running Σ over the ring
+	sumSq    float64 // running Σx² over the ring
+	nanRun   int     // consecutive non-finite readings
+	lastGood float64 // most recent finite reading (train mean before any)
+	fault    Kind    // None while healthy; sticky once set
+}
+
+// Detector classifies sensors from streaming readings. It is not
+// goroutine-safe; the Guard serializes access.
+//
+// Faults are sticky: a sensor, once diagnosed, stays faulty until Reset.
+// A silicon sensor that flatlined does not heal itself, and un-flagging one
+// would flap the runtime between fallback models.
+type Detector struct {
+	cfg     DetectorConfig
+	stats   []SensorStats
+	sensors []sensorState
+	faulty  []int // cached ascending positions, rebuilt on change
+}
+
+// NewDetector builds a detector for len(stats) sensors. Each sensor's
+// training mean/std comes from the model artifact (core.FallbackSet.Stats).
+func NewDetector(stats []SensorStats, cfg DetectorConfig) (*Detector, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("faults: detector needs at least one sensor")
+	}
+	for i, s := range stats {
+		if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) || math.IsNaN(s.Std) || math.IsInf(s.Std, 0) || s.Std < 0 {
+			return nil, fmt.Errorf("faults: bad training stats for sensor %d: mean=%v std=%v", i, s.Mean, s.Std)
+		}
+	}
+	d := &Detector{
+		cfg:     c,
+		stats:   append([]SensorStats(nil), stats...),
+		sensors: make([]sensorState, len(stats)),
+	}
+	for i := range d.sensors {
+		d.sensors[i].ring = make([]float64, c.Window)
+		d.sensors[i].lastGood = stats[i].Mean
+	}
+	return d, nil
+}
+
+// NumSensors returns the number of tracked sensors.
+func (d *Detector) NumSensors() int { return len(d.sensors) }
+
+// Observe consumes one cycle's readings (length NumSensors; non-finite
+// values allowed — they are dropout evidence) and reports whether the
+// faulty set changed this cycle.
+func (d *Detector) Observe(readings []float64) bool {
+	if len(readings) != len(d.sensors) {
+		panic(fmt.Sprintf("faults: %d readings for %d sensors", len(readings), len(d.sensors)))
+	}
+	changed := false
+	for i := range d.sensors {
+		if d.observeSensor(i, readings[i]) {
+			changed = true
+		}
+	}
+	if changed {
+		d.faulty = d.faulty[:0]
+		for i := range d.sensors {
+			if d.sensors[i].fault != None {
+				d.faulty = append(d.faulty, i)
+			}
+		}
+	}
+	return changed
+}
+
+// observeSensor folds one reading into sensor i's window and reports
+// whether its diagnosis changed.
+func (d *Detector) observeSensor(i int, v float64) bool {
+	st := &d.sensors[i]
+	if st.fault != None {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			st.lastGood = v
+		}
+		return false
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		st.nanRun++
+		if st.nanRun >= d.cfg.DropoutCycles {
+			st.fault = Dropout
+			return true
+		}
+		return false
+	}
+	st.nanRun = 0
+	st.lastGood = v
+	// Slide the ring, maintaining running first and second moments.
+	if st.fill == len(st.ring) {
+		old := st.ring[st.head]
+		st.sum -= old
+		st.sumSq -= old * old
+	} else {
+		st.fill++
+	}
+	st.ring[st.head] = v
+	st.sum += v
+	st.sumSq += v * v
+	st.head = (st.head + 1) % len(st.ring)
+	if st.fill < len(st.ring) {
+		return false
+	}
+	n := float64(st.fill)
+	mean := st.sum / n
+	variance := st.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric cancellation on a truly constant window
+	}
+	refStd := math.Max(d.stats[i].Std, 1e-9)
+	if math.Sqrt(variance) < d.cfg.FlatlineFrac*refStd {
+		st.fault = Stuck
+		return true
+	}
+	if math.Abs(mean-d.stats[i].Mean) > d.cfg.DriftSigma*refStd {
+		st.fault = Drift
+		return true
+	}
+	return false
+}
+
+// Faulty returns the faulty sensor positions, ascending. The slice is
+// owned by the detector; callers must not retain it across Observe.
+func (d *Detector) Faulty() []int { return d.faulty }
+
+// Diagnosis returns sensor i's current classification (None if healthy).
+func (d *Detector) Diagnosis(i int) Kind { return d.sensors[i].fault }
+
+// LastGood returns sensor i's most recent finite reading, or its training
+// mean if none has been seen — the substitute value the guard uses while a
+// transient glitch has not yet been diagnosed.
+func (d *Detector) LastGood(i int) float64 { return d.sensors[i].lastGood }
+
+// Reset clears all windows and diagnoses (used after a model reload).
+func (d *Detector) Reset() {
+	for i := range d.sensors {
+		st := &d.sensors[i]
+		st.head, st.fill, st.nanRun = 0, 0, 0
+		st.sum, st.sumSq = 0, 0
+		st.lastGood = d.stats[i].Mean
+		st.fault = None
+	}
+	d.faulty = d.faulty[:0]
+}

@@ -1,0 +1,378 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec := []byte(`{"faults":[
+		{"sensor":2,"kind":"stuck","start":100,"value":0.93},
+		{"sensor":0,"kind":"dropout","start":250},
+		{"sensor":1,"kind":"drift","start":50,"rate":-0.0002}
+	]}`)
+	fs, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Sensor: 2, Kind: Stuck, Start: 100, Value: 0.93},
+		{Sensor: 0, Kind: Dropout, Start: 250},
+		{Sensor: 1, Kind: Drift, Start: 50, Rate: -0.0002},
+	}
+	if !reflect.DeepEqual(fs, want) {
+		t.Fatalf("parsed %+v, want %+v", fs, want)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{}`,
+		`{"faults":[]}`,
+		`{"faults":[{"sensor":0,"kind":"gremlin","start":0}]}`,
+		`{"faults":[{"sensor":-1,"kind":"stuck","start":0,"value":1}]}`,
+		`{"faults":[{"sensor":0,"kind":"dropout","start":-5}]}`,
+	} {
+		if _, err := ParseSpec([]byte(bad)); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorApply(t *testing.T) {
+	inj, err := NewInjector([]Fault{
+		{Sensor: 0, Kind: Stuck, Start: 5, Value: 0.5},
+		{Sensor: 1, Kind: Dropout, Start: 3},
+		{Sensor: 2, Kind: Drift, Start: 2, Rate: 0.01},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []float64{1, 1, 1}
+	inj.Apply(0, r)
+	if !reflect.DeepEqual(r, []float64{1, 1, 1}) {
+		t.Fatalf("cycle 0 should be untouched, got %v", r)
+	}
+	r = []float64{1, 1, 1}
+	inj.Apply(4, r)
+	if r[0] != 1 {
+		t.Errorf("stuck fault fired early: %v", r[0])
+	}
+	if !math.IsNaN(r[1]) {
+		t.Errorf("dropout not injected: %v", r[1])
+	}
+	if math.Abs(r[2]-1.03) > 1e-12 { // 3 cycles past start at 0.01/cycle
+		t.Errorf("drift at cycle 4 = %v, want 1.03", r[2])
+	}
+	r = []float64{1, 1, 1}
+	inj.Apply(5, r)
+	if r[0] != 0.5 {
+		t.Errorf("stuck value = %v, want 0.5", r[0])
+	}
+}
+
+func TestInjectorValidates(t *testing.T) {
+	if _, err := NewInjector([]Fault{{Sensor: 3, Kind: Stuck}}, 3); err == nil {
+		t.Error("out-of-range sensor accepted")
+	}
+	if _, err := NewInjector([]Fault{{Sensor: 0}}, 3); err == nil {
+		t.Error("kindless fault accepted")
+	}
+}
+
+// testStats is a plausible supply-noise distribution: mean 0.97 V, 10 mV σ.
+func testStats(q int) []SensorStats {
+	st := make([]SensorStats, q)
+	for i := range st {
+		st[i] = SensorStats{Mean: 0.97, Std: 0.01}
+	}
+	return st
+}
+
+// feedHealthy drives n cycles of in-distribution noisy readings.
+func feedHealthy(t *testing.T, d *Detector, rng *rand.Rand, n int) {
+	t.Helper()
+	r := make([]float64, d.NumSensors())
+	for c := 0; c < n; c++ {
+		for i := range r {
+			r[i] = 0.97 + 0.01*rng.NormFloat64()
+		}
+		if d.Observe(r) {
+			t.Fatalf("healthy readings diagnosed faulty at cycle %d: %v", c, d.Faulty())
+		}
+	}
+}
+
+func TestDetectorHealthySensorsStayHealthy(t *testing.T) {
+	d, err := NewDetector(testStats(4), DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedHealthy(t, d, rand.New(rand.NewSource(1)), 500)
+	if len(d.Faulty()) != 0 {
+		t.Fatalf("faulty = %v, want none", d.Faulty())
+	}
+}
+
+func TestDetectorDropout(t *testing.T) {
+	d, err := NewDetector(testStats(2), DetectorConfig{DropoutCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []float64{0.97, math.NaN()}
+	if d.Observe(r) {
+		t.Fatal("single NaN should not diagnose yet (DropoutCycles=2)")
+	}
+	if !d.Observe(r) {
+		t.Fatal("second consecutive NaN should diagnose dropout")
+	}
+	if got := d.Faulty(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("faulty = %v, want [1]", got)
+	}
+	if d.Diagnosis(1) != Dropout {
+		t.Fatalf("diagnosis = %v, want dropout", d.Diagnosis(1))
+	}
+	if d.Diagnosis(0) != None {
+		t.Fatalf("healthy sensor diagnosed %v", d.Diagnosis(0))
+	}
+}
+
+func TestDetectorTransientGlitchForgiven(t *testing.T) {
+	d, err := NewDetector(testStats(1), DetectorConfig{DropoutCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 100; c++ {
+		v := 0.97 + 0.01*rng.NormFloat64()
+		if c%10 == 5 {
+			v = math.NaN() // isolated glitches, never two in a row
+		}
+		if d.Observe([]float64{v}) {
+			t.Fatalf("isolated glitch diagnosed at cycle %d", c)
+		}
+	}
+}
+
+func TestDetectorFlatline(t *testing.T) {
+	d, err := NewDetector(testStats(2), DetectorConfig{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	r := make([]float64, 2)
+	diagnosed := -1
+	for c := 0; c < 40 && diagnosed < 0; c++ {
+		r[0] = 0.97 + 0.01*rng.NormFloat64()
+		r[1] = 0.93 // frozen from the first cycle
+		if d.Observe(r) {
+			diagnosed = c
+		}
+	}
+	if diagnosed < 0 {
+		t.Fatal("flatlined sensor never diagnosed")
+	}
+	if diagnosed >= 16+1 {
+		t.Fatalf("flatline took %d cycles, want within one window", diagnosed)
+	}
+	if d.Diagnosis(1) != Stuck {
+		t.Fatalf("diagnosis = %v, want stuck", d.Diagnosis(1))
+	}
+}
+
+func TestDetectorDrift(t *testing.T) {
+	d, err := NewDetector(testStats(2), DetectorConfig{Window: 16, DriftSigma: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	r := make([]float64, 2)
+	diagnosed := -1
+	for c := 0; c < 400 && diagnosed < 0; c++ {
+		r[0] = 0.97 + 0.01*rng.NormFloat64()
+		// 1 mV/cycle walk keeps window variance alive while the mean leaves.
+		r[1] = 0.97 + 0.01*rng.NormFloat64() + 0.001*float64(c)
+		if d.Observe(r) {
+			diagnosed = c
+		}
+	}
+	if diagnosed < 0 {
+		t.Fatal("drifting sensor never diagnosed")
+	}
+	if d.Diagnosis(1) != Drift {
+		t.Fatalf("diagnosis = %v, want drift", d.Diagnosis(1))
+	}
+}
+
+func TestDetectorFaultsAreSticky(t *testing.T) {
+	d, err := NewDetector(testStats(1), DetectorConfig{DropoutCycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Observe([]float64{math.NaN()}) {
+		t.Fatal("dropout not diagnosed")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for c := 0; c < 100; c++ {
+		if d.Observe([]float64{0.97 + 0.01*rng.NormFloat64()}) {
+			t.Fatal("sticky fault changed state on recovery")
+		}
+	}
+	if d.Diagnosis(0) != Dropout {
+		t.Fatalf("fault healed itself: %v", d.Diagnosis(0))
+	}
+	d.Reset()
+	if len(d.Faulty()) != 0 || d.Diagnosis(0) != None {
+		t.Fatal("Reset did not clear the diagnosis")
+	}
+}
+
+// guardFixture builds a guard whose primary route sums the readings and
+// whose fallbacks cover exactly the singleton sets.
+func guardFixture(t *testing.T, q int) *Guard {
+	t.Helper()
+	det, err := NewDetector(testStats(q), DetectorConfig{Window: 8, DropoutCycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := Route{Predict: func(r []float64) []float64 {
+		s := 0.0
+		for _, v := range r {
+			s += v
+		}
+		return []float64{s}
+	}}
+	lookup := func(faulty []int) (Route, bool) {
+		if len(faulty) != 1 {
+			return Route{}, false
+		}
+		ex := faulty[0]
+		return Route{
+			Excluded: []int{ex},
+			Predict: func(r []float64) []float64 {
+				s := 0.0
+				for i, v := range r {
+					if i != ex {
+						s += v
+					}
+				}
+				return []float64{s}
+			},
+		}, true
+	}
+	g, err := NewGuard(det, primary, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGuardSwitchesToFallback(t *testing.T) {
+	g := guardFixture(t, 3)
+	f, st := g.Process([]float64{1, 1, 1})
+	if st.Changed || st.Degraded || len(st.Faulty) != 0 {
+		t.Fatalf("healthy cycle produced %+v", st)
+	}
+	if f[0] != 3 {
+		t.Fatalf("primary predicted %v, want 3", f[0])
+	}
+	f, st = g.Process([]float64{1, math.NaN(), 1})
+	if !st.Changed {
+		t.Fatal("dropout cycle did not report a change")
+	}
+	if !reflect.DeepEqual(st.Faulty, []int{1}) || !reflect.DeepEqual(st.ActiveExcluded, []int{1}) {
+		t.Fatalf("status %+v, want sensor 1 excluded", st)
+	}
+	if st.Degraded {
+		t.Fatal("covered fault reported degraded")
+	}
+	if f[0] != 2 {
+		t.Fatalf("fallback predicted %v, want 2 (sensor 1 ignored)", f[0])
+	}
+	// Subsequent cycles stay on the fallback without re-reporting a change.
+	f, st = g.Process([]float64{1, math.NaN(), 1})
+	if st.Changed {
+		t.Fatal("steady fallback cycle reported a change")
+	}
+	if f[0] != 2 {
+		t.Fatalf("fallback predicted %v on steady cycle", f[0])
+	}
+}
+
+func TestGuardDegradedWhenUncovered(t *testing.T) {
+	g := guardFixture(t, 3)
+	f, st := g.Process([]float64{math.NaN(), math.NaN(), 1})
+	if !st.Degraded {
+		t.Fatalf("two faults with singleton-only coverage should degrade, got %+v", st)
+	}
+	if f != nil {
+		t.Fatalf("degraded cycle still predicted %v", f)
+	}
+	if !reflect.DeepEqual(st.Faulty, []int{0, 1}) {
+		t.Fatalf("faulty = %v", st.Faulty)
+	}
+	if !g.Snapshot().Degraded {
+		t.Fatal("snapshot lost the degraded state")
+	}
+	g.Reset()
+	if g.Snapshot().Degraded {
+		t.Fatal("Reset did not clear degraded state")
+	}
+}
+
+func TestGuardRepairsTransientGlitch(t *testing.T) {
+	g := guardFixture(t, 2)
+	det := g.det
+	_ = det
+	// DropoutCycles is 1 in the fixture; rebuild with 2 so one NaN is transient.
+	d2, err := NewDetector(testStats(2), DetectorConfig{Window: 8, DropoutCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.det = d2
+	g.Process([]float64{0.97, 0.5}) // seeds lastGood[1] = 0.5
+	f, st := g.Process([]float64{0.97, math.NaN()})
+	if st.Changed || st.Degraded {
+		t.Fatalf("transient glitch changed state: %+v", st)
+	}
+	if math.Abs(f[0]-(0.97+0.5)) > 1e-12 {
+		t.Fatalf("glitch not repaired with last good value: %v", f[0])
+	}
+	if g.RepairedReadings() != 1 {
+		t.Fatalf("repaired count = %d, want 1", g.RepairedReadings())
+	}
+}
+
+func TestGuardConcurrent(t *testing.T) {
+	g := guardFixture(t, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			r := make([]float64, 4)
+			for c := 0; c < 200; c++ {
+				for i := range r {
+					r[i] = 0.97 + 0.01*rng.NormFloat64()
+				}
+				if c > 100 {
+					r[2] = math.NaN()
+				}
+				g.Process(r)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := g.Snapshot()
+	if st.Degraded {
+		t.Fatalf("single covered fault degraded: %+v", st)
+	}
+	if !reflect.DeepEqual(st.Faulty, []int{2}) {
+		t.Fatalf("faulty = %v, want [2]", st.Faulty)
+	}
+}

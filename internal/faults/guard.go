@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Route is one way to turn a full-Q reading vector into K block voltages:
+// the primary Eq. 20 model, or a fallback submodel that ignores the
+// Excluded positions. Predict must be safe for concurrent use (the OLS
+// models are read-only at runtime).
+type Route struct {
+	// Predict maps a full-length reading vector to K block voltages. A
+	// fallback route must not read the Excluded positions.
+	Predict func(readings []float64) []float64
+	// Excluded lists the reading-vector positions this route ignores,
+	// ascending; empty for the primary model.
+	Excluded []int
+}
+
+// Status reports the guard's state after one Process call.
+type Status struct {
+	// Faulty is the diagnosed faulty sensor positions, ascending.
+	Faulty []int
+	// ActiveExcluded is the Excluded set of the route now serving.
+	ActiveExcluded []int
+	// Degraded is true when more sensors failed than any fallback covers;
+	// Voltages is nil in that case.
+	Degraded bool
+	// Changed is true on the cycle a diagnosis or route switch happened —
+	// the moment to emit events and update metrics.
+	Changed bool
+}
+
+// Guard is the runtime switch: it feeds every reading vector through the
+// detector and routes prediction to the primary model or, atomically on
+// detection, to the narrowest fallback covering the failed set. All methods
+// are safe for concurrent use by many serving sessions; a single mutex
+// serializes the detector, which is cheap next to the Eq. 20 evaluation.
+type Guard struct {
+	mu       sync.Mutex
+	det      *Detector
+	primary  Route
+	lookup   func(faulty []int) (Route, bool)
+	active   Route
+	degraded bool
+	repaired int // cycles where a transient non-finite reading was substituted
+}
+
+// NewGuard wires a detector to a primary route and a fallback lookup.
+// lookup receives the ascending faulty set and returns the best fallback
+// route, or ok=false when the set is uncovered (core.FallbackSet.Lookup
+// wrapped by the serving layer).
+func NewGuard(det *Detector, primary Route, lookup func(faulty []int) (Route, bool)) (*Guard, error) {
+	if det == nil {
+		return nil, fmt.Errorf("faults: guard needs a detector")
+	}
+	if primary.Predict == nil {
+		return nil, fmt.Errorf("faults: guard needs a primary route")
+	}
+	if lookup == nil {
+		return nil, fmt.Errorf("faults: guard needs a fallback lookup")
+	}
+	return &Guard{det: det, primary: primary, lookup: lookup, active: primary}, nil
+}
+
+// Process consumes one reading vector: detection, repair, routing,
+// prediction. On degraded state it returns nil voltages and
+// Status.Degraded. The returned Faulty/ActiveExcluded slices are copies the
+// caller may retain.
+func (g *Guard) Process(readings []float64) ([]float64, Status) {
+	g.mu.Lock()
+	changed := g.det.Observe(readings)
+	if changed && !g.degraded {
+		faulty := g.det.Faulty()
+		if route, ok := g.lookup(sortedCopy(faulty)); ok {
+			g.active = route
+		} else {
+			g.degraded = true
+		}
+	}
+	st := Status{
+		Faulty:         sortedCopy(g.det.Faulty()),
+		ActiveExcluded: sortedCopy(g.active.Excluded),
+		Degraded:       g.degraded,
+		Changed:        changed,
+	}
+	if g.degraded {
+		g.mu.Unlock()
+		return nil, st
+	}
+	route := g.active
+	repaired := g.repair(readings, route.Excluded)
+	g.mu.Unlock()
+	// Predict outside the lock: the route's model is immutable and the
+	// repaired vector is this call's copy.
+	return route.Predict(repaired), st
+}
+
+// repair returns a prediction-safe copy of readings: positions the route
+// excludes are zeroed (the route never reads them), and any remaining
+// non-finite value — a transient glitch not yet diagnosed as dropout — is
+// replaced by the sensor's last good reading. Called with g.mu held.
+func (g *Guard) repair(readings []float64, excluded []int) []float64 {
+	out := make([]float64, len(readings))
+	copy(out, readings)
+	for _, p := range excluded {
+		if p < len(out) {
+			out[p] = 0
+		}
+	}
+	ex := 0
+	for i, v := range out {
+		for ex < len(excluded) && excluded[ex] < i {
+			ex++
+		}
+		if ex < len(excluded) && excluded[ex] == i {
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out[i] = g.det.LastGood(i)
+			g.repaired++
+		}
+	}
+	return out
+}
+
+// Snapshot returns the current status without consuming a reading (health
+// endpoints, pre-flight degraded checks).
+func (g *Guard) Snapshot() Status {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Status{
+		Faulty:         sortedCopy(g.det.Faulty()),
+		ActiveExcluded: sortedCopy(g.active.Excluded),
+		Degraded:       g.degraded,
+	}
+}
+
+// RepairedReadings reports how many transient non-finite readings were
+// substituted with last-good values.
+func (g *Guard) RepairedReadings() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.repaired
+}
+
+// Reset returns the guard (and its detector) to the all-healthy state.
+func (g *Guard) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.det.Reset()
+	g.active = g.primary
+	g.degraded = false
+	g.repaired = 0
+}

@@ -5,6 +5,11 @@
 // per-block emergency tracking with hysteresis, event generation, throttle
 // hooks, and occupancy statistics — consuming one sensor-reading vector per
 // cycle.
+//
+// The monitor is deliberately predictor-agnostic: SetPredictor swaps the
+// model mid-session while every alarm and hysteresis counter survives, which
+// is how the serving layer's fault-tolerance tier (internal/faults) switches
+// to a leave-k-out fallback without resetting open emergencies.
 package monitor
 
 import (
@@ -156,6 +161,17 @@ func (m *Monitor) Reset() {
 
 // NumBlocks returns the number of blocks the monitor tracks.
 func (m *Monitor) NumBlocks() int { return len(m.inAlarm) }
+
+// SetPredictor swaps the predictor feeding Process while preserving every
+// open alarm, hysteresis counter, and session statistic. This is the
+// fault-tolerance switch: when sensors fail and a leave-k-out fallback takes
+// over (see internal/faults), a block already in emergency must stay in
+// emergency — resetting the state machine on a model swap would silently
+// clear real alarms and re-raise phantom ones. The new predictor must emit
+// the same number of blocks.
+func (m *Monitor) SetPredictor(pred Predictor) {
+	m.pred = pred
+}
 
 // Process consumes one cycle's sensor readings and returns the emergency
 // transitions it caused, in block order. The returned slice is nil on quiet

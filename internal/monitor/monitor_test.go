@@ -253,3 +253,42 @@ func TestEventKindString(t *testing.T) {
 		t.Error("unknown kind should stringify")
 	}
 }
+
+// TestSetPredictorPreservesAlarmState is the fault-tolerance switch
+// contract: swapping to a fallback predictor mid-session must not reset
+// open alarms or hysteresis counters.
+func TestSetPredictorPreservesAlarmState(t *testing.T) {
+	primary := &scriptedPredictor{script: [][]float64{
+		{0.80, 0.95}, // block 0 enters emergency
+		{0.80, 0.95},
+	}}
+	m, err := New(primary, 2, Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Process(0, nil)
+	m.Process(1, nil)
+	if !m.InAlarm(0) {
+		t.Fatal("block 0 should be in emergency before the switch")
+	}
+
+	// Switch to a fallback that sees block 0 recovered: the open alarm must
+	// survive the swap and clear only through normal hysteresis.
+	fallback := &scriptedPredictor{script: [][]float64{{0.90, 0.95}}}
+	m.SetPredictor(fallback)
+	if !m.InAlarm(0) {
+		t.Fatal("SetPredictor reset the open alarm")
+	}
+	ev := m.Process(2, nil) // recovered 1 of 2 — must not clear yet
+	if len(ev) != 0 || !m.InAlarm(0) {
+		t.Fatalf("hysteresis counter reset by SetPredictor: events %v", ev)
+	}
+	ev = m.Process(3, nil) // recovered 2 of 2 → clear
+	if len(ev) != 1 || ev[0].Kind != AlarmCleared || m.InAlarm(0) {
+		t.Fatalf("expected clear after 2 recovered cycles, got %v", ev)
+	}
+	st := m.Stats()
+	if st.Cycles != 4 || st.Alarms != 1 {
+		t.Fatalf("session stats reset by SetPredictor: %+v", st)
+	}
+}

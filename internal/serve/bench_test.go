@@ -44,11 +44,11 @@ func benchmarkPredict(b *testing.B, batch int) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	readings := make([][]float64, batch)
+	readings := make([][]reading, batch)
 	for i := range readings {
-		row := make([]float64, q)
+		row := make([]reading, q)
 		for j := range row {
-			row[j] = 0.9 + 0.001*float64(i+j)
+			row[j] = reading(0.9 + 0.001*float64(i+j))
 		}
 		readings[i] = row
 	}

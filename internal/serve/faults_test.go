@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"voltsense/internal/core"
+	"voltsense/internal/faults"
+	"voltsense/internal/monitor"
+)
+
+// faultArtifact is a hand-written voltsense-predictor/v1 artifact with the
+// fault-tolerance section: 3 sensors, 1 block, the primary model averaging
+// all three readings and each leave-one-out fallback averaging the
+// survivors. Going through the real loader keeps the fixture honest.
+const faultArtifact = `{
+  "format": "voltsense-predictor/v1",
+  "selected_sensors": [1, 4, 9],
+  "alpha": [[0.3333333333333333, 0.3333333333333333, 0.3333333333333333]],
+  "c": [0],
+  "fallbacks": {
+    "sensor_stats": [
+      {"mean": 0.95, "std": 0.01},
+      {"mean": 0.95, "std": 0.01},
+      {"mean": 0.95, "std": 0.01}
+    ],
+    "models": [
+      {"excluded": [0], "alpha": [[0.5, 0.5]], "c": [0], "rel_error": 0.01},
+      {"excluded": [1], "alpha": [[0.5, 0.5]], "c": [0], "rel_error": 0.01},
+      {"excluded": [2], "alpha": [[0.5, 0.5]], "c": [0], "rel_error": 0.01}
+    ]
+  }
+}`
+
+func faultPredictor(t testing.TB) *core.Predictor {
+	t.Helper()
+	p, err := core.LoadPredictor(strings.NewReader(faultArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newFaultServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Loader == nil {
+		cfg.Loader = func() (*core.Predictor, error) { return faultPredictor(t), nil }
+	}
+	if cfg.Monitor.Vth == 0 {
+		cfg.Monitor = monitor.Config{Vth: 0.90, ClearMargin: 0.02, ClearCycles: 2}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// healthyLine varies every sensor around 0.95 V so no window ever flatlines.
+func healthyLine(c int) string {
+	w := 0.004 * math.Sin(float64(c))
+	return fmt.Sprintf(`{"readings":[%.6f,%.6f,%.6f]}`, 0.95+w, 0.95-w, 0.952+w)
+}
+
+func TestStreamDropoutSwitchesToFallbackWithoutDroppingSession(t *testing.T) {
+	s, ts := newFaultServer(t, Config{})
+	var lines []string
+	for c := 0; c < 5; c++ {
+		lines = append(lines, healthyLine(c))
+	}
+	// Sensor 1 drops out: null readings from here on. DropoutCycles defaults
+	// to 2, so the diagnosis lands on the second null line.
+	for c := 5; c < 10; c++ {
+		w := 0.004 * math.Sin(float64(c))
+		lines = append(lines, fmt.Sprintf(`{"readings":[%.6f,null,%.6f]}`, 0.95+w, 0.952+w))
+	}
+	got := streamCycles(t, ts.URL+"/v1/stream?emit_voltages=true", lines)
+
+	var faultLine *streamFault
+	voltagesAfterFault := 0
+	sawSummary := false
+	for _, ln := range got {
+		if strings.Contains(ln, `"fault"`) {
+			var wrap map[string]streamFault
+			if err := json.Unmarshal([]byte(ln), &wrap); err != nil {
+				t.Fatal(err)
+			}
+			f := wrap["fault"]
+			faultLine = &f
+			continue
+		}
+		if strings.Contains(ln, `"summary"`) {
+			sawSummary = true
+			continue
+		}
+		if faultLine != nil && strings.Contains(ln, `"voltages"`) {
+			var v streamVoltages
+			if err := json.Unmarshal([]byte(ln), &v); err != nil {
+				t.Fatal(err)
+			}
+			// The fallback averages sensors 0 and 2 and must not see the NaN.
+			// Tolerance covers the %.6f rounding in the request lines.
+			w := 0.004 * math.Sin(float64(v.Cycle))
+			want := ((0.95 + w) + (0.952 + w)) / 2
+			if math.Abs(v.Voltages[0]-want) > 1e-6 {
+				t.Fatalf("cycle %d fallback voltage %.6f, want %.6f", v.Cycle, v.Voltages[0], want)
+			}
+			voltagesAfterFault++
+		}
+	}
+	if faultLine == nil {
+		t.Fatal("no fault notice emitted")
+	}
+	if got, want := fmt.Sprint(faultLine.FaultySensors), "[1]"; got != want {
+		t.Fatalf("faulty sensors %v", faultLine.FaultySensors)
+	}
+	if got, want := fmt.Sprint(faultLine.FallbackExcluded), "[1]"; got != want {
+		t.Fatalf("fallback excluded %v", faultLine.FallbackExcluded)
+	}
+	if faultLine.Degraded {
+		t.Fatal("covered single failure reported degraded")
+	}
+	if voltagesAfterFault < 3 {
+		t.Fatalf("only %d voltage lines after the switch — session dropped?", voltagesAfterFault)
+	}
+	if !sawSummary {
+		t.Fatal("session did not end with a summary — it was dropped")
+	}
+	if s.Metrics().FaultySensors.Value() != 1 || s.Metrics().ActiveFallback.Value() != 1 {
+		t.Fatalf("fault gauges = %d/%d, want 1/1",
+			s.Metrics().FaultySensors.Value(), s.Metrics().ActiveFallback.Value())
+	}
+	if s.Metrics().FallbackSwitches.Value() == 0 {
+		t.Fatal("fallback switch not counted")
+	}
+}
+
+func TestStreamStuckSensorDetectedWithinWindow(t *testing.T) {
+	_, ts := newFaultServer(t, Config{Detector: faults.DetectorConfig{Window: 8}})
+	var lines []string
+	for c := 0; c < 16; c++ {
+		w := 0.004 * math.Sin(float64(c))
+		// Sensor 2 flatlines at 0.93 V from the first cycle.
+		lines = append(lines, fmt.Sprintf(`{"readings":[%.6f,%.6f,0.93]}`, 0.95+w, 0.95-w))
+	}
+	got := streamCycles(t, ts.URL+"/v1/stream", lines)
+	var f *streamFault
+	for _, ln := range got {
+		if strings.Contains(ln, `"fault"`) {
+			var wrap map[string]streamFault
+			if err := json.Unmarshal([]byte(ln), &wrap); err != nil {
+				t.Fatal(err)
+			}
+			v := wrap["fault"]
+			f = &v
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("stuck sensor never diagnosed")
+	}
+	if f.Cycle > 8 {
+		t.Fatalf("diagnosis at cycle %d, want within the 8-cycle window", f.Cycle)
+	}
+	if fmt.Sprint(f.FaultySensors) != "[2]" || fmt.Sprint(f.FallbackExcluded) != "[2]" {
+		t.Fatalf("fault line %+v, want sensor 2 excluded", f)
+	}
+}
+
+func TestAlarmHysteresisSurvivesFallbackSwitch(t *testing.T) {
+	// Vth 0.90: drive the block into emergency on the primary model, then
+	// drop a sensor. The open alarm must survive the switch and clear only
+	// after ClearCycles recovered cycles on the fallback.
+	_, ts := newFaultServer(t, Config{Monitor: monitor.Config{Vth: 0.90, ClearMargin: 0.02, ClearCycles: 2}})
+	lines := []string{
+		`{"readings":[0.95,0.951,0.952]}`, // quiet
+		`{"readings":[0.85,0.861,0.852]}`, // block dips → raise
+		`{"readings":[0.85,null,0.852]}`,  // still down; first null (transient)
+		`{"readings":[0.85,null,0.852]}`,  // second null → dropout, switch; still in alarm
+		`{"readings":[0.95,null,0.952]}`,  // recovered 1 (fallback mean .951)
+		`{"readings":[0.95,null,0.952]}`,  // recovered 2 → clear
+	}
+	got := streamCycles(t, ts.URL+"/v1/stream", lines)
+	var events []streamEvent
+	for _, ln := range got {
+		if strings.Contains(ln, `"kind"`) {
+			var e streamEvent
+			if err := json.Unmarshal([]byte(ln), &e); err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, e)
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want raise then clear", events)
+	}
+	if events[0].Kind != "raised" || events[0].Cycle != 1 {
+		t.Fatalf("raise = %+v", events[0])
+	}
+	// The clear lands at cycle 5: the switch at cycle 3 must NOT have reset
+	// the alarm (which would re-raise) nor the recovered-cycle counter
+	// (which would delay the clear).
+	if events[1].Kind != "cleared" || events[1].Cycle != 5 {
+		t.Fatalf("clear = %+v, want cleared at cycle 5", events[1])
+	}
+}
+
+func TestDegradedModeRejectsWithRetryAfter(t *testing.T) {
+	s, ts := newFaultServer(t, Config{})
+	// Two sensors dead with only leave-one-out fallbacks → degraded. Two
+	// consecutive null cycles trip DropoutCycles=2.
+	lines := []string{
+		`{"readings":[null,null,0.95]}`,
+		`{"readings":[null,null,0.95]}`,
+	}
+	got := streamCycles(t, ts.URL+"/v1/stream", lines)
+	last := got[len(got)-1]
+	if !strings.Contains(last, "degraded") {
+		t.Fatalf("stream did not end degraded: %v", got)
+	}
+	if s.Metrics().DegradedRequests.Value() == 0 {
+		t.Fatal("degraded stream not counted")
+	}
+
+	// The server is now chip-globally degraded: predict gets 503+Retry-After.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"readings":[[0.95,0.95,0.95]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+	// New stream sessions are refused up front.
+	resp, err = http.Post(ts.URL+"/v1/stream", "application/x-ndjson",
+		strings.NewReader(`{"readings":[0.95,0.95,0.95]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new stream status %d, want 503", resp.StatusCode)
+	}
+	// Health reports the condition.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if health["status"] != "degraded" || health["degraded"] != true {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	// A reload (e.g. a wider-budget artifact, or sensors replaced) resets
+	// the fault state.
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	code, _ := postJSON(t, ts.URL+"/v1/predict", `{"readings":[[0.95,0.95,0.95]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict after reload = %d, want 200", code)
+	}
+}
+
+func TestPredictRoutesThroughFallback(t *testing.T) {
+	_, ts := newFaultServer(t, Config{})
+	// Two vectors with sensor 0 null: the second trips the dropout
+	// diagnosis; remaining vectors get fallback predictions.
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"readings":[[null,0.94,0.96],[null,0.94,0.96],[null,0.90,0.92]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Vector 2 is evaluated by the fallback excluding sensor 0.
+	if got, want := resp.Voltages[2][0], (0.90+0.92)/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fallback predict = %v, want %v", got, want)
+	}
+}
+
+func TestFaultInjectionSpecDrivesDetection(t *testing.T) {
+	// The --fault-spec chaos path: clients send clean readings, the server
+	// corrupts sensor 0 into a flatline, and the detector catches it.
+	injected, err := faults.ParseSpec([]byte(`{"faults":[{"sensor":0,"kind":"stuck","start":0,"value":0.93}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newFaultServer(t, Config{
+		InjectFaults: injected,
+		Detector:     faults.DetectorConfig{Window: 8},
+	})
+	var lines []string
+	for c := 0; c < 16; c++ {
+		lines = append(lines, healthyLine(c))
+	}
+	got := streamCycles(t, ts.URL+"/v1/stream", lines)
+	found := false
+	for _, ln := range got {
+		if strings.Contains(ln, `"fault"`) && strings.Contains(ln, `"faulty_sensors":[0]`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected stuck sensor never diagnosed: %v", got)
+	}
+}
+
+func TestLegacyArtifactServesUnchanged(t *testing.T) {
+	// No fallbacks section: fault tolerance off, null readings rejected,
+	// health reports fault_tolerance false.
+	s, ts := newTestServer(t)
+	if s.cur.Load().guard != nil {
+		t.Fatal("legacy artifact got a guard")
+	}
+	code, body := postJSON(t, ts.URL+"/v1/predict", `{"readings":[[null,0.9]]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("null reading on legacy model: status %d body %s", code, body)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if health["fault_tolerance"] != false {
+		t.Fatalf("healthz fault_tolerance = %v", health["fault_tolerance"])
+	}
+	if _, ok := health["faulty_sensors"]; ok {
+		t.Fatal("legacy healthz should not report fault fields")
+	}
+}
+
+func TestMetricsExposeFaultSeries(t *testing.T) {
+	_, ts := newFaultServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		"voltserved_faulty_sensors",
+		"voltserved_active_fallback",
+		"voltserved_fallback_switches_total",
+		"voltserved_degraded_requests_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+}

@@ -92,6 +92,11 @@ type Metrics struct {
 	AlarmsRaised  Counter // cumulative raise events across all streams
 	AlarmsCleared Counter // cumulative clear events across all streams
 	Reloads       Counter // successful model hot-swaps
+
+	FaultySensors    Gauge   // sensors currently diagnosed faulty
+	ActiveFallback   Gauge   // sensors excluded by the serving fallback (0 = primary model)
+	FallbackSwitches Counter // fault-tier state changes (diagnoses and switches)
+	DegradedRequests Counter // requests refused or sessions ended in degraded mode
 }
 
 // NewMetrics builds an empty registry.
@@ -195,4 +200,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeCounter("voltserved_alarms_raised_total", "Alarm raise events across all streams.", m.AlarmsRaised.Value())
 	writeCounter("voltserved_alarms_cleared_total", "Alarm clear events across all streams.", m.AlarmsCleared.Value())
 	writeCounter("voltserved_model_reloads_total", "Successful predictor hot-swaps.", m.Reloads.Value())
+	writeGauge("voltserved_faulty_sensors", "Sensors currently diagnosed faulty (dropout, stuck, or drift).", m.FaultySensors.Value())
+	writeGauge("voltserved_active_fallback", "Sensors excluded by the serving fallback model (0 = primary).", m.ActiveFallback.Value())
+	writeCounter("voltserved_fallback_switches_total", "Fault-tier state changes: diagnoses and fallback switches.", m.FallbackSwitches.Value())
+	writeCounter("voltserved_degraded_requests_total", "Requests refused (503) or streams ended because no fallback covers the failed sensors.", m.DegradedRequests.Value())
 }

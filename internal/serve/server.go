@@ -18,6 +18,19 @@
 // The loaded model lives behind an atomic.Pointer: /v1/reload (or SIGHUP in
 // cmd/voltserved) swaps it without dropping in-flight streams — a session
 // keeps the predictor generation it started with until it ends.
+//
+// # Fault tolerance
+//
+// When the artifact carries a `fallbacks` section (core.FallbackSet), the
+// server runs the internal/faults degradation tier: every reading vector
+// feeds a chip-global fault detector, and on a diagnosis (dropout, stuck-at
+// flatline, drift) prediction switches atomically to the narrowest
+// precomputed leave-k-out fallback — in-flight streams keep their alarm
+// hysteresis and never drop. Dropouts are reported in request JSON as null
+// readings. When more sensors fail than the fallbacks cover, the server
+// enters degraded mode: /v1/predict and new /v1/stream sessions get 503
+// with Retry-After, and open streams end with an error line. Legacy
+// artifacts without fallbacks serve exactly as before.
 package serve
 
 import (
@@ -34,6 +47,7 @@ import (
 	"time"
 
 	"voltsense/internal/core"
+	"voltsense/internal/faults"
 	"voltsense/internal/monitor"
 )
 
@@ -51,16 +65,31 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps any single request body. Default 32 MiB.
 	MaxBodyBytes int64
+	// Detector tunes fault detection when the loaded artifact carries
+	// fallbacks. The zero value uses the faults package defaults.
+	Detector faults.DetectorConfig
+	// InjectFaults, when non-empty, corrupts every incoming reading vector
+	// per the spec (the voltserved --fault-spec flag) — a chaos harness for
+	// drilling the degradation tier against a live server.
+	InjectFaults []faults.Fault
+	// RetryAfter is the Retry-After header value returned with degraded
+	// 503s. Default 10 seconds.
+	RetryAfter time.Duration
 }
 
 // model is one loaded predictor generation plus the session pool bound to
 // it. Pooled monitors embed the generation's predictor, so swapping models
 // swaps pools too and stale monitors simply age out with their generation.
+// The guard (fault detector + fallback router) is likewise per-generation:
+// a reload starts from an all-healthy diagnosis, since a new artifact may
+// place different sensors.
 type model struct {
-	pred *core.Predictor
-	q, k int
-	gen  uint64
-	pool *sync.Pool // of *monitor.Monitor with the server's default config
+	pred     *core.Predictor
+	q, k     int
+	gen      uint64
+	pool     *sync.Pool       // of *monitor.Monitor with the server's default config
+	guard    *faults.Guard    // nil when the artifact has no fallbacks
+	injector *faults.Injector // nil without --fault-spec
 }
 
 // Server is the voltage-map inference service.
@@ -72,6 +101,10 @@ type Server struct {
 	start    time.Time
 	mux      *http.ServeMux
 	reloadMu sync.Mutex // serializes hot-swaps
+
+	// injectCycle clocks --fault-spec injection for stateless /v1/predict
+	// vectors; streams use their own session cycle numbers.
+	injectCycle atomic.Int64
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -87,6 +120,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 10 * time.Second
 	}
 	s := &Server{cfg: cfg, metrics: NewMetrics(), start: time.Now()}
 	if err := s.Reload(); err != nil {
@@ -155,7 +191,48 @@ func (s *Server) newModel(pred *core.Predictor) (*model, error) {
 		return mon
 	}}
 	m.pool.Put(first)
+	if fb := pred.Fallbacks; fb != nil {
+		det, err := faults.NewDetector(fb.Stats, s.cfg.Detector)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fault detector: %w", err)
+		}
+		primary := faults.Route{Predict: pred.Predict}
+		lookup := func(faulty []int) (faults.Route, bool) {
+			fm := fb.Lookup(faulty)
+			if fm == nil {
+				return faults.Route{}, false
+			}
+			return faults.Route{Predict: fm.PredictFull, Excluded: fm.Excluded}, true
+		}
+		m.guard, err = faults.NewGuard(det, primary, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fault guard: %w", err)
+		}
+	}
+	if len(s.cfg.InjectFaults) > 0 {
+		inj, err := faults.NewInjector(s.cfg.InjectFaults, q)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fault injection: %w", err)
+		}
+		m.injector = inj
+	}
 	return m, nil
+}
+
+// refreshFaultMetrics publishes the guard's state after a change.
+func (s *Server) refreshFaultMetrics(st faults.Status) {
+	s.metrics.FaultySensors.Set(int64(len(st.Faulty)))
+	s.metrics.ActiveFallback.Set(int64(len(st.ActiveExcluded)))
+}
+
+// degrade rejects a request in degraded mode: more sensors failed than the
+// precomputed fallbacks cover, so every prediction would be garbage.
+func (s *Server) degrade(w http.ResponseWriter, st faults.Status) {
+	s.metrics.DegradedRequests.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+	httpError(w, http.StatusServiceUnavailable,
+		"degraded: %d sensors faulty (%v), no fallback covers them; replace sensors or reload a wider-budget model",
+		len(st.Faulty), st.Faulty)
 }
 
 // ListenAndServe serves on addr until Shutdown or a listener error. A clean
@@ -254,10 +331,39 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
+// reading decodes a JSON number or null. null marks a sensor dropout (JSON
+// cannot carry NaN) and decodes to NaN, which the fault tier treats as
+// dropout evidence; without fault tolerance it is rejected like any other
+// non-finite reading.
+type reading float64
+
+// UnmarshalJSON implements the null-to-NaN decoding.
+func (r *reading) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*r = reading(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*r = reading(f)
+	return nil
+}
+
+// toFloats converts a decoded reading vector.
+func toFloats(rs []reading) []float64 {
+	out := make([]float64, len(rs))
+	for i, v := range rs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
 // predictRequest is the /v1/predict input: one or more sensor-reading
 // vectors, each of length Q (the loaded model's sensor count).
 type predictRequest struct {
-	Readings [][]float64 `json:"readings"`
+	Readings [][]reading `json:"readings"`
 }
 
 // predictResponse carries per-block voltage estimates, one row per input
@@ -268,12 +374,18 @@ type predictResponse struct {
 	Voltages        [][]float64 `json:"voltages"`
 }
 
-func checkVector(v []float64, q int) error {
+// checkVector validates one reading vector. With the fault tier active
+// (allowNaN), NaN readings — decoded from JSON null — are legitimate
+// dropout markers; infinities are never accepted.
+func checkVector(v []float64, q int, allowNaN bool) error {
 	if len(v) != q {
 		return fmt.Errorf("reading has %d values, model wants %d", len(v), q)
 	}
 	for _, x := range v {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
+		if math.IsNaN(x) && !allowNaN {
+			return fmt.Errorf("reading contains null/NaN; the loaded model has no fallbacks to tolerate a dropout")
+		}
+		if math.IsInf(x, 0) {
 			return fmt.Errorf("reading contains non-finite value %v", x)
 		}
 	}
@@ -299,17 +411,39 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Readings), s.cfg.MaxBatch)
 		return
 	}
-	for i, v := range req.Readings {
-		if err := checkVector(v, m.q); err != nil {
+	batch := make([][]float64, len(req.Readings))
+	for i, rv := range req.Readings {
+		batch[i] = toFloats(rv)
+		if err := checkVector(batch[i], m.q, m.guard != nil); err != nil {
 			httpError(w, http.StatusBadRequest, "readings[%d]: %v", i, err)
 			return
 		}
 	}
-	out := make([][]float64, len(req.Readings))
-	for i, v := range req.Readings {
-		out[i] = m.pred.Predict(v)
+	if m.guard != nil && m.guard.Snapshot().Degraded {
+		s.degrade(w, m.guard.Snapshot())
+		return
 	}
-	s.metrics.Predictions.Add(uint64(len(req.Readings)))
+	out := make([][]float64, len(batch))
+	for i, v := range batch {
+		if m.injector != nil {
+			m.injector.Apply(int(s.injectCycle.Add(1)-1), v)
+		}
+		if m.guard == nil {
+			out[i] = m.pred.Predict(v)
+			continue
+		}
+		f, st := m.guard.Process(v)
+		if st.Changed {
+			s.metrics.FallbackSwitches.Inc()
+			s.refreshFaultMetrics(st)
+		}
+		if st.Degraded {
+			s.degrade(w, st)
+			return
+		}
+		out[i] = f
+	}
+	s.metrics.Predictions.Add(uint64(len(batch)))
 	writeJSON(w, http.StatusOK, predictResponse{
 		ModelGeneration: m.gen,
 		Blocks:          m.k,
@@ -339,14 +473,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.cur.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":           "ok",
 		"model_generation": m.gen,
 		"sensors":          m.q,
 		"blocks":           m.k,
 		"active_streams":   s.metrics.ActiveStreams.Value(),
 		"uptime_seconds":   time.Since(s.start).Seconds(),
-	})
+		"fault_tolerance":  m.guard != nil,
+	}
+	if m.guard != nil {
+		st := m.guard.Snapshot()
+		resp["faulty_sensors"] = st.Faulty
+		resp["active_fallback_excluded"] = st.ActiveExcluded
+		resp["degraded"] = st.Degraded
+		if st.Degraded {
+			resp["status"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -392,11 +537,12 @@ func (s *Server) sessionConfig(r *http.Request) (monitor.Config, bool, error) {
 	return cfg, overridden, nil
 }
 
-// streamIn is one NDJSON input line: a cycle's sensor readings. Cycle is
-// optional; omitted cycles number sequentially from the last seen value.
+// streamIn is one NDJSON input line: a cycle's sensor readings (null = the
+// sensor dropped out this cycle). Cycle is optional; omitted cycles number
+// sequentially from the last seen value.
 type streamIn struct {
 	Cycle    *int      `json:"cycle"`
-	Readings []float64 `json:"readings"`
+	Readings []reading `json:"readings"`
 }
 
 // streamEvent is one NDJSON output line: an alarm transition.
@@ -412,6 +558,17 @@ type streamEvent struct {
 type streamVoltages struct {
 	Cycle    int       `json:"cycle"`
 	Voltages []float64 `json:"voltages"`
+}
+
+// streamFault is emitted when the fault tier changes state mid-session:
+// a sensor was diagnosed and prediction switched to a fallback (or the
+// session is about to end degraded).
+type streamFault struct {
+	Cycle            int    `json:"cycle"`
+	FaultySensors    []int  `json:"faulty_sensors"`
+	FallbackExcluded []int  `json:"fallback_excluded"`
+	Degraded         bool   `json:"degraded"`
+	Note             string `json:"note,omitempty"`
 }
 
 // streamSummary closes a clean stream.
@@ -435,6 +592,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	emitVoltages := r.URL.Query().Get("emit_voltages") == "true"
 	m := s.cur.Load() // session keeps this generation until it ends
+
+	// A chip whose sensors already exceed fallback coverage cannot be
+	// monitored; refuse the session up front rather than stream garbage.
+	if m.guard != nil {
+		if st := m.guard.Snapshot(); st.Degraded {
+			s.degrade(w, st)
+			return
+		}
+	}
 
 	var mon *monitor.Monitor
 	if overridden {
@@ -499,12 +665,43 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			cycle++
 		}
-		if err := checkVector(in.Readings, m.q); err != nil {
+		readings := toFloats(in.Readings)
+		if err := checkVector(readings, m.q, m.guard != nil); err != nil {
 			enc.Encode(map[string]string{"error": err.Error()})
 			flush()
 			return
 		}
-		f := m.pred.Predict(in.Readings)
+		if m.injector != nil {
+			m.injector.Apply(cycle, readings)
+		}
+		var f []float64
+		if m.guard == nil {
+			f = m.pred.Predict(readings)
+		} else {
+			var st faults.Status
+			f, st = m.guard.Process(readings)
+			if st.Changed {
+				s.metrics.FallbackSwitches.Inc()
+				s.refreshFaultMetrics(st)
+				enc.Encode(map[string]streamFault{"fault": {
+					Cycle:            cycle,
+					FaultySensors:    st.Faulty,
+					FallbackExcluded: st.ActiveExcluded,
+					Degraded:         st.Degraded,
+				}})
+				flush()
+			}
+			if st.Degraded {
+				// More sensors failed than the fallbacks cover: every further
+				// prediction would be garbage. End the session explicitly so
+				// the client knows to stop trusting it.
+				s.metrics.DegradedRequests.Inc()
+				enc.Encode(map[string]string{"error": fmt.Sprintf(
+					"degraded: %d sensors faulty (%v), no fallback covers them; session closed", len(st.Faulty), st.Faulty)})
+				flush()
+				return
+			}
+		}
 		events := mon.ProcessPredicted(cycle, f)
 		s.metrics.Predictions.Inc()
 		if emitVoltages {

@@ -36,6 +36,7 @@ import (
 	"voltsense/internal/detect"
 	"voltsense/internal/eagleeye"
 	"voltsense/internal/experiments"
+	"voltsense/internal/faults"
 	"voltsense/internal/floorplan"
 	"voltsense/internal/grid"
 	"voltsense/internal/lasso"
@@ -226,6 +227,86 @@ type ThrottleFunc = monitor.ThrottleFunc
 // outputs.
 func NewMonitor(pred monitor.Predictor, k int, cfg MonitorConfig, th monitor.Throttler) (*Monitor, error) {
 	return monitor.New(pred, k, cfg, th)
+}
+
+// --- Fault tolerance: surviving failed sensors at runtime ---
+
+// FallbackSet is the fault-tolerance section of a predictor: per-sensor
+// training statistics plus precomputed leave-k-out submodels.
+type FallbackSet = core.FallbackSet
+
+// FallbackModel is one leave-k-out submodel excluding specific sensors.
+type FallbackModel = core.FallbackModel
+
+// BuildPredictorWithFallbacks fits the Eq. 17 model plus leave-k-out
+// fallback submodels tolerating up to budget failed sensors; the fallbacks
+// serialize into the artifact's optional "fallbacks" section.
+func BuildPredictorWithFallbacks(ds *Dataset, selected []int, budget int) (*Predictor, error) {
+	return core.BuildPredictorWithFallbacks(ds, selected, budget)
+}
+
+// Fault is one synthetic sensor fault (stuck-at, dropout, or drift) for
+// injection harnesses.
+type Fault = faults.Fault
+
+// FaultKind classifies a sensor fault.
+type FaultKind = faults.Kind
+
+// Fault kinds, for injection specs and detector diagnoses.
+const (
+	FaultNone    = faults.None
+	FaultStuck   = faults.Stuck
+	FaultDropout = faults.Dropout
+	FaultDrift   = faults.Drift
+)
+
+// FaultDetector classifies sensors as healthy or faulty from streaming
+// readings judged against their training distribution.
+type FaultDetector = faults.Detector
+
+// FaultDetectorConfig tunes detection windows and thresholds.
+type FaultDetectorConfig = faults.DetectorConfig
+
+// FaultGuard routes predictions through the active model — primary or
+// fallback — switching atomically as the detector diagnoses sensors.
+type FaultGuard = faults.Guard
+
+// FaultRoute is one way to turn a reading vector into block voltages: the
+// primary model, or a fallback that ignores its Excluded positions.
+type FaultRoute = faults.Route
+
+// FaultStatus reports the guard's state after each Process call.
+type FaultStatus = faults.Status
+
+// FaultInjector corrupts reading vectors per a fault spec.
+type FaultInjector = faults.Injector
+
+// SensorStats is one sensor's training-time reading distribution — the
+// detector's reference.
+type SensorStats = faults.SensorStats
+
+// SensorTrainingStats summarizes each selected sensor's training readings
+// (mean, std) — the detector's reference distribution.
+func SensorTrainingStats(ds *Dataset, selected []int) []SensorStats {
+	return core.SensorTrainingStats(ds, selected)
+}
+
+// ParseFaultSpec parses the JSON fault-spec format used by voltserved's
+// -fault-spec flag.
+func ParseFaultSpec(data []byte) ([]Fault, error) { return faults.ParseSpec(data) }
+
+// NewFaultInjector validates a fault list against q sensors.
+func NewFaultInjector(fl []Fault, q int) (*FaultInjector, error) { return faults.NewInjector(fl, q) }
+
+// NewFaultDetector builds a detector over the sensors' training statistics.
+func NewFaultDetector(stats []faults.SensorStats, cfg FaultDetectorConfig) (*FaultDetector, error) {
+	return faults.NewDetector(stats, cfg)
+}
+
+// NewFaultGuard wires a detector, the primary route, and a fallback lookup
+// into the runtime switch used by the serving layer.
+func NewFaultGuard(det *FaultDetector, primary FaultRoute, lookup func([]int) (FaultRoute, bool)) (*FaultGuard, error) {
+	return faults.NewGuard(det, primary, lookup)
 }
 
 // --- Dataset persistence ---
