@@ -1,11 +1,11 @@
 // Command benchreport runs the repository's benchmark suite and writes a
 // machine-readable summary, including the speedup of each parallel blocked
 // kernel over its serial naive baseline. `make bench` invokes it to produce
-// BENCH_PR2.json; CI runs the same benchmarks once per commit.
+// BENCH_PR4.json; CI runs the same benchmarks once per commit.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR2.json] [-benchtime 100ms] [-bench .]
+//	go run ./cmd/benchreport [-out BENCH_PR4.json] [-benchtime 100ms] [-bench .]
 package main
 
 import (
@@ -22,12 +22,14 @@ import (
 )
 
 // benchPackages is the suite the report covers: the kernel layer, the solver
-// hot loops, the transient engine, and the inference server.
+// hot loops, the transient engine, the inference server, and the online
+// recalibration loop (rank-1 update + shadow scoring).
 var benchPackages = []string{
 	"./internal/mat/",
 	"./internal/lasso/",
 	"./internal/pdn/",
 	"./internal/serve/",
+	"./internal/online/",
 }
 
 // speedupPairs maps each parallel/blocked benchmark to the serial baseline it
@@ -67,7 +69,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	benchTime := flag.String("benchtime", "100ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
 	flag.Parse()

@@ -27,6 +27,7 @@
 //	closedloop   alarms throttle the cores; emergencies drop (the payoff)
 //	loo          leave-one-benchmark-out workload generalization
 //	faults       detection quality with failed sensors: naive vs fallback
+//	adapt        online recalibration under grid drift: static vs adapted
 //
 // Flags select the pipeline scale (-full for the paper-scale run), CSV
 // output, sensor budgets and benchmark choice; see -help.
@@ -41,6 +42,7 @@ import (
 
 	"voltsense/internal/detect"
 	"voltsense/internal/experiments"
+	"voltsense/internal/online"
 	"voltsense/internal/vmap"
 )
 
@@ -65,7 +67,7 @@ func run(args []string) error {
 	useThermal := fs.Bool("thermal", false, "couple average power to temperature and scale leakage (hotter blocks leak more)")
 	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults>\n")
+		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -131,6 +133,7 @@ func run(args []string) error {
 		"closedloop":  func() error { return doClosedLoop(p, bench, *sensors) },
 		"loo":         func() error { return doLOO(p, *sensors) },
 		"faults":      func() error { return doFaults(p, *sensors, *budget, *csv) },
+		"adapt":       func() error { return doAdapt(p, *sensors, *csv) },
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig2", "fig3", "table2", "fig4", "map"} {
@@ -150,7 +153,7 @@ var knownExperiments = map[string]bool{
 	"table1": true, "table2": true, "fig1": true, "fig2": true, "fig3": true,
 	"fig4": true, "map": true, "all": true, "correlation": true,
 	"perblock": true, "ablations": true, "robustness": true, "variation": true,
-	"closedloop": true, "loo": true, "faults": true,
+	"closedloop": true, "loo": true, "faults": true, "adapt": true,
 }
 
 func scaleName(full bool) string {
@@ -332,6 +335,19 @@ func doVariation(p *experiments.Pipeline, sensors int) error {
 
 func doFaults(p *experiments.Pipeline, sensors, budget int, csv bool) error {
 	d, err := p.AblationFaultTolerance(sensors, budget)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(d.CSV())
+	} else {
+		fmt.Print(d.Render())
+	}
+	return nil
+}
+
+func doAdapt(p *experiments.Pipeline, sensors int, csv bool) error {
+	d, err := p.AblationOnlineAdaptation(sensors, 0.15, online.Config{})
 	if err != nil {
 		return err
 	}

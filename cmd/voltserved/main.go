@@ -21,6 +21,14 @@
 // synthetic sensor faults for drilling that path against a live server:
 //
 //	voltserved -model model.json -fault-spec '{"faults":[{"sensor":0,"kind":"stuck","start":100,"value":0.93}]}'
+//
+// -adapt enables online recalibration: POST /v1/feedback ingests labeled
+// samples (sensor readings plus measured critical-node voltages) into a
+// shadow refit that is promoted to the serving model when it beats it on the
+// paper's total-error rate — see internal/online and the OPERATIONS.md
+// recalibration runbook. POST /v1/rollback reverts the last promotion.
+//
+//	voltserved -model model.json -adapt -forgetting 0.995 -feedback-log feedback.csv
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -38,6 +47,7 @@ import (
 	"voltsense/internal/core"
 	"voltsense/internal/faults"
 	"voltsense/internal/monitor"
+	"voltsense/internal/online"
 	"voltsense/internal/serve"
 )
 
@@ -60,6 +70,12 @@ func run(args []string) error {
 	faultSpec := fs.String("fault-spec", "", "inject synthetic sensor faults: inline JSON or a path to a spec file (chaos drills)")
 	detWindow := fs.Int("detector-window", 0, "fault-detector rolling window in cycles (0 = default 32)")
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After sent with degraded 503s (0 = default 10s)")
+	adapt := fs.Bool("adapt", false, "enable online recalibration via POST /v1/feedback (shadow refit + guarded promotion)")
+	forgetting := fs.Float64("forgetting", 0, "exponential forgetting factor λ for the shadow refit, 0<λ≤1 (0 = default 0.995)")
+	promoteMin := fs.Int("promote-min-samples", 0, "scored samples required before a shadow may be promoted (0 = default 256)")
+	promoteMargin := fs.Float64("promote-margin", 0, "TE improvement the shadow must show over the live model (0 = default 0.002)")
+	feedbackLog := fs.String("feedback-log", "", "append accepted /v1/feedback samples to this CSV file (audit trail)")
+	version := fs.String("version", "", "build version reported by the voltsense_build_info metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +97,16 @@ func run(args []string) error {
 		return core.LoadPredictor(f)
 	}
 
+	var fbLog io.Writer
+	if *feedbackLog != "" {
+		f, err := os.OpenFile(*feedbackLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-feedback-log: %w", err)
+		}
+		defer f.Close()
+		fbLog = f
+	}
+
 	srv, err := serve.New(serve.Config{
 		Loader: loader,
 		Monitor: monitor.Config{
@@ -92,6 +118,14 @@ func run(args []string) error {
 		Detector:     faults.DetectorConfig{Window: *detWindow},
 		InjectFaults: injected,
 		RetryAfter:   *retryAfter,
+		Adapt:        *adapt,
+		Adaptation: online.Config{
+			Forgetting: *forgetting,
+			MinSamples: *promoteMin,
+			Margin:     *promoteMargin,
+		},
+		FeedbackLog: fbLog,
+		Version:     *version,
 	})
 	if err != nil {
 		return err
@@ -99,6 +133,9 @@ func run(args []string) error {
 	log.Printf("voltserved: model %s loaded (generation %d), listening on %s", *modelPath, srv.Generation(), *addr)
 	if len(injected) > 0 {
 		log.Printf("voltserved: CHAOS MODE — injecting %d synthetic sensor faults per -fault-spec", len(injected))
+	}
+	if *adapt {
+		log.Printf("voltserved: online recalibration enabled (POST /v1/feedback); rollback via POST /v1/rollback")
 	}
 
 	hup := make(chan os.Signal, 1)

@@ -1,0 +1,159 @@
+// Online adaptation: tracking a drifting chip, in library form. Fit the
+// Eq. 17 model, then replay held-out cycles while an aging-style IR droop
+// ramps in underneath it — block voltages sag unevenly, so the fitted
+// affine map is simply wrong on the aged chip. Each cycle's ground truth
+// feeds an OnlineAdapter: a Sherman–Morrison shadow refit scores itself
+// against the live model on the paper's total-error rate and is promoted
+// once it provably wins — the same loop voltserved runs behind
+// POST /v1/feedback.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"voltsense"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Design time: place sensors and fit the runtime model on the fresh chip.
+	_, sensors, err := p.ChipPlacementCount(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := &voltsense.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+	pred, err := voltsense.BuildPredictor(train, sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := len(pred.Model.C)
+
+	// Stamp provenance and the drift baseline: the adapter judges runtime
+	// residuals against the model's own training-time residual statistics.
+	mean, std := pred.FitResidualStats(train)
+	pred.Lineage = &voltsense.Lineage{
+		Version:   1,
+		Source:    voltsense.LineageSourceTrain,
+		Samples:   train.X.Cols(),
+		ResidMean: mean,
+		ResidStd:  std,
+	}
+
+	// The recalibration loop. The apply callback is where voltserved vetoes
+	// stale or fault-compromised promotions; here it just narrates. It runs
+	// under the adapter's lock, so it must not call back into the adapter.
+	promotedAt := -1
+	cycle := 0
+	apply := func(cand *voltsense.Predictor, rollback bool) error {
+		fmt.Printf("cycle %4d: promoted shadow -> live (version %d, refit from %d samples)\n",
+			cycle, cand.Lineage.Version, cand.Lineage.Samples)
+		return nil
+	}
+	ad, err := voltsense.NewOnlineAdapter(pred, voltsense.OnlineConfig{
+		Forgetting:        0.999,
+		EvalWindow:        256,
+		MinSamples:        256,
+		Margin:            0.02,
+		DriftWindow:       16,
+		Vth:               voltsense.DefaultVth,
+		BaselineResidMean: mean,
+		BaselineResidStd:  std,
+	}, apply)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the held-out cycles. From driftStart on, an IR droop ramps in
+	// over rampLen cycles: sensors sag uniformly but each block sags by a
+	// different amount, so no global offset can explain it — the alpha/c
+	// relation itself has moved, and only a refit recovers it.
+	s := p.TestAll()
+	n := s.N()
+	driftStart, rampLen, droop := n/4, n/8, 0.02
+	fmt.Printf("replaying %d held-out cycles; aging droop (up to %.0f mV) ramps in from cycle %d\n\n",
+		n, 1e3*droop, driftStart)
+
+	// Score two servers on every cycle — one frozen on the v1 fit (the
+	// counterfactual without this subsystem) and the adapted live model —
+	// on the metric the whole methodology optimizes: did the predicted map
+	// classify the cycle's emergency state correctly at Vth?
+	vth := voltsense.DefaultVth
+	below := func(v []float64) bool {
+		for _, x := range v {
+			if x < vth {
+				return true
+			}
+		}
+		return false
+	}
+	readings := make([]float64, len(sensors))
+	truth := make([]float64, k)
+	var emergencies, staleWrong, liveWrong, cycles [3]int
+	for cycle = 0; cycle < n; cycle++ {
+		for i, idx := range sensors {
+			readings[i] = s.CandV.At(idx, cycle)
+		}
+		for j := 0; j < k; j++ {
+			truth[j] = s.CritV.At(j, cycle)
+		}
+		if cycle >= driftStart {
+			prog := math.Min(1, float64(cycle-driftStart)/float64(rampLen))
+			for i := range readings {
+				readings[i] -= 0.7 * droop * prog
+			}
+			for j := range truth {
+				truth[j] -= droop * prog * (1 + 0.5*float64(j)/float64(k-1))
+			}
+		}
+
+		phase := 0 // healthy
+		switch {
+		case cycle >= driftStart+rampLen:
+			phase = 2 // fully aged
+		case cycle >= driftStart:
+			phase = 1 // droop ramping in
+		}
+		// Predict first, learn after the ground truth arrives — the order a
+		// server sees.
+		emg := below(truth)
+		if emg {
+			emergencies[phase]++
+		}
+		if below(pred.Predict(readings)) != emg {
+			staleWrong[phase]++
+		}
+		if below(ad.Live().Predict(readings)) != emg {
+			liveWrong[phase]++
+		}
+		cycles[phase]++
+
+		res, err := ad.Ingest(readings, truth)
+		if err != nil {
+			log.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if res.Promoted != nil && promotedAt < 0 {
+			promotedAt = cycle
+			fmt.Printf("            drift score at promotion: %.1f sigma over the training baseline\n", res.Drift)
+		}
+	}
+
+	fmt.Println("\ntotal-error rate by phase (misclassified emergency cycles, frozen v1 vs adapted):")
+	for i, name := range []string{"healthy", "droop ramping in", "fully aged"} {
+		if cycles[i] == 0 {
+			continue
+		}
+		c := float64(cycles[i])
+		fmt.Printf("  %-18s %4d cycles (%3d emergencies)  frozen %5.1f%%   adapted %5.1f%%\n",
+			name, cycles[i], emergencies[i], 100*float64(staleWrong[i])/c, 100*float64(liveWrong[i])/c)
+	}
+	st := ad.Status()
+	fmt.Printf("\n%d promotion(s), live version %d, final drift score %.1f sigma\n",
+		st.Promotions, st.Version, st.DriftScore)
+}

@@ -106,6 +106,7 @@ type Predictor struct {
 	Selected  []int // candidate indices feeding the model, ascending
 	Model     *ols.Model
 	Fallbacks *FallbackSet // optional; nil for legacy artifacts
+	Lineage   *Lineage     // optional provenance; nil for legacy artifacts
 }
 
 // BuildPredictor runs Steps 6-8: restrict X to the selected sensors and

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lineage sources.
+const (
+	// LineageSourceTrain marks a predictor fit offline from training
+	// simulation (sensorplace, experiments).
+	LineageSourceTrain = "train"
+	// LineageSourceOnline marks a predictor promoted by the online
+	// recalibration loop (internal/online).
+	LineageSourceOnline = "online"
+)
+
+// Lineage is the versioned provenance of a predictor's coefficients: which
+// generation it is, what it was derived from, and — for online promotions —
+// the evidence that justified the swap. Artifacts without a lineage section
+// load with Lineage nil and serve unchanged.
+type Lineage struct {
+	Version int    // monotonically increasing generation, ≥ 1
+	Parent  int    // version this generation was derived from; 0 for roots
+	Source  string // LineageSourceTrain or LineageSourceOnline
+	Samples int    // labeled samples behind the fit
+
+	// LiveTE/ShadowTE record the paper's total-error rates of the
+	// incumbent and this model over the promotion evaluation window.
+	// Meaningful for Source "online"; zero otherwise.
+	LiveTE   float64
+	ShadowTE float64
+
+	// ResidMean/ResidStd are the per-sample residual-RMS statistics of
+	// this model on its fit data. The online drift detector anchors its
+	// score here instead of assuming runtime feedback starts healthy.
+	// Zero means unknown.
+	ResidMean float64
+	ResidStd  float64
+}
+
+// validate rejects lineage sections a corrupt artifact could carry.
+func (l *Lineage) validate() error {
+	if l.Version < 1 {
+		return fmt.Errorf("core: lineage version %d < 1", l.Version)
+	}
+	if l.Parent < 0 || l.Parent >= l.Version {
+		return fmt.Errorf("core: lineage parent %d not below version %d", l.Parent, l.Version)
+	}
+	if l.Source != LineageSourceTrain && l.Source != LineageSourceOnline {
+		return fmt.Errorf("core: unknown lineage source %q", l.Source)
+	}
+	if l.Samples < 0 {
+		return fmt.Errorf("core: negative lineage sample count %d", l.Samples)
+	}
+	for _, v := range [...]struct {
+		name string
+		val  float64
+	}{
+		{"live_te", l.LiveTE}, {"shadow_te", l.ShadowTE},
+		{"resid_mean", l.ResidMean}, {"resid_std", l.ResidStd},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+			return fmt.Errorf("core: bad lineage %s %v", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// FitResidualStats computes the per-sample residual-RMS mean and standard
+// deviation of the predictor over a dataset — the drift-detection baseline
+// recorded in Lineage at fit time.
+func (p *Predictor) FitResidualStats(ds *Dataset) (mean, std float64) {
+	pred := p.PredictDataset(ds)
+	truth := ds.F
+	n := pred.Cols()
+	k := pred.Rows()
+	if n == 0 || k == 0 {
+		return 0, 0
+	}
+	var sum, sum2 float64
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < k; i++ {
+			d := pred.At(i, j) - truth.At(i, j)
+			s += d * d
+		}
+		r := math.Sqrt(s / float64(k))
+		sum += r
+		sum2 += r * r
+	}
+	mean = sum / float64(n)
+	varr := sum2/float64(n) - mean*mean
+	if varr < 0 {
+		varr = 0
+	}
+	return mean, math.Sqrt(varr)
+}

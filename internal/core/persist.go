@@ -21,6 +21,19 @@ type predictorJSON struct {
 	Alpha     [][]float64    `json:"alpha"` // K rows of Q coefficients
 	C         []float64      `json:"c"`     // K intercepts
 	Fallbacks *fallbacksJSON `json:"fallbacks,omitempty"`
+	Lineage   *lineageJSON   `json:"lineage,omitempty"`
+}
+
+// lineageJSON is the artifact's optional provenance section.
+type lineageJSON struct {
+	Version   int     `json:"version"`
+	Parent    int     `json:"parent"`
+	Source    string  `json:"source"`
+	Samples   int     `json:"samples"`
+	LiveTE    float64 `json:"live_te,omitempty"`
+	ShadowTE  float64 `json:"shadow_te,omitempty"`
+	ResidMean float64 `json:"resid_mean,omitempty"`
+	ResidStd  float64 `json:"resid_std,omitempty"`
 }
 
 // fallbacksJSON is the artifact's optional fault-tolerance section.
@@ -81,6 +94,18 @@ func (p *Predictor) Save(w io.Writer) error {
 			})
 		}
 		pj.Fallbacks = fj
+	}
+	if p.Lineage != nil {
+		pj.Lineage = &lineageJSON{
+			Version:   p.Lineage.Version,
+			Parent:    p.Lineage.Parent,
+			Source:    p.Lineage.Source,
+			Samples:   p.Lineage.Samples,
+			LiveTE:    p.Lineage.LiveTE,
+			ShadowTE:  p.Lineage.ShadowTE,
+			ResidMean: p.Lineage.ResidMean,
+			ResidStd:  p.Lineage.ResidStd,
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -173,6 +198,22 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 			return nil, err
 		}
 		p.Fallbacks = fb
+	}
+	if pj.Lineage != nil {
+		lin := &Lineage{
+			Version:   pj.Lineage.Version,
+			Parent:    pj.Lineage.Parent,
+			Source:    pj.Lineage.Source,
+			Samples:   pj.Lineage.Samples,
+			LiveTE:    pj.Lineage.LiveTE,
+			ShadowTE:  pj.Lineage.ShadowTE,
+			ResidMean: pj.Lineage.ResidMean,
+			ResidStd:  pj.Lineage.ResidStd,
+		}
+		if err := lin.validate(); err != nil {
+			return nil, err
+		}
+		p.Lineage = lin
 	}
 	return p, nil
 }

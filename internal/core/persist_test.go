@@ -85,3 +85,72 @@ func TestSavedFormIsVersioned(t *testing.T) {
 		t.Fatal("saved predictor missing format tag")
 	}
 }
+
+func TestLineageSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := syntheticDataset(rng, 6, 2, 200, []int{1, 4}, 0.002)
+	pred, err := BuildPredictor(ds, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := pred.FitResidualStats(ds)
+	pred.Lineage = &Lineage{
+		Version: 3, Parent: 2, Source: LineageSourceOnline, Samples: 512,
+		LiveTE: 0.4, ShadowTE: 0.01, ResidMean: mean, ResidStd: std,
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lineage == nil {
+		t.Fatal("lineage section lost in round-trip")
+	}
+	if *got.Lineage != *pred.Lineage {
+		t.Fatalf("lineage = %+v, want %+v", *got.Lineage, *pred.Lineage)
+	}
+}
+
+func TestLineageOmittedForLegacyArtifacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := syntheticDataset(rng, 6, 2, 200, []int{1}, 0.002)
+	pred, err := BuildPredictor(ds, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"lineage"`) {
+		t.Fatal("lineage-free predictor serialized a lineage section")
+	}
+	got, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lineage != nil {
+		t.Fatalf("legacy artifact grew a lineage: %+v", got.Lineage)
+	}
+}
+
+func TestLoadPredictorRejectsBadLineage(t *testing.T) {
+	base := `{"format":"voltsense-predictor/v1","selected_sensors":[0],"alpha":[[1]],"c":[0],"lineage":%s}`
+	cases := map[string]string{
+		"zero version":     `{"version":0,"source":"train"}`,
+		"parent ahead":     `{"version":2,"parent":2,"source":"online"}`,
+		"unknown source":   `{"version":1,"source":"wizard"}`,
+		"negative samples": `{"version":1,"source":"train","samples":-4}`,
+		"negative te":      `{"version":1,"source":"online","live_te":-0.1}`,
+		"inf resid":        `{"version":1,"source":"online","resid_mean":1e999}`,
+	}
+	for name, lin := range cases {
+		in := strings.NewReader(strings.Replace(base, "%s", lin, 1))
+		if _, err := LoadPredictor(in); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

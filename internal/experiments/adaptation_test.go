@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"voltsense/internal/online"
+)
+
+// TestAblationOnlineAdaptation is the PR's acceptance experiment: grid drift
+// must degrade the static model's total error, and replaying the drifted
+// die's labeled samples through the online loop must promote a shadow refit
+// that recovers detection to near the undrifted baseline.
+func TestAblationOnlineAdaptation(t *testing.T) {
+	p := quick(t)
+	r, err := p.AblationOnlineAdaptation(2, 0.15, online.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: rel err %.5f, %v", r.BaselineRelErr, r.Baseline)
+	t.Logf("drifted : rel err %.5f, %v", r.DriftedRelErr, r.Drifted)
+	t.Logf("adapted : rel err %.5f, %v (promoted at %d/%d, %d promotions)",
+		r.AdaptedRelErr, r.Adapted, r.PromotedAt, r.FeedbackSamples, r.Promotions)
+
+	if r.DriftedRelErr <= r.BaselineRelErr {
+		t.Errorf("drift did not increase error: %.5f vs %.5f", r.DriftedRelErr, r.BaselineRelErr)
+	}
+	if r.Drifted.TE <= r.Baseline.TE {
+		t.Errorf("drift did not degrade TE: %.5f vs %.5f", r.Drifted.TE, r.Baseline.TE)
+	}
+	if r.Promotions == 0 {
+		t.Fatal("online loop never promoted under sustained drift")
+	}
+	if r.FinalVersion < 2 {
+		t.Errorf("final version %d after %d promotions", r.FinalVersion, r.Promotions)
+	}
+	// The acceptance bound: the adapted model's TE must land within 10% of
+	// the drift-induced gap above the undrifted baseline.
+	limit := r.Baseline.TE + 0.10*(r.Drifted.TE-r.Baseline.TE)
+	if r.Adapted.TE > limit {
+		t.Errorf("adapted TE %.5f above recovery limit %.5f (baseline %.5f, drifted %.5f)",
+			r.Adapted.TE, limit, r.Baseline.TE, r.Drifted.TE)
+	}
+	if r.AdaptedRelErr >= r.DriftedRelErr {
+		t.Errorf("adaptation did not reduce error: %.5f vs %.5f", r.AdaptedRelErr, r.DriftedRelErr)
+	}
+
+	rendered := r.Render()
+	for _, want := range []string{"baseline", "drifted (static)", "adapted (online)", "promoted at sample"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+	csv := r.CSV()
+	if lines := strings.Split(strings.TrimSpace(csv), "\n"); len(lines) != 4 {
+		t.Errorf("CSV should have header + 3 stages:\n%s", csv)
+	}
+}
+
+func TestAblationOnlineAdaptationBadSigma(t *testing.T) {
+	p := quick(t)
+	if _, err := p.AblationOnlineAdaptation(2, 0, online.Config{}); err == nil {
+		t.Fatal("expected error for zero sigma")
+	}
+}

@@ -1,0 +1,445 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"voltsense/internal/core"
+	"voltsense/internal/detect"
+	"voltsense/internal/mat"
+)
+
+// Config tunes the adaptation loop. The zero value of every field selects a
+// sensible default (see the constants below).
+type Config struct {
+	// Forgetting is the RLS forgetting factor λ ∈ (0, 1]; 1 never forgets.
+	Forgetting float64
+	// EvalWindow is the sliding window (in labeled samples) over which the
+	// shadow and live models are scored against ground truth.
+	EvalWindow int
+	// MinSamples is the minimum number of scored samples in the window
+	// before a promotion may be attempted.
+	MinSamples int
+	// Margin is the TE improvement the shadow must show over the live
+	// model (liveTE − shadowTE ≥ Margin) to be promoted.
+	Margin float64
+	// Vth is the emergency threshold used for ME/WAE/TE scoring.
+	Vth float64
+	// DriftWindow is the rolling window (in samples) for live-model
+	// residual statistics feeding the drift score.
+	DriftWindow int
+	// BaselineResidMean/Std anchor the drift score at the live model's
+	// training-time residual statistics. When Std is 0 the baseline is
+	// frozen from the first full DriftWindow of runtime residuals instead
+	// (which assumes feedback starts while the model is still healthy).
+	BaselineResidMean float64
+	BaselineResidStd  float64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultForgetting  = 0.995
+	DefaultEvalWindow  = 256
+	DefaultMinSamples  = 256
+	DefaultMargin      = 0.002
+	DefaultDriftWindow = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Forgetting == 0 {
+		c.Forgetting = DefaultForgetting
+	}
+	if c.EvalWindow == 0 {
+		c.EvalWindow = DefaultEvalWindow
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.Margin == 0 {
+		c.Margin = DefaultMargin
+	}
+	if c.Vth == 0 {
+		c.Vth = detect.DefaultVth
+	}
+	if c.DriftWindow == 0 {
+		c.DriftWindow = DefaultDriftWindow
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if !(c.Forgetting > 0 && c.Forgetting <= 1) {
+		return fmt.Errorf("online: forgetting factor %v outside (0, 1]", c.Forgetting)
+	}
+	if c.EvalWindow < 2 {
+		return fmt.Errorf("online: eval window %d too small", c.EvalWindow)
+	}
+	if c.MinSamples > c.EvalWindow {
+		return fmt.Errorf("online: min samples %d exceeds eval window %d", c.MinSamples, c.EvalWindow)
+	}
+	if c.Margin < 0 {
+		return fmt.Errorf("online: negative promotion margin %v", c.Margin)
+	}
+	if c.DriftWindow < 2 {
+		return fmt.Errorf("online: drift window %d too small", c.DriftWindow)
+	}
+	return nil
+}
+
+// Result reports what one ingested sample did to the adaptation state.
+type Result struct {
+	// Promoted is the new live predictor when this sample triggered a
+	// successful promotion, nil otherwise.
+	Promoted *core.Predictor
+	// Blocked is non-nil when a promotion was attempted and refused by the
+	// apply callback (e.g. the serving tier is degraded).
+	Blocked error
+	// Drift is the current drift score (residual sigmas above baseline).
+	Drift float64
+}
+
+// Status is a point-in-time snapshot of the adaptation loop for metrics and
+// operator endpoints.
+type Status struct {
+	Version       int     // lineage version of the live predictor
+	Ingested      int     // labeled samples accepted
+	Scored        int     // samples currently in the evaluation window
+	ShadowReady   bool    // shadow fit has left warmup
+	ShadowSamples int     // samples ingested by the shadow fit
+	LiveTE        float64 // live-model total error over the window
+	ShadowTE      float64 // shadow-model total error over the window
+	DriftScore    float64 // residual sigmas above baseline
+	Promotions    int
+	Rollbacks     int
+	Blocked       int // promotion attempts refused by the apply callback
+}
+
+// ApplyFunc installs a candidate predictor into the serving path. rollback
+// distinguishes operator-forced rollbacks (which should bypass promotion
+// gating such as degraded-mode refusal) from shadow promotions. Returning an
+// error refuses the swap and leaves the adapter's live model unchanged.
+type ApplyFunc func(p *core.Predictor, rollback bool) error
+
+// Adapter runs the full online-recalibration loop around a live predictor:
+// every labeled sample updates the shadow RLS fit, the rolling residual
+// statistics of the live model (drift detection), and a sliding
+// truth/live-alarm/shadow-alarm scoring window. When the shadow has seen
+// enough samples and beats the live model on TE by the configured margin,
+// the adapter builds a candidate Predictor (new coefficients, same sensors
+// and fallbacks, versioned lineage) and offers it to the apply callback;
+// acceptance makes it the new live model. Adapter is safe for concurrent
+// use.
+type Adapter struct {
+	mu   sync.Mutex
+	cfg  Config
+	q, k int
+
+	live    *core.Predictor
+	prev    *core.Predictor // promotion predecessor, for rollback
+	version int
+
+	shadow *RecursiveOLS
+
+	// Sliding scoring window (ring buffers, cap EvalWindow).
+	truth, liveAlarm, shadowAlarm []bool
+	ringN, ringHead               int
+
+	// Rolling residual RMS of the live model (ring with running moments,
+	// the internal/faults detector idiom).
+	resid              []float64
+	residN, residHead  int
+	residSum, residSum2 float64
+	baseMean, baseStd  float64
+	baseSet            bool
+	driftScore         float64
+
+	ingested, promotions, rollbacks, blocked int
+
+	apply ApplyFunc
+
+	// Steady-state scratch.
+	livePred, shadowPred []float64
+}
+
+// NewAdapter builds an adaptation loop around the given live predictor.
+// apply may be nil, in which case promotions install unconditionally.
+func NewAdapter(live *core.Predictor, cfg Config, apply ApplyFunc) (*Adapter, error) {
+	if live == nil || live.Model == nil {
+		return nil, errors.New("online: nil live predictor")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	q, k := live.Model.NumInputs(), live.Model.NumOutputs()
+	version := 1
+	if live.Lineage != nil {
+		version = live.Lineage.Version
+		if cfg.BaselineResidStd == 0 && live.Lineage.ResidStd > 0 {
+			cfg.BaselineResidMean = live.Lineage.ResidMean
+			cfg.BaselineResidStd = live.Lineage.ResidStd
+		}
+	}
+	a := &Adapter{
+		cfg:         cfg,
+		q:           q,
+		k:           k,
+		live:        live,
+		version:     version,
+		shadow:      NewRecursiveOLS(q, k, cfg.Forgetting),
+		truth:       make([]bool, cfg.EvalWindow),
+		liveAlarm:   make([]bool, cfg.EvalWindow),
+		shadowAlarm: make([]bool, cfg.EvalWindow),
+		resid:       make([]float64, cfg.DriftWindow),
+		apply:       apply,
+		livePred:    make([]float64, k),
+		shadowPred:  make([]float64, k),
+	}
+	if cfg.BaselineResidStd > 0 {
+		a.baseMean, a.baseStd, a.baseSet = cfg.BaselineResidMean, cfg.BaselineResidStd, true
+	}
+	return a, nil
+}
+
+// Live returns the adapter's current live predictor.
+func (a *Adapter) Live() *core.Predictor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
+}
+
+// Ingest folds one labeled sample into the loop: x is the length-Q vector of
+// selected-sensor readings (ordered as the predictor's Selected), f the
+// length-K ground-truth critical-node voltages. It returns an error on shape
+// or non-finite problems without touching state.
+func (a *Adapter) Ingest(x, f []float64) (Result, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(x) != a.q || len(f) != a.k {
+		return Result{}, fmt.Errorf("online: sample has %d readings and %d truths, want %d and %d",
+			len(x), len(f), a.q, a.k)
+	}
+	if err := a.shadow.Ingest(x, f); err != nil {
+		return Result{}, err
+	}
+	a.ingested++
+
+	// Live-model residual and alarms; shadow alarms once it is ready.
+	livePred := a.livePredict(x)
+	truthE := anyBelow(f, a.cfg.Vth)
+	liveA := anyBelow(livePred, a.cfg.Vth)
+	shadowA := liveA // before warmup the shadow mirrors the live model
+	if a.shadow.Ready() {
+		a.shadow.PredictInto(a.shadowPred, x)
+		shadowA = anyBelow(a.shadowPred, a.cfg.Vth)
+	}
+	a.pushScore(truthE, liveA, shadowA)
+	a.pushResid(residRMS(livePred, f))
+
+	res := Result{Drift: a.driftScore}
+	if cand := a.promotionCandidate(); cand != nil {
+		if a.apply != nil {
+			if err := a.apply(cand, false); err != nil {
+				a.blocked++
+				res.Blocked = err
+				return res, nil
+			}
+		}
+		a.install(cand)
+		res.Promoted = cand
+	}
+	return res, nil
+}
+
+// Rollback reverts to the promotion predecessor of the current live model.
+// It fails when there is nothing to roll back to or when the apply callback
+// refuses the swap.
+func (a *Adapter) Rollback() (*core.Predictor, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.prev == nil {
+		return nil, errors.New("online: no previous model generation to roll back to")
+	}
+	target := a.prev
+	if a.apply != nil {
+		if err := a.apply(target, true); err != nil {
+			return nil, err
+		}
+	}
+	a.live, a.prev = target, nil
+	if target.Lineage != nil {
+		a.version = target.Lineage.Version
+	}
+	a.rollbacks++
+	// The shadow fit that produced the rolled-back model is discarded: it
+	// converged to a regime the operator just rejected.
+	a.shadow = NewRecursiveOLS(a.q, a.k, a.cfg.Forgetting)
+	a.resetWindows()
+	return target, nil
+}
+
+// Status snapshots the loop.
+func (a *Adapter) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	liveTE, shadowTE := a.windowTE()
+	return Status{
+		Version:       a.version,
+		Ingested:      a.ingested,
+		Scored:        a.ringN,
+		ShadowReady:   a.shadow.Ready(),
+		ShadowSamples: a.shadow.Samples(),
+		LiveTE:        liveTE,
+		ShadowTE:      shadowTE,
+		DriftScore:    a.driftScore,
+		Promotions:    a.promotions,
+		Rollbacks:     a.rollbacks,
+		Blocked:       a.blocked,
+	}
+}
+
+// promotionCandidate decides whether the shadow has earned promotion and, if
+// so, materializes the candidate predictor. Caller holds a.mu.
+func (a *Adapter) promotionCandidate() *core.Predictor {
+	if !a.shadow.Ready() || a.ringN < a.cfg.MinSamples {
+		return nil
+	}
+	liveTE, shadowTE := a.windowTE()
+	if !(liveTE-shadowTE >= a.cfg.Margin) {
+		return nil
+	}
+	if !a.shadow.Finite() {
+		return nil
+	}
+	lin := &core.Lineage{
+		Version:  a.version + 1,
+		Parent:   a.version,
+		Source:   core.LineageSourceOnline,
+		Samples:  a.shadow.Samples(),
+		LiveTE:   liveTE,
+		ShadowTE: shadowTE,
+	}
+	return &core.Predictor{
+		Selected:  a.live.Selected,
+		Model:     a.shadow.Model(),
+		Fallbacks: a.live.Fallbacks,
+		Lineage:   lin,
+	}
+}
+
+// install makes cand the live model after a successful apply. Caller holds
+// a.mu.
+func (a *Adapter) install(cand *core.Predictor) {
+	a.prev = a.live
+	a.live = cand
+	a.version = cand.Lineage.Version
+	a.promotions++
+	a.resetWindows()
+}
+
+// resetWindows clears the scoring window and the runtime drift baseline so
+// the next generation is judged on fresh evidence. A training-time baseline
+// from Config survives; a runtime-frozen one refreezes on the next full
+// window. Caller holds a.mu.
+func (a *Adapter) resetWindows() {
+	a.ringN, a.ringHead = 0, 0
+	a.residN, a.residHead = 0, 0
+	a.residSum, a.residSum2 = 0, 0
+	a.driftScore = 0
+	if a.cfg.BaselineResidStd == 0 {
+		a.baseSet = false
+	}
+}
+
+// pushScore appends one (truth, live, shadow) triple to the sliding scoring
+// window. Caller holds a.mu.
+func (a *Adapter) pushScore(t, l, s bool) {
+	a.truth[a.ringHead] = t
+	a.liveAlarm[a.ringHead] = l
+	a.shadowAlarm[a.ringHead] = s
+	a.ringHead = (a.ringHead + 1) % len(a.truth)
+	if a.ringN < len(a.truth) {
+		a.ringN++
+	}
+}
+
+// windowTE scores live and shadow alarms against truth over the current
+// window with the paper's TE rate. detect.Score is order-insensitive, so the
+// rings are passed unrotated. Caller holds a.mu.
+func (a *Adapter) windowTE() (liveTE, shadowTE float64) {
+	if a.ringN == 0 {
+		return 0, 0
+	}
+	t := a.truth[:a.ringN]
+	if a.ringN == len(a.truth) {
+		t = a.truth
+	}
+	return detect.Score(t, a.liveAlarm[:len(t)]).TE, detect.Score(t, a.shadowAlarm[:len(t)]).TE
+}
+
+// pushResid appends one live-model residual RMS to the drift ring and
+// refreshes the drift score. Caller holds a.mu.
+func (a *Adapter) pushResid(r float64) {
+	w := len(a.resid)
+	if a.residN == w {
+		old := a.resid[a.residHead]
+		a.residSum -= old
+		a.residSum2 -= old * old
+	} else {
+		a.residN++
+	}
+	a.resid[a.residHead] = r
+	a.residSum += r
+	a.residSum2 += r * r
+	a.residHead = (a.residHead + 1) % w
+	if a.residN < w {
+		return
+	}
+	mean := a.residSum / float64(w)
+	if !a.baseSet {
+		varr := a.residSum2/float64(w) - mean*mean
+		if varr < 0 {
+			varr = 0
+		}
+		a.baseMean = mean
+		a.baseStd = math.Sqrt(varr)
+		a.baseSet = true
+		return
+	}
+	if a.baseStd > 0 {
+		a.driftScore = (mean - a.baseMean) / a.baseStd
+	}
+}
+
+// livePredict evaluates the live model into the preallocated buffer without
+// allocating (ols.Model.Predict allocates its result). Caller holds a.mu.
+func (a *Adapter) livePredict(x []float64) []float64 {
+	m := a.live.Model
+	for j := 0; j < a.k; j++ {
+		a.livePred[j] = m.C[j] + mat.Dot(m.Alpha.Row(j), x)
+	}
+	return a.livePred
+}
+
+// anyBelow reports whether any element is below vth — the chip-level alarm
+// rule.
+func anyBelow(v []float64, vth float64) bool {
+	for _, x := range v {
+		if x < vth {
+			return true
+		}
+	}
+	return false
+}
+
+// residRMS is the root-mean-square residual of one prediction.
+func residRMS(pred, truth []float64) float64 {
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}

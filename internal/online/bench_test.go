@@ -1,0 +1,68 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/core"
+	"voltsense/internal/ols"
+)
+
+// BenchmarkOnlineUpdate measures the steady-state rank-1 Sherman–Morrison
+// update plus lazy prediction refresh at the paper's serving shape (K=16
+// critical nodes, Q=8 sensors). The hot loop must allocate nothing.
+func BenchmarkOnlineUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const q, k = 8, 16
+	alpha, c := synthModel(rng, q, k)
+	xs, fs := synthSamples(rng, alpha, c, 256, 0, 0.005)
+	r := NewRecursiveOLS(q, k, 0.995)
+	for s := 0; s < 64; s++ {
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := make([]float64, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % len(xs)
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			b.Fatal(err)
+		}
+		r.PredictInto(dst, xs[s])
+	}
+}
+
+// BenchmarkShadowScore measures the full Adapter.Ingest path — shadow RLS
+// update, live/shadow prediction, alarm scoring, residual drift tracking —
+// at the K=16, Q=8 serving shape.
+func BenchmarkShadowScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const q, k = 8, 16
+	alpha, c := synthModel(rng, q, k)
+	xs, fs := synthSamples(rng, alpha, c, 512, 0, 0.005)
+	x, f := toMatrices(xs, fs)
+	m, err := ols.Fit(x, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := &core.Predictor{Selected: []int{0, 1, 2, 3, 4, 5, 6, 7}, Model: m}
+	a, err := NewAdapter(live, Config{Margin: 1}, nil) // margin 1: never promote
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < 64; s++ {
+		if _, err := a.Ingest(xs[s], fs[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % len(xs)
+		if _, err := a.Ingest(xs[s], fs[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

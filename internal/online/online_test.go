@@ -1,0 +1,396 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/core"
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// synthModel plants a voltage-like linear model: coefficient rows summing to
+// ~0.6 and intercepts near 0.35, so outputs on x ≈ 0.9 sit near 0.89 V —
+// comfortably above the 0.85 V emergency threshold.
+func synthModel(rng *rand.Rand, q, k int) (alpha *mat.Matrix, c []float64) {
+	alpha = mat.Zeros(k, q)
+	for i := 0; i < k; i++ {
+		row := alpha.Row(i)
+		for j := range row {
+			row[j] = (0.6 + 0.2*rng.NormFloat64()) / float64(q)
+		}
+	}
+	c = make([]float64, k)
+	for i := range c {
+		c[i] = 0.35 + 0.005*rng.NormFloat64()
+	}
+	return alpha, c
+}
+
+// synthSamples draws n samples x ~ 0.9 ± 0.03 from the planted model with an
+// optional uniform output shift (drift) and observation noise.
+func synthSamples(rng *rand.Rand, alpha *mat.Matrix, c []float64, n int, shift, noise float64) (xs, fs [][]float64) {
+	q, k := alpha.Cols(), alpha.Rows()
+	xs = make([][]float64, n)
+	fs = make([][]float64, n)
+	for s := 0; s < n; s++ {
+		x := make([]float64, q)
+		for i := range x {
+			x[i] = 0.9 + 0.03*rng.NormFloat64()
+		}
+		f := make([]float64, k)
+		for i := 0; i < k; i++ {
+			f[i] = c[i] + mat.Dot(alpha.Row(i), x) + shift + noise*rng.NormFloat64()
+		}
+		xs[s] = x
+		fs[s] = f
+	}
+	return xs, fs
+}
+
+// toMatrices lays samples out as the Q-by-N / K-by-N matrices ols.Fit wants.
+func toMatrices(xs, fs [][]float64) (x, f *mat.Matrix) {
+	n := len(xs)
+	q, k := len(xs[0]), len(fs[0])
+	x = mat.Zeros(q, n)
+	f = mat.Zeros(k, n)
+	for s := 0; s < n; s++ {
+		for i := 0; i < q; i++ {
+			x.Set(i, s, xs[s][i])
+		}
+		for i := 0; i < k; i++ {
+			f.Set(i, s, fs[s][i])
+		}
+	}
+	return x, f
+}
+
+// TestRecursiveMatchesBatch is the tentpole equivalence criterion: with
+// forgetting 1, the incremental fit over a window must match a from-scratch
+// internal/ols batch refit on the same window to ≤ 1e-9 — coefficients,
+// intercepts, and predictions.
+func TestRecursiveMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const q, k, n = 8, 16, 300
+	alpha, c := synthModel(rng, q, k)
+	xs, fs := synthSamples(rng, alpha, c, n, 0, 0.005)
+
+	r := NewRecursiveOLS(q, k, 1)
+	for s := range xs {
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			t.Fatalf("ingest %d: %v", s, err)
+		}
+	}
+	if !r.Ready() {
+		t.Fatal("estimator not ready after full window")
+	}
+	got := r.Model()
+
+	x, f := toMatrices(xs, fs)
+	want, err := ols.Fit(x, f)
+	if err != nil {
+		t.Fatalf("batch fit: %v", err)
+	}
+	if d := mat.MaxAbsDiff(got.Alpha, want.Alpha); d > 1e-9 {
+		t.Errorf("alpha differs from batch fit by %g > 1e-9", d)
+	}
+	for i := range got.C {
+		if d := math.Abs(got.C[i] - want.C[i]); d > 1e-9 {
+			t.Errorf("intercept %d differs by %g > 1e-9", i, d)
+		}
+	}
+	// Predictions must agree too, both through Model and PredictInto.
+	dst := make([]float64, k)
+	for s := 0; s < n; s += 37 {
+		pr := want.Predict(xs[s])
+		r.PredictInto(dst, xs[s])
+		for i := range pr {
+			if d := math.Abs(pr[i] - dst[i]); d > 1e-9 {
+				t.Fatalf("sample %d output %d: recursive %v vs batch %v", s, i, dst[i], pr[i])
+			}
+		}
+	}
+}
+
+// TestRecursiveForgettingMatchesWeightedBatch checks the λ < 1 recursion
+// against a direct weighted normal-equations solve with weights λ^(age).
+func TestRecursiveForgettingMatchesWeightedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const q, k, n = 5, 3, 120
+	const lambda = 0.97
+	pa, pc := synthModel(rng, q, k)
+	xs, fs := synthSamples(rng, pa, pc, n, 0, 0.01)
+
+	r := NewRecursiveOLS(q, k, lambda)
+	for s := range xs {
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			t.Fatalf("ingest %d: %v", s, err)
+		}
+	}
+	got := r.Model()
+
+	// Weighted batch solve on augmented regressors [x; 1].
+	d := q + 1
+	a := mat.Zeros(d, d)
+	b := mat.Zeros(d, k)
+	for s := 0; s < n; s++ {
+		w := math.Pow(lambda, float64(n-1-s))
+		z := append(append([]float64(nil), xs[s]...), 1)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a.Set(i, j, a.At(i, j)+w*z[i]*z[j])
+			}
+			for j := 0; j < k; j++ {
+				b.Set(i, j, b.At(i, j)+w*z[i]*fs[s][j])
+			}
+		}
+	}
+	lu, err := mat.FactorLU(a)
+	if err != nil {
+		t.Fatalf("weighted gram singular: %v", err)
+	}
+	theta := mat.Mul(lu.Inverse(), b)
+	for kk := 0; kk < k; kk++ {
+		for i := 0; i < q; i++ {
+			if diff := math.Abs(got.Alpha.At(kk, i) - theta.At(i, kk)); diff > 1e-8 {
+				t.Errorf("alpha[%d][%d] differs from weighted batch by %g", kk, i, diff)
+			}
+		}
+		if diff := math.Abs(got.C[kk] - theta.At(q, kk)); diff > 1e-8 {
+			t.Errorf("c[%d] differs from weighted batch by %g", kk, diff)
+		}
+	}
+}
+
+// TestRecursiveTracksDrift verifies that with forgetting < 1 the fit
+// converges to a changed ground-truth model after a drift event, while a
+// frozen batch fit of the pre-drift window stays wrong.
+func TestRecursiveTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const q, k = 4, 6
+	alpha1, c1 := synthModel(rng, q, k)
+	alpha2, c2 := synthModel(rng, q, k)
+	xs1, fs1 := synthSamples(rng, alpha1, c1, 400, 0, 0.002)
+	xs2, fs2 := synthSamples(rng, alpha2, c2, 1200, 0, 0.002)
+
+	r := NewRecursiveOLS(q, k, 0.99)
+	for s := range xs1 {
+		if err := r.Ingest(xs1[s], fs1[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := range xs2 {
+		if err := r.Ingest(xs2[s], fs2[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Model()
+	if d := mat.MaxAbsDiff(got.Alpha, alpha2); d > 0.05 {
+		t.Errorf("post-drift alpha off by %g; forgetting did not track the new regime", d)
+	}
+	for i := range c2 {
+		if d := math.Abs(got.C[i] - c2[i]); d > 0.05 {
+			t.Errorf("post-drift intercept %d off by %g", i, d)
+		}
+	}
+}
+
+func TestIngestRejectsNonFinite(t *testing.T) {
+	r := NewRecursiveOLS(2, 2, 1)
+	if err := r.Ingest([]float64{math.NaN(), 1}, []float64{1, 1}); err == nil {
+		t.Error("NaN sensor reading accepted")
+	}
+	if err := r.Ingest([]float64{1, 1}, []float64{math.Inf(1), 1}); err == nil {
+		t.Error("Inf ground truth accepted")
+	}
+	if r.Samples() != 0 {
+		t.Errorf("rejected samples counted: n=%d", r.Samples())
+	}
+}
+
+func TestRecursiveZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const q, k = 8, 16
+	alpha, c := synthModel(rng, q, k)
+	xs, fs := synthSamples(rng, alpha, c, 64, 0, 0.005)
+	r := NewRecursiveOLS(q, k, 0.995)
+	for s := 0; s < 32; s++ {
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Ready() {
+		t.Fatal("not ready after 32 samples")
+	}
+	dst := make([]float64, k)
+	i := 32
+	allocs := testing.AllocsPerRun(200, func() {
+		s := i % len(xs)
+		if err := r.Ingest(xs[s], fs[s]); err != nil {
+			t.Fatal(err)
+		}
+		r.PredictInto(dst, xs[s])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Ingest+PredictInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// adapterFixture fits a live predictor on undrifted planted-model data and
+// wraps an adapter around it. The planted model is returned so feeds can
+// generate drifted regimes of the same chip.
+func adapterFixture(t *testing.T, cfg Config, apply ApplyFunc) (*Adapter, *mat.Matrix, []float64, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	alpha, c := synthModel(rng, 4, 6)
+	xs, fs := synthSamples(rng, alpha, c, 400, 0, 0.002)
+	x, f := toMatrices(xs, fs)
+	m, err := ols.Fit(x, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := &core.Predictor{Selected: []int{0, 1, 2, 3}, Model: m}
+	a, err := NewAdapter(live, cfg, apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, alpha, c, rng
+}
+
+// driftedFeed streams n labeled samples from the planted model shifted down
+// by drop: ground truth dips into emergency territory (~0.81 V against a
+// 0.85 V threshold) while the live model, fit pre-drift, keeps predicting
+// ~0.89 V and misses every emergency.
+func driftedFeed(rng *rand.Rand, a *Adapter, alpha *mat.Matrix, c []float64, drop float64, n int) (promoted *core.Predictor, blocked int, err error) {
+	xs, fs := synthSamples(rng, alpha, c, n, -drop, 0.002)
+	for s := range xs {
+		res, e := a.Ingest(xs[s], fs[s])
+		if e != nil {
+			return promoted, blocked, e
+		}
+		if res.Promoted != nil {
+			promoted = res.Promoted
+		}
+		if res.Blocked != nil {
+			blocked++
+		}
+	}
+	return promoted, blocked, nil
+}
+
+func TestAdapterPromotesUnderDrift(t *testing.T) {
+	cfg := Config{EvalWindow: 64, MinSamples: 64, Margin: 0.01, Vth: 0.85, DriftWindow: 16, Forgetting: 0.999}
+	var applied []*core.Predictor
+	a, alpha, c, rng := adapterFixture(t, cfg, func(p *core.Predictor, rollback bool) error {
+		applied = append(applied, p)
+		return nil
+	})
+	promoted, _, err := driftedFeed(rng, a, alpha, c, 0.08, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted == nil {
+		t.Fatal("no promotion under sustained drift")
+	}
+	if len(applied) == 0 || applied[len(applied)-1] != a.Live() {
+		t.Error("apply callback not consistent with Live()")
+	}
+	lin := promoted.Lineage
+	if lin == nil {
+		t.Fatal("promoted predictor has no lineage")
+	}
+	if lin.Source != core.LineageSourceOnline || lin.Version < 2 || lin.Parent != lin.Version-1 {
+		t.Errorf("lineage = %+v, want online v≥2 derived from its predecessor", lin)
+	}
+	if !(lin.ShadowTE < lin.LiveTE) {
+		t.Errorf("promotion without TE improvement: shadow %v vs live %v", lin.ShadowTE, lin.LiveTE)
+	}
+	st := a.Status()
+	if st.Promotions < 1 || st.Version != a.Live().Lineage.Version {
+		t.Errorf("status %+v inconsistent after promotion", st)
+	}
+	if st.DriftScore != 0 && math.IsNaN(st.DriftScore) {
+		t.Errorf("drift score NaN")
+	}
+}
+
+func TestAdapterBlockedPromotionKeepsLive(t *testing.T) {
+	cfg := Config{EvalWindow: 64, MinSamples: 64, Margin: 0.01, Vth: 0.85, DriftWindow: 16}
+	refuse := errors.New("degraded")
+	a, alpha, c, rng := adapterFixture(t, cfg, func(p *core.Predictor, rollback bool) error {
+		return refuse
+	})
+	orig := a.Live()
+	promoted, blocked, err := driftedFeed(rng, a, alpha, c, 0.08, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != nil {
+		t.Fatal("promotion installed despite refusing apply callback")
+	}
+	if blocked == 0 {
+		t.Fatal("no blocked attempts recorded")
+	}
+	if a.Live() != orig {
+		t.Error("live model changed after refused promotions")
+	}
+	if st := a.Status(); st.Blocked != blocked || st.Promotions != 0 {
+		t.Errorf("status %+v, want blocked=%d promotions=0", st, blocked)
+	}
+}
+
+func TestAdapterRollback(t *testing.T) {
+	cfg := Config{EvalWindow: 64, MinSamples: 64, Margin: 0.01, Vth: 0.85, DriftWindow: 16}
+	a, alpha, c, rng := adapterFixture(t, cfg, nil)
+	orig := a.Live()
+	if _, err := a.Rollback(); err == nil {
+		t.Fatal("rollback with no history succeeded")
+	}
+	promoted, _, err := driftedFeed(rng, a, alpha, c, 0.08, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted == nil {
+		t.Fatal("no promotion")
+	}
+	back, err := a.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig || a.Live() != orig {
+		t.Error("rollback did not restore the original predictor")
+	}
+	if st := a.Status(); st.Rollbacks != 1 || st.ShadowSamples != 0 {
+		t.Errorf("status %+v after rollback, want rollbacks=1 and a fresh shadow", st)
+	}
+}
+
+func TestAdapterDriftScoreRises(t *testing.T) {
+	cfg := Config{EvalWindow: 128, MinSamples: 128, Margin: 0.5, // margin high: never promote
+		Vth: 0.85, DriftWindow: 16,
+		BaselineResidMean: 0.002, BaselineResidStd: 0.0005}
+	a, alpha, c, rng := adapterFixture(t, cfg, nil)
+	if _, _, err := driftedFeed(rng, a, alpha, c, 0.08, 64); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Status(); st.DriftScore < 4 {
+		t.Errorf("drift score %v under an 80 mV regime shift, want ≥ 4σ", st.DriftScore)
+	}
+}
+
+func TestAdapterIngestShapeAndFiniteErrors(t *testing.T) {
+	a, _, _, _ := adapterFixture(t, Config{}, nil)
+	if _, err := a.Ingest([]float64{1}, make([]float64, 6)); err == nil {
+		t.Error("short reading vector accepted")
+	}
+	bad := []float64{0.9, 0.9, math.NaN(), 0.9}
+	if _, err := a.Ingest(bad, make([]float64, 6)); err == nil {
+		t.Error("non-finite reading accepted")
+	}
+	if st := a.Status(); st.Ingested != 0 {
+		t.Errorf("rejected samples counted: %+v", st)
+	}
+}

@@ -1,0 +1,814 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"voltsense/internal/core"
+	"voltsense/internal/mat"
+	"voltsense/internal/monitor"
+	"voltsense/internal/ols"
+	"voltsense/internal/online"
+	"voltsense/internal/traceio"
+)
+
+// adaptChip plants a deterministic voltage-like model: each block sums its
+// q readings with weight ~0.6/q (a small per-block tilt keeps the blocks
+// distinguishable) plus a 0.35 V intercept. At nominal readings (~0.9 V)
+// blocks sit at 0.89-0.91 V; an output drift of -0.08 V pushes every block
+// below the 0.85 V emergency threshold while the pre-drift fit keeps
+// predicting healthy voltages — the separation the promotion logic needs.
+func adaptChip(q, k int) (*mat.Matrix, []float64) {
+	alpha := mat.Zeros(k, q)
+	for i := 0; i < k; i++ {
+		w := (0.6 + 0.02*float64(i)/float64(k)) / float64(q)
+		row := alpha.Row(i)
+		for j := range row {
+			row[j] = w
+		}
+	}
+	c := make([]float64, k)
+	for i := range c {
+		c[i] = 0.35
+	}
+	return alpha, c
+}
+
+// adaptSamples draws n labeled samples from the planted chip with an output
+// shift (the drift) and light observation noise.
+func adaptSamples(rng *rand.Rand, alpha *mat.Matrix, c []float64, n int, shift float64) (xs, fs [][]float64) {
+	q, k := alpha.Cols(), alpha.Rows()
+	xs = make([][]float64, n)
+	fs = make([][]float64, n)
+	for s := 0; s < n; s++ {
+		x := make([]float64, q)
+		for i := range x {
+			x[i] = 0.9 + 0.02*rng.NormFloat64()
+		}
+		f := make([]float64, k)
+		for i := 0; i < k; i++ {
+			f[i] = c[i] + mat.Dot(alpha.Row(i), x) + shift + 0.002*rng.NormFloat64()
+		}
+		xs[s] = x
+		fs[s] = f
+	}
+	return xs, fs
+}
+
+type adaptHarness struct {
+	s     *Server
+	ts    *httptest.Server
+	alpha *mat.Matrix
+	c     []float64
+	rng   *rand.Rand
+}
+
+// newAdaptServer fits a live predictor on undrifted planted-chip data and
+// serves it with the adaptation loop enabled. mod may adjust the config
+// before the server is built.
+func newAdaptServer(t *testing.T, mod func(*Config)) *adaptHarness {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	alpha, c := adaptChip(4, 6)
+	xs, fs := adaptSamples(rng, alpha, c, 400, 0)
+	x := mat.Zeros(4, len(xs))
+	f := mat.Zeros(6, len(xs))
+	for s := range xs {
+		for i := range xs[s] {
+			x.Set(i, s, xs[s][i])
+		}
+		for i := range fs[s] {
+			f.Set(i, s, fs[s][i])
+		}
+	}
+	m, err := ols.Fit(x, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := &core.Predictor{Selected: []int{0, 1, 2, 3}, Model: m}
+	cfg := Config{
+		Loader:  func() (*core.Predictor, error) { return pred, nil },
+		Monitor: monitor.Config{Vth: 0.85, ClearMargin: 0.01, ClearCycles: 2},
+		Adapt:   true,
+		Adaptation: online.Config{
+			EvalWindow: 64, MinSamples: 64, Margin: 0.01,
+			DriftWindow: 16, Forgetting: 0.999,
+		},
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &adaptHarness{s: s, ts: ts, alpha: alpha, c: c, rng: rng}
+}
+
+// feedbackBody marshals n labeled samples from the planted chip, drifted
+// down by drop, into a /v1/feedback request body.
+func (h *adaptHarness) feedbackBody(n int, drop float64) string {
+	xs, fs := adaptSamples(h.rng, h.alpha, h.c, n, -drop)
+	req := feedbackRequest{Samples: make([]feedbackSample, n)}
+	for i := range xs {
+		rs := make([]reading, len(xs[i]))
+		for j, v := range xs[i] {
+			rs[j] = reading(v)
+		}
+		req.Samples[i] = feedbackSample{Readings: rs, Voltages: fs[i]}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// driveToPromotion posts drifted feedback batches until a response reports a
+// promotion, returning that response.
+func (h *adaptHarness) driveToPromotion(t *testing.T) feedbackResponse {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		code, body := postJSON(t, h.ts.URL+"/v1/feedback", h.feedbackBody(16, 0.08))
+		if code != http.StatusOK {
+			t.Fatalf("feedback status %d: %s", code, body)
+		}
+		var resp feedbackResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Promoted {
+			return resp
+		}
+	}
+	t.Fatal("no promotion after 800 drifted samples")
+	return feedbackResponse{}
+}
+
+func TestFeedbackRequiresAdaptFlag(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/v1/feedback", "/v1/rollback"} {
+		code, body := postJSON(t, ts.URL+path, `{"samples":[]}`)
+		if code != http.StatusNotFound {
+			t.Errorf("%s without -adapt: status %d, want 404 (%s)", path, code, body)
+		}
+		if !strings.Contains(string(body), "-adapt") {
+			t.Errorf("%s error should tell the operator about -adapt: %s", path, body)
+		}
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	h := newAdaptServer(t, func(c *Config) { c.MaxBatch = 4 })
+	cases := map[string]struct {
+		body string
+		want int
+	}{
+		"malformed json":     {`{"samples":[`, http.StatusBadRequest},
+		"empty batch":        {`{"samples":[]}`, http.StatusBadRequest},
+		"missing field":      {`{}`, http.StatusBadRequest},
+		"short readings":     {`{"samples":[{"readings":[0.9,0.9],"voltages":[1,1,1,1,1,1]}]}`, http.StatusBadRequest},
+		"null reading":       {`{"samples":[{"readings":[null,0.9,0.9,0.9],"voltages":[1,1,1,1,1,1]}]}`, http.StatusBadRequest},
+		"short voltages":     {`{"samples":[{"readings":[0.9,0.9,0.9,0.9],"voltages":[1,1]}]}`, http.StatusBadRequest},
+		"non-finite voltage": {`{"samples":[{"readings":[0.9,0.9,0.9,0.9],"voltages":[1e999,1,1,1,1,1]}]}`, http.StatusBadRequest},
+		"over max batch": {h.feedbackBody(5, 0),
+			http.StatusRequestEntityTooLarge},
+	}
+	for name, tc := range cases {
+		code, body := postJSON(t, h.ts.URL+"/v1/feedback", tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", name, code, tc.want, body)
+		}
+	}
+	resp, err := http.Get(h.ts.URL + "/v1/feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/feedback: status %d, want 405", resp.StatusCode)
+	}
+	// A rejected batch must not have been half-ingested.
+	if st := h.s.adapter.Load().ad.Status(); st.Ingested != 0 {
+		t.Errorf("rejected batches ingested %d samples", st.Ingested)
+	}
+}
+
+func TestFeedbackAcceptsAndLogsSamples(t *testing.T) {
+	var log bytes.Buffer
+	h := newAdaptServer(t, func(c *Config) { c.FeedbackLog = &log })
+	body := h.feedbackBody(8, 0)
+	code, respBody := postJSON(t, h.ts.URL+"/v1/feedback", body)
+	if code != http.StatusOK {
+		t.Fatalf("feedback status %d: %s", code, respBody)
+	}
+	var resp feedbackResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 8 || resp.Skipped != 0 || resp.Promoted {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.ShadowSamples != 8 {
+		t.Errorf("shadow_samples = %d, want 8", resp.ShadowSamples)
+	}
+	// The audit log must replay through the standard CSV loader with the
+	// exact values the loop learned from.
+	m, names, err := traceio.ReadMatrixCSV(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatalf("feedback log unreadable: %v", err)
+	}
+	if m.Rows() != 10 || m.Cols() != 8 {
+		t.Fatalf("feedback log shape %dx%d, want 10x8", m.Rows(), m.Cols())
+	}
+	if names[0] != "s0" || names[3] != "s3" || names[4] != "f0" || names[9] != "f5" {
+		t.Fatalf("feedback log header = %v", names)
+	}
+	var req feedbackRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	for i, smp := range req.Samples {
+		for j := range smp.Readings {
+			if m.At(j, i) != float64(smp.Readings[j]) {
+				t.Fatalf("log sample %d reading %d = %v, want %v", i, j, m.At(j, i), smp.Readings[j])
+			}
+		}
+		for j, v := range smp.Voltages {
+			if m.At(4+j, i) != v {
+				t.Fatalf("log sample %d voltage %d = %v, want %v", i, j, m.At(4+j, i), v)
+			}
+		}
+	}
+}
+
+func TestFeedbackPromotesRecalibratedModel(t *testing.T) {
+	h := newAdaptServer(t, nil)
+	// Pre-drift, the live model predicts healthy voltages at nominal inputs.
+	code, body := postJSON(t, h.ts.URL+"/v1/predict", `{"readings":[[0.9,0.9,0.9,0.9]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, body)
+	}
+	var before predictResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.Voltages[0][0] < 0.88 {
+		t.Fatalf("pre-drift prediction %v unexpectedly low", before.Voltages[0][0])
+	}
+
+	resp := h.driveToPromotion(t)
+	if resp.ModelGeneration != 2 {
+		t.Errorf("promoted model_generation = %d, want 2", resp.ModelGeneration)
+	}
+	if resp.ModelVersion != 2 {
+		t.Errorf("promoted model_version = %d, want 2", resp.ModelVersion)
+	}
+	if h.s.Generation() != 2 {
+		t.Errorf("server generation = %d, want 2", h.s.Generation())
+	}
+	live := h.s.adapter.Load().ad.Live()
+	if live.Lineage == nil || live.Lineage.Source != core.LineageSourceOnline || live.Lineage.Version != 2 {
+		t.Errorf("promoted lineage = %+v", live.Lineage)
+	}
+
+	// The serving model now tracks the drifted chip.
+	code, body = postJSON(t, h.ts.URL+"/v1/predict", `{"readings":[[0.9,0.9,0.9,0.9]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, body)
+	}
+	var after predictResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.ModelGeneration != 2 {
+		t.Errorf("post-promotion predict generation = %d", after.ModelGeneration)
+	}
+	if after.Voltages[0][0] > 0.84 {
+		t.Errorf("post-promotion prediction %v did not follow the -0.08 V drift", after.Voltages[0][0])
+	}
+
+	// Metrics and health must agree on what happened.
+	mres, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	exp := string(mb)
+	for _, want := range []string{
+		"voltserved_promotions_total 1",
+		"voltserved_model_generation 2",
+		`voltserved_predictions_total{model_generation="1"} 1`,
+		`voltserved_predictions_total{model_generation="2"} 1`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	hres, err := http.Get(h.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(hres.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	ad, ok := hz["adaptation"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing adaptation section: %v", hz)
+	}
+	if ad["model_version"] != 2.0 || ad["promotions"] != 1.0 {
+		t.Errorf("healthz adaptation = %v", ad)
+	}
+}
+
+// TestStreamAdoptsPromotionMidSession drives an open streaming session
+// across a promotion: the session must emit a promotion line, switch to the
+// recalibrated coefficients (raising the alarms the stale model missed), and
+// keep its cycle count and alarm hysteresis — one raise per block, no
+// re-raises, one summary covering all six cycles.
+func TestStreamAdoptsPromotionMidSession(t *testing.T) {
+	h := newAdaptServer(t, nil)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, h.ts.URL+"/v1/stream?emit_voltages=true", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	writeLine := func() {
+		if _, err := io.WriteString(pw, `{"readings":[0.9,0.9,0.9,0.9]}`+"\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scanLine := func() []byte {
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		return sc.Bytes()
+	}
+
+	// Three cycles on the stale model: voltages echo back healthy, no alarms.
+	for c := 0; c < 3; c++ {
+		writeLine()
+		var v streamVoltages
+		if err := json.Unmarshal(scanLine(), &v); err != nil || len(v.Voltages) != 6 {
+			t.Fatalf("cycle %d: expected voltages line, got error %v", c, err)
+		}
+		if v.Voltages[0] < 0.85 {
+			t.Fatalf("cycle %d: stale model alarmed unexpectedly: %v", c, v.Voltages[0])
+		}
+	}
+
+	h.driveToPromotion(t)
+
+	// The next cycle adopts the promotion: first the promotion line, then
+	// the (now drifted) voltages, then one raised alarm per block.
+	writeLine()
+	var promo map[string]streamPromotion
+	if err := json.Unmarshal(scanLine(), &promo); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := promo["promotion"]
+	if !ok {
+		t.Fatalf("expected promotion line, got %v", promo)
+	}
+	if ev.Cycle != 3 || ev.ModelGeneration != 2 || ev.ModelVersion != 2 || ev.Source != core.LineageSourceOnline {
+		t.Fatalf("promotion line = %+v", ev)
+	}
+	var v streamVoltages
+	if err := json.Unmarshal(scanLine(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Voltages[0] > 0.85 {
+		t.Fatalf("post-adoption voltages still on stale coefficients: %v", v.Voltages[0])
+	}
+	raised := map[int]int{}
+	for i := 0; i < 6; i++ {
+		var e streamEvent
+		if err := json.Unmarshal(scanLine(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind != "raised" {
+			t.Fatalf("event %d kind = %q", i, e.Kind)
+		}
+		raised[e.Block]++
+	}
+	if len(raised) != 6 {
+		t.Fatalf("raised blocks = %v, want all 6", raised)
+	}
+
+	// Two more cycles: alarms hold (hysteresis carried across the swap), so
+	// only voltages lines arrive — no re-raises.
+	for c := 4; c < 6; c++ {
+		writeLine()
+		line := scanLine()
+		if err := json.Unmarshal(line, &v); err != nil || len(v.Voltages) != 6 {
+			t.Fatalf("cycle %d: expected voltages-only line, got %s", c, line)
+		}
+	}
+	pw.Close()
+	var sum map[string]streamSummary
+	if err := json.Unmarshal(scanLine(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	st := sum["summary"]
+	if st.Cycles != 6 || st.Alarms != 6 || len(st.ActiveAlarms) != 6 {
+		t.Fatalf("summary = %+v", st)
+	}
+}
+
+func TestRollbackRestoresPriorModel(t *testing.T) {
+	h := newAdaptServer(t, nil)
+	// Nothing to roll back yet.
+	code, body := postJSON(t, h.ts.URL+"/v1/rollback", "")
+	if code != http.StatusConflict {
+		t.Fatalf("rollback before promotion: status %d (%s)", code, body)
+	}
+
+	h.driveToPromotion(t)
+	code, body = postJSON(t, h.ts.URL+"/v1/rollback", "")
+	if code != http.StatusOK {
+		t.Fatalf("rollback status %d: %s", code, body)
+	}
+	var rb map[string]any
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback installs the prior coefficients as a fresh generation.
+	if rb["status"] != "rolled-back" || rb["model_generation"] != 3.0 {
+		t.Fatalf("rollback response = %v", rb)
+	}
+	code, body = postJSON(t, h.ts.URL+"/v1/predict", `{"readings":[[0.9,0.9,0.9,0.9]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelGeneration != 3 {
+		t.Errorf("post-rollback generation = %d, want 3", resp.ModelGeneration)
+	}
+	if resp.Voltages[0][0] < 0.88 {
+		t.Errorf("post-rollback prediction %v still on the promoted model", resp.Voltages[0][0])
+	}
+	// A second rollback has nothing left to restore.
+	code, _ = postJSON(t, h.ts.URL+"/v1/rollback", "")
+	if code != http.StatusConflict {
+		t.Errorf("second rollback: status %d, want 409", code)
+	}
+	mres, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if !strings.Contains(string(mb), "voltserved_rollbacks_total 1") {
+		t.Error("exposition missing voltserved_rollbacks_total 1")
+	}
+}
+
+// TestFeedbackSkippedWhileSensorsFaulty pins the learning-hygiene rule:
+// samples arriving while the fault tier has diagnosed sensors are skipped
+// wholesale (their readings are corrupt), and a degraded chip rejects
+// feedback exactly like inference.
+func TestFeedbackSkippedWhileSensorsFaulty(t *testing.T) {
+	_, ts := newFaultServer(t, Config{Adapt: true})
+	// Two consecutive nulls on sensor 0 trip the dropout diagnosis.
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"readings":[[null,0.94,0.96],[null,0.94,0.96]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, body)
+	}
+	fb := `{"samples":[{"readings":[0.95,0.95,0.95],"voltages":[0.83]},{"readings":[0.95,0.95,0.95],"voltages":[0.83]}]}`
+	code, body = postJSON(t, ts.URL+"/v1/feedback", fb)
+	if code != http.StatusOK {
+		t.Fatalf("feedback status %d: %s", code, body)
+	}
+	var resp feedbackResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Skipped != 2 {
+		t.Fatalf("faulty-sensor feedback = %+v", resp)
+	}
+	if !strings.Contains(resp.Note, "faulty") {
+		t.Errorf("note should explain the skip: %q", resp.Note)
+	}
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if !strings.Contains(string(mb), "voltserved_feedback_skipped_total 2") {
+		t.Error("exposition missing voltserved_feedback_skipped_total 2")
+	}
+	// A second faulty sensor exceeds the leave-one-out fallbacks: degraded
+	// mode rejects feedback with the same 503 contract as inference.
+	code, _ = postJSON(t, ts.URL+"/v1/predict",
+		`{"readings":[[null,null,0.96],[null,null,0.96]]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degrading predict status %d, want 503", code)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/feedback", fb)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded feedback status %d: %s", code, body)
+	}
+}
+
+// TestApplySwapGuards unit-tests the promotion callback's refusal gates:
+// stale adapters (a reload replaced the loop) and fault-tier state block
+// shadow promotions, while operator rollbacks bypass the fault gate.
+func TestApplySwapGuards(t *testing.T) {
+	s, ts := newFaultServer(t, Config{Adapt: true})
+	cand := faultPredictor(t)
+	ast := s.adapter.Load()
+
+	// A stale adapter generation must never install a model.
+	err := s.applySwap(&adapterState{q: 3, k: 1})(cand, false)
+	if err == nil || !strings.Contains(err.Error(), "reloaded") {
+		t.Fatalf("stale adapter promotion: err = %v", err)
+	}
+
+	// Diagnose sensor 0 faulty; promotions are now refused...
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"readings":[[null,0.94,0.96],[null,0.94,0.96]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, body)
+	}
+	gen := s.Generation()
+	err = s.applySwap(ast)(cand, false)
+	if err == nil || !strings.Contains(err.Error(), "faulty") {
+		t.Fatalf("faulty-sensor promotion: err = %v", err)
+	}
+	if s.Generation() != gen {
+		t.Fatal("refused promotion still bumped the generation")
+	}
+	// ...but an operator rollback is not: reverting to known-good
+	// coefficients must work exactly when the chip is misbehaving.
+	if err := s.applySwap(ast)(cand, true); err != nil {
+		t.Fatalf("rollback through fault gate: %v", err)
+	}
+	if s.Generation() != gen+1 {
+		t.Fatalf("rollback did not install: generation %d", s.Generation())
+	}
+}
+
+// TestPromotionRaceUnderFaults is the -race workhorse: concurrent
+// /v1/predict traffic, a streaming session, drifted /v1/feedback batches
+// driving shadow promotions, and a fault-injection goroutine that first
+// diagnoses a sensor and then degrades the chip mid-run. The race detector
+// checks for torn reads; the test body checks the invariants — alarm
+// events alternate per block (hysteresis continuity across adoptions), no
+// batch both skipped-for-faults and promoted, and the quiesced server's
+// health, generation, and metrics agree.
+func TestPromotionRaceUnderFaults(t *testing.T) {
+	s, ts := newFaultServer(t, Config{
+		Adapt: true,
+		Adaptation: online.Config{
+			EvalWindow: 32, MinSamples: 32, Margin: 0.001,
+			DriftWindow: 8, Forgetting: 0.999,
+		},
+		Monitor: monitor.Config{Vth: 0.85, ClearMargin: 0.01, ClearCycles: 2},
+	})
+	post := func(path, body string) (int, []byte, error) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 150; i++ {
+				body := fmt.Sprintf(`{"readings":[[%.4f,%.4f,%.4f]]}`,
+					0.95+0.004*rng.NormFloat64(), 0.95+0.004*rng.NormFloat64(), 0.95+0.004*rng.NormFloat64())
+				code, b, err := post("/v1/predict", body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code != http.StatusOK && code != http.StatusServiceUnavailable {
+					t.Errorf("predict status %d: %s", code, b)
+					return
+				}
+			}
+		}(int64(g))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for batch := 0; batch < 80; batch++ {
+			var sb strings.Builder
+			sb.WriteString(`{"samples":[`)
+			for i := 0; i < 12; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				x := [3]float64{}
+				mean := 0.0
+				for j := range x {
+					x[j] = 0.95 + 0.005*rng.NormFloat64()
+					mean += x[j] / 3
+				}
+				truth := mean - 0.12 + 0.002*rng.NormFloat64()
+				fmt.Fprintf(&sb, `{"readings":[%.6f,%.6f,%.6f],"voltages":[%.6f]}`, x[0], x[1], x[2], truth)
+			}
+			sb.WriteString(`]}`)
+			code, b, err := post("/v1/feedback", sb.String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch code {
+			case http.StatusOK:
+				var resp feedbackResponse
+				if err := json.Unmarshal(b, &resp); err != nil {
+					t.Errorf("feedback response: %v (%s)", err, b)
+					return
+				}
+				if resp.Promoted && resp.Skipped > 0 {
+					t.Errorf("batch skipped for faulty sensors still promoted: %s", b)
+				}
+			case http.StatusServiceUnavailable:
+				// Degraded mid-run; expected once the injector fires.
+			default:
+				t.Errorf("feedback status %d: %s", code, b)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(3 * time.Millisecond)
+		// Sensor 0 drops out: fallback territory, promotions refused.
+		if _, _, err := post("/v1/predict", `{"readings":[[null,0.95,0.95],[null,0.95,0.95]]}`); err != nil {
+			t.Error(err)
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+		// Sensor 1 too: beyond the leave-one-out fallbacks — degraded.
+		if _, _, err := post("/v1/predict", `{"readings":[[null,null,0.95],[null,null,0.95]]}`); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lines := make([]string, 150)
+		for c := range lines {
+			lines[c] = healthyLine(c)
+		}
+		resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson",
+			strings.NewReader(strings.Join(lines, "\n")+"\n"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return // session refused: chip already degraded
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("stream status %d", resp.StatusCode)
+			return
+		}
+		active := map[int]bool{}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var probe map[string]json.RawMessage
+			if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+				t.Errorf("unparseable stream line %q: %v", sc.Text(), err)
+				return
+			}
+			if _, ok := probe["kind"]; !ok {
+				continue
+			}
+			var ev streamEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Error(err)
+				return
+			}
+			switch ev.Kind {
+			case "raised":
+				if active[ev.Block] {
+					t.Errorf("block %d raised twice without a clear (cycle %d)", ev.Block, ev.Cycle)
+				}
+				active[ev.Block] = true
+			case "cleared":
+				if !active[ev.Block] {
+					t.Errorf("block %d cleared without an active alarm (cycle %d)", ev.Block, ev.Cycle)
+				}
+				active[ev.Block] = false
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiesced: health, generation, and metrics must tell one story.
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(hres.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hz["model_generation"] != float64(s.Generation()) {
+		t.Errorf("healthz generation %v != server %d", hz["model_generation"], s.Generation())
+	}
+	if _, ok := hz["adaptation"]; !ok {
+		t.Error("healthz lost the adaptation section")
+	}
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if !strings.Contains(string(mb), fmt.Sprintf("voltserved_model_generation %d", s.Generation())) {
+		t.Error("metrics generation disagrees with server")
+	}
+}
+
+// TestMetricsEveryFamilyHasTypeLine sweeps the exposition: every sample
+// line's family must have been declared by a preceding # TYPE line.
+func TestMetricsEveryFamilyHasTypeLine(t *testing.T) {
+	h := newAdaptServer(t, nil)
+	postJSON(t, h.ts.URL+"/v1/predict", `{"readings":[[0.9,0.9,0.9,0.9]]}`)
+	postJSON(t, h.ts.URL+"/v1/feedback", h.feedbackBody(4, 0))
+	streamCycles(t, h.ts.URL+"/v1/stream", []string{`{"readings":[0.9,0.9,0.9,0.9]}`})
+	resp, err := http.Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	declared := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			declared[fields[2]] = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if declared[family] {
+				break
+			}
+			family = strings.TrimSuffix(name, suf)
+		}
+		if !declared[name] && !declared[family] {
+			t.Errorf("sample %q has no # TYPE declaration", name)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -36,6 +38,16 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 metric, stored atomically via its
+// IEEE bit pattern so readers never observe a torn value.
+type FloatGauge struct{ v atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(f float64) { g.v.Store(math.Float64bits(f)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning the
 // sub-millisecond Eq. 20 evaluations up to pathological multi-second stalls.
@@ -82,13 +94,14 @@ func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
 // Prometheus text format (version 0.0.4) without importing any client
 // library, per the repo's stdlib-only rule.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]*Counter   // "path\x00code" → count
-	latency  map[string]*Histogram // path → latency histogram
+	mu          sync.Mutex
+	requests    map[string]*Counter   // "path\x00code" → count
+	latency     map[string]*Histogram // path → latency histogram
+	predictions map[uint64]*Counter   // model generation → vectors evaluated
+	version     string                // build version for voltsense_build_info
 
 	ActiveStreams Gauge   // streaming sessions currently open
 	StreamsTotal  Counter // streaming sessions ever opened
-	Predictions   Counter // sensor vectors evaluated (batch + stream)
 	AlarmsRaised  Counter // cumulative raise events across all streams
 	AlarmsCleared Counter // cumulative clear events across all streams
 	Reloads       Counter // successful model hot-swaps
@@ -97,14 +110,59 @@ type Metrics struct {
 	ActiveFallback   Gauge   // sensors excluded by the serving fallback (0 = primary model)
 	FallbackSwitches Counter // fault-tier state changes (diagnoses and switches)
 	DegradedRequests Counter // requests refused or sessions ended in degraded mode
+
+	ModelGeneration   Gauge      // generation of the predictor currently serving
+	Promotions        Counter    // shadow models promoted to live
+	Rollbacks         Counter    // operator rollbacks to the previous generation
+	PromotionsBlocked Counter    // promotion attempts refused (degraded, faulty, stale)
+	FeedbackSamples   Counter    // labeled samples accepted into the adaptation loop
+	FeedbackSkipped   Counter    // labeled samples dropped (faulty sensors, bad values)
+	DriftScore        FloatGauge // live-model residual sigmas above its baseline
+	LiveTE            FloatGauge // live-model total error over the evaluation window
+	ShadowTE          FloatGauge // shadow-model total error over the evaluation window
 }
 
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[string]*Counter),
-		latency:  make(map[string]*Histogram),
+		requests:    make(map[string]*Counter),
+		latency:     make(map[string]*Histogram),
+		predictions: make(map[uint64]*Counter),
+		version:     "dev",
 	}
+}
+
+// SetVersion records the build version exposed by voltsense_build_info.
+func (m *Metrics) SetVersion(v string) {
+	m.mu.Lock()
+	if v != "" {
+		m.version = v
+	}
+	m.mu.Unlock()
+}
+
+// AddPredictions counts n evaluated sensor vectors against the given model
+// generation, so promotions and reloads are visible in scrape deltas.
+func (m *Metrics) AddPredictions(gen uint64, n uint64) {
+	m.mu.Lock()
+	c := m.predictions[gen]
+	if c == nil {
+		c = &Counter{}
+		m.predictions[gen] = c
+	}
+	m.mu.Unlock()
+	c.Add(n)
+}
+
+// PredictionsTotal sums evaluated vectors across all generations.
+func (m *Metrics) PredictionsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t uint64
+	for _, c := range m.predictions {
+		t += c.Value()
+	}
+	return t
 }
 
 // ObserveRequest records one completed HTTP request.
@@ -139,7 +197,9 @@ func (m *Metrics) RequestCount(path string, code int) uint64 {
 }
 
 // WritePrometheus writes the registry in Prometheus text exposition format,
-// with series in deterministic order.
+// with series in deterministic order. Every metric family — including
+// multi-series families like the generation-labeled prediction counter —
+// gets exactly one # HELP and one # TYPE line ahead of its samples.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.mu.Lock()
 	reqKeys := make([]string, 0, len(m.requests))
@@ -158,9 +218,19 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for k, v := range m.latency {
 		lats[k] = v
 	}
+	genKeys := make([]uint64, 0, len(m.predictions))
+	for g := range m.predictions {
+		genKeys = append(genKeys, g)
+	}
+	preds := make(map[uint64]*Counter, len(m.predictions))
+	for g, c := range m.predictions {
+		preds[g] = c
+	}
+	version := m.version
 	m.mu.Unlock()
 	sort.Strings(reqKeys)
 	sort.Strings(latKeys)
+	sort.Slice(genKeys, func(i, j int) bool { return genKeys[i] < genKeys[j] })
 
 	fmt.Fprintln(w, "# HELP voltserved_requests_total HTTP requests served, by path and status code.")
 	fmt.Fprintln(w, "# TYPE voltserved_requests_total counter")
@@ -194,9 +264,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeCounter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	fmt.Fprintln(w, "# HELP voltserved_predictions_total Sensor vectors evaluated (batch and stream), by model generation.")
+	fmt.Fprintln(w, "# TYPE voltserved_predictions_total counter")
+	for _, g := range genKeys {
+		fmt.Fprintf(w, "voltserved_predictions_total{model_generation=\"%d\"} %d\n", g, preds[g].Value())
+	}
+
 	writeGauge("voltserved_active_streams", "Streaming sessions currently open.", m.ActiveStreams.Value())
 	writeCounter("voltserved_streams_total", "Streaming sessions ever opened.", m.StreamsTotal.Value())
-	writeCounter("voltserved_predictions_total", "Sensor vectors evaluated (batch and stream).", m.Predictions.Value())
 	writeCounter("voltserved_alarms_raised_total", "Alarm raise events across all streams.", m.AlarmsRaised.Value())
 	writeCounter("voltserved_alarms_cleared_total", "Alarm clear events across all streams.", m.AlarmsCleared.Value())
 	writeCounter("voltserved_model_reloads_total", "Successful predictor hot-swaps.", m.Reloads.Value())
@@ -204,4 +279,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeGauge("voltserved_active_fallback", "Sensors excluded by the serving fallback model (0 = primary).", m.ActiveFallback.Value())
 	writeCounter("voltserved_fallback_switches_total", "Fault-tier state changes: diagnoses and fallback switches.", m.FallbackSwitches.Value())
 	writeCounter("voltserved_degraded_requests_total", "Requests refused (503) or streams ended because no fallback covers the failed sensors.", m.DegradedRequests.Value())
+
+	writeGauge("voltserved_model_generation", "Generation of the predictor currently serving.", m.ModelGeneration.Value())
+	writeCounter("voltserved_promotions_total", "Shadow models promoted to live by the adaptation loop.", m.Promotions.Value())
+	writeCounter("voltserved_rollbacks_total", "Operator rollbacks to the previous model generation.", m.Rollbacks.Value())
+	writeCounter("voltserved_promotions_blocked_total", "Promotion attempts refused (degraded serving tier, faulty sensors, or stale adapter).", m.PromotionsBlocked.Value())
+	writeCounter("voltserved_feedback_samples_total", "Labeled samples accepted into the adaptation loop.", m.FeedbackSamples.Value())
+	writeCounter("voltserved_feedback_skipped_total", "Labeled samples dropped before ingestion (faulty sensors or bad values).", m.FeedbackSkipped.Value())
+	writeFloatGauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	writeFloatGauge("voltserved_drift_score", "Live-model residual sigmas above the drift baseline.", m.DriftScore.Value())
+	writeFloatGauge("voltserved_live_te", "Live-model total error over the shadow evaluation window.", m.LiveTE.Value())
+	writeFloatGauge("voltserved_shadow_te", "Shadow-model total error over the shadow evaluation window.", m.ShadowTE.Value())
+
+	fmt.Fprintln(w, "# HELP voltsense_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE voltsense_build_info gauge")
+	fmt.Fprintf(w, "voltsense_build_info{version=%q,goversion=%q} 1\n", version, runtime.Version())
 }

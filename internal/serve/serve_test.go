@@ -11,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -486,9 +487,13 @@ func TestMetricsExposition(t *testing.T) {
 		`voltserved_request_seconds_bucket{path="/v1/predict",le="+Inf"} 2`,
 		"voltserved_active_streams 0",
 		"voltserved_streams_total 1",
-		"voltserved_predictions_total 2",
+		`voltserved_predictions_total{model_generation="1"} 2`,
+		"# TYPE voltserved_predictions_total counter",
 		"voltserved_alarms_raised_total 2",
 		"# TYPE voltserved_request_seconds histogram",
+		"voltserved_model_generation 1",
+		"# TYPE voltsense_build_info gauge",
+		`goversion="` + runtime.Version() + `"`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

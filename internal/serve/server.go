@@ -49,6 +49,8 @@ import (
 	"voltsense/internal/core"
 	"voltsense/internal/faults"
 	"voltsense/internal/monitor"
+	"voltsense/internal/online"
+	"voltsense/internal/traceio"
 )
 
 // Config parameterizes a Server.
@@ -75,6 +77,23 @@ type Config struct {
 	// RetryAfter is the Retry-After header value returned with degraded
 	// 503s. Default 10 seconds.
 	RetryAfter time.Duration
+	// Adapt enables the online recalibration loop: POST /v1/feedback
+	// ingests labeled samples into a shadow refit, and the shadow is
+	// promoted to live when it beats the serving model (see
+	// internal/online). POST /v1/rollback reverts the last promotion.
+	Adapt bool
+	// Adaptation tunes the recalibration loop. Zero values take the
+	// online package defaults; a zero Vth additionally inherits
+	// Monitor.Vth so scoring and alarming agree on what an emergency is.
+	Adaptation online.Config
+	// FeedbackLog, when non-nil, records every labeled sample accepted by
+	// /v1/feedback as CSV rows (readings then truths) via
+	// traceio.NewSampleWriter — an offline-replayable audit trail of what
+	// the adaptation loop learned from.
+	FeedbackLog io.Writer
+	// Version is the build version exposed by the voltsense_build_info
+	// metric. Empty means "dev".
+	Version string
 }
 
 // model is one loaded predictor generation plus the session pool bound to
@@ -90,6 +109,20 @@ type model struct {
 	pool     *sync.Pool       // of *monitor.Monitor with the server's default config
 	guard    *faults.Guard    // nil when the artifact has no fallbacks
 	injector *faults.Injector // nil without --fault-spec
+	// adopt marks generations produced by an online promotion: in-flight
+	// streams of the same shape switch to them mid-session (hysteresis
+	// preserved via monitor.SetPredictor) instead of finishing on the old
+	// coefficients. Reloaded artifacts keep adopt false — a reload may
+	// place different sensors, so sessions finish on their generation.
+	adopt bool
+}
+
+// adapterState binds one online.Adapter to the model generation lineage it
+// was built from. Reloads replace the whole state; a promotion attempt from
+// a replaced (stale) adapter is refused by the ownership check in applySwap.
+type adapterState struct {
+	ad   *online.Adapter
+	q, k int
 }
 
 // Server is the voltage-map inference service.
@@ -105,6 +138,17 @@ type Server struct {
 	// injectCycle clocks --fault-spec injection for stateless /v1/predict
 	// vectors; streams use their own session cycle numbers.
 	injectCycle atomic.Int64
+
+	// adapter is the current recalibration loop (nil unless cfg.Adapt);
+	// rebuilt on every reload so it always shadows the serving artifact.
+	adapter atomic.Pointer[adapterState]
+
+	// fbMu serializes the optional feedback CSV log; the writer is created
+	// on the first adapter build and dropped if a reload changes the
+	// model's shape (a CSV stream has one fixed-width header).
+	fbMu     sync.Mutex
+	fbWriter *traceio.SampleWriter
+	fbRow    []float64
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -124,7 +168,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 10 * time.Second
 	}
+	if cfg.Adaptation.Vth == 0 {
+		cfg.Adaptation.Vth = cfg.Monitor.Vth
+	}
 	s := &Server{cfg: cfg, metrics: NewMetrics(), start: time.Now()}
+	s.metrics.SetVersion(cfg.Version)
 	if err := s.Reload(); err != nil {
 		return nil, fmt.Errorf("serve: initial load: %w", err)
 	}
@@ -132,6 +180,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	s.mux.HandleFunc("/v1/stream", s.instrument("/v1/stream", s.handleStream))
 	s.mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
+	s.mux.HandleFunc("/v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
+	s.mux.HandleFunc("/v1/rollback", s.instrument("/v1/rollback", s.handleRollback))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return s, nil
@@ -164,10 +214,96 @@ func (s *Server) Reload() error {
 		return err
 	}
 	s.cur.Store(m)
+	s.metrics.ModelGeneration.Set(int64(m.gen))
 	if m.gen > 1 {
 		s.metrics.Reloads.Inc()
 	}
+	if s.cfg.Adapt {
+		if err := s.rebuildAdapter(pred); err != nil {
+			// The artifact itself loaded and is serving; only the
+			// adaptation loop could not be built around it.
+			return fmt.Errorf("serve: model gen %d serving, but adaptation disabled: %w", m.gen, err)
+		}
+	}
 	return nil
+}
+
+// rebuildAdapter wraps a fresh recalibration loop around pred. The previous
+// adapter (if any) becomes stale: its in-flight promotion attempts fail the
+// ownership check in applySwap. Caller holds reloadMu.
+func (s *Server) rebuildAdapter(pred *core.Predictor) error {
+	st := &adapterState{q: pred.Model.NumInputs(), k: pred.Model.NumOutputs()}
+	ad, err := online.NewAdapter(pred, s.cfg.Adaptation, s.applySwap(st))
+	if err != nil {
+		return err
+	}
+	st.ad = ad
+	s.adapter.Store(st)
+	s.initFeedbackLog(st.q, st.k)
+	return nil
+}
+
+// initFeedbackLog lazily creates the CSV feedback recorder, or drops it when
+// a reload changed the sample width (the stream has one fixed header row).
+func (s *Server) initFeedbackLog(q, k int) {
+	if s.cfg.FeedbackLog == nil {
+		return
+	}
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if s.fbWriter != nil {
+		if len(s.fbRow) != q+k {
+			s.fbWriter = nil // width changed; stop recording rather than corrupt
+		}
+		return
+	}
+	names := make([]string, 0, q+k)
+	for i := 0; i < q; i++ {
+		names = append(names, fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < k; i++ {
+		names = append(names, fmt.Sprintf("f%d", i))
+	}
+	sw, err := traceio.NewSampleWriter(s.cfg.FeedbackLog, names)
+	if err != nil {
+		return // recording is best-effort; serving must not fail on it
+	}
+	s.fbWriter = sw
+	s.fbRow = make([]float64, q+k)
+}
+
+// applySwap returns the promotion callback for one adapter generation: it
+// installs a candidate predictor as the serving model, refusing stale
+// adapters (a reload replaced the loop), and — for shadow promotions, never
+// operator rollbacks — refusing while the fault tier has diagnosed sensors
+// or entered degraded mode, so a generation fit on corrupt readings can
+// never be promoted.
+func (s *Server) applySwap(owner *adapterState) online.ApplyFunc {
+	return func(p *core.Predictor, rollback bool) error {
+		s.reloadMu.Lock()
+		defer s.reloadMu.Unlock()
+		if s.adapter.Load() != owner {
+			return errors.New("serve: model reloaded since this adapter was built; promotion abandoned")
+		}
+		cur := s.cur.Load()
+		if !rollback && cur.guard != nil {
+			st := cur.guard.Snapshot()
+			if st.Degraded {
+				return fmt.Errorf("serve: refusing promotion while degraded (%d sensors faulty)", len(st.Faulty))
+			}
+			if len(st.Faulty) > 0 {
+				return fmt.Errorf("serve: refusing promotion while sensors %v are faulty", st.Faulty)
+			}
+		}
+		m, err := s.newModel(p)
+		if err != nil {
+			return err
+		}
+		m.adopt = true
+		s.cur.Store(m)
+		s.metrics.ModelGeneration.Set(int64(m.gen))
+		return nil
+	}
 }
 
 func (s *Server) newModel(pred *core.Predictor) (*model, error) {
@@ -443,7 +579,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = f
 	}
-	s.metrics.Predictions.Add(uint64(len(batch)))
+	s.metrics.AddPredictions(m.gen, uint64(len(batch)))
 	writeJSON(w, http.StatusOK, predictResponse{
 		ModelGeneration: m.gen,
 		Blocks:          m.k,
@@ -468,6 +604,173 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// feedbackSample pairs one cycle's sensor readings with the ground-truth
+// critical-node voltages measured for it (periodic on-die scan or offline
+// replay). Feedback carries no nulls: a labeled sample with a dropped-out
+// sensor teaches the fit garbage, so non-finite values are rejected.
+type feedbackSample struct {
+	Readings []reading `json:"readings"`
+	Voltages []float64 `json:"voltages"`
+}
+
+// feedbackRequest is the /v1/feedback input.
+type feedbackRequest struct {
+	Samples []feedbackSample `json:"samples"`
+}
+
+// feedbackResponse reports what the batch did to the adaptation loop.
+type feedbackResponse struct {
+	Accepted        int     `json:"accepted"`
+	Skipped         int     `json:"skipped"`
+	Promoted        bool    `json:"promoted"`
+	ModelGeneration uint64  `json:"model_generation"`
+	ModelVersion    int     `json:"model_version"`
+	ShadowSamples   int     `json:"shadow_samples"`
+	DriftScore      float64 `json:"drift_score"`
+	LiveTE          float64 `json:"live_te"`
+	ShadowTE        float64 `json:"shadow_te"`
+	Note            string  `json:"note,omitempty"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ast := s.adapter.Load()
+	if ast == nil {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
+		return
+	}
+	var req feedbackRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	if len(req.Samples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: provide at least one labeled sample")
+		return
+	}
+	if len(req.Samples) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Samples), s.cfg.MaxBatch)
+		return
+	}
+	m := s.cur.Load()
+	if m.guard != nil {
+		st := m.guard.Snapshot()
+		if st.Degraded {
+			s.degrade(w, st)
+			return
+		}
+		if len(st.Faulty) > 0 {
+			// Readings from diagnosed sensors are corrupt; learning from
+			// them would converge the shadow onto the fault, not the chip.
+			s.metrics.FeedbackSkipped.Add(uint64(len(req.Samples)))
+			stat := ast.ad.Status()
+			writeJSON(w, http.StatusOK, feedbackResponse{
+				Skipped:         len(req.Samples),
+				ModelGeneration: m.gen,
+				ModelVersion:    stat.Version,
+				ShadowSamples:   stat.ShadowSamples,
+				DriftScore:      stat.DriftScore,
+				LiveTE:          stat.LiveTE,
+				ShadowTE:        stat.ShadowTE,
+				Note:            fmt.Sprintf("samples skipped: sensors %v are faulty", st.Faulty),
+			})
+			return
+		}
+	}
+	// Validate the whole batch before ingesting any of it, so a bad sample
+	// rejects the request without half-applying it.
+	batch := make([][]float64, len(req.Samples))
+	for i, smp := range req.Samples {
+		batch[i] = toFloats(smp.Readings)
+		if err := checkVector(batch[i], ast.q, false); err != nil {
+			httpError(w, http.StatusBadRequest, "samples[%d].readings: %v", i, err)
+			return
+		}
+		if len(smp.Voltages) != ast.k {
+			httpError(w, http.StatusBadRequest, "samples[%d].voltages has %d values, model has %d blocks", i, len(smp.Voltages), ast.k)
+			return
+		}
+		for j, v := range smp.Voltages {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				httpError(w, http.StatusBadRequest, "samples[%d].voltages[%d]: non-finite value %v", i, j, v)
+				return
+			}
+		}
+	}
+	resp := feedbackResponse{}
+	for i, x := range batch {
+		res, err := ast.ad.Ingest(x, req.Samples[i].Voltages)
+		if err != nil {
+			// Unreachable after validation, but never half-report it.
+			httpError(w, http.StatusBadRequest, "samples[%d]: %v", i, err)
+			return
+		}
+		resp.Accepted++
+		s.logFeedback(x, req.Samples[i].Voltages)
+		if res.Promoted != nil {
+			resp.Promoted = true
+			s.metrics.Promotions.Inc()
+		}
+		if res.Blocked != nil {
+			s.metrics.PromotionsBlocked.Inc()
+			resp.Note = fmt.Sprintf("promotion blocked: %v", res.Blocked)
+		}
+	}
+	s.metrics.FeedbackSamples.Add(uint64(resp.Accepted))
+	stat := ast.ad.Status()
+	s.metrics.DriftScore.Set(stat.DriftScore)
+	s.metrics.LiveTE.Set(stat.LiveTE)
+	s.metrics.ShadowTE.Set(stat.ShadowTE)
+	resp.ModelGeneration = s.cur.Load().gen
+	resp.ModelVersion = stat.Version
+	resp.ShadowSamples = stat.ShadowSamples
+	resp.DriftScore = stat.DriftScore
+	resp.LiveTE = stat.LiveTE
+	resp.ShadowTE = stat.ShadowTE
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// logFeedback appends one accepted labeled sample to the CSV audit trail.
+func (s *Server) logFeedback(x, f []float64) {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if s.fbWriter == nil || len(s.fbRow) != len(x)+len(f) {
+		return
+	}
+	copy(s.fbRow, x)
+	copy(s.fbRow[len(x):], f)
+	s.fbWriter.AppendSamples(s.fbRow)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ast := s.adapter.Load()
+	if ast == nil {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
+		return
+	}
+	target, err := ast.ad.Rollback()
+	if err != nil {
+		httpError(w, http.StatusConflict, "rollback failed: %v", err)
+		return
+	}
+	s.metrics.Rollbacks.Inc()
+	m := s.cur.Load()
+	resp := map[string]any{
+		"status":           "rolled-back",
+		"model_generation": m.gen,
+	}
+	if target.Lineage != nil {
+		resp["model_version"] = target.Lineage.Version
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -489,6 +792,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["degraded"] = st.Degraded
 		if st.Degraded {
 			resp["status"] = "degraded"
+		}
+	}
+	if ast := s.adapter.Load(); ast != nil {
+		stat := ast.ad.Status()
+		resp["adaptation"] = map[string]any{
+			"model_version":    stat.Version,
+			"feedback_samples": stat.Ingested,
+			"shadow_ready":     stat.ShadowReady,
+			"shadow_samples":   stat.ShadowSamples,
+			"drift_score":      stat.DriftScore,
+			"live_te":          stat.LiveTE,
+			"shadow_te":        stat.ShadowTE,
+			"promotions":       stat.Promotions,
+			"rollbacks":        stat.Rollbacks,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -571,6 +888,16 @@ type streamFault struct {
 	Note             string `json:"note,omitempty"`
 }
 
+// streamPromotion is emitted when the adaptation loop promotes a shadow
+// model mid-session and the session adopts the new generation (alarm
+// hysteresis carries over; only the coefficients change).
+type streamPromotion struct {
+	Cycle           int    `json:"cycle"`
+	ModelGeneration uint64 `json:"model_generation"`
+	ModelVersion    int    `json:"model_version,omitempty"`
+	Source          string `json:"source,omitempty"`
+}
+
 // streamSummary closes a clean stream.
 type streamSummary struct {
 	Cycles          int     `json:"cycles"`
@@ -603,6 +930,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var mon *monitor.Monitor
+	var returnPool *sync.Pool // pool to return mon to; tracks adoptions
 	if overridden {
 		mon, err = monitor.New(m.pred, m.k, cfg, nil)
 		if err != nil {
@@ -611,9 +939,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		mon = m.pool.Get().(*monitor.Monitor)
+		returnPool = m.pool
 		defer func() {
 			mon.Reset()
-			m.pool.Put(mon)
+			returnPool.Put(mon)
 		}()
 	}
 
@@ -665,6 +994,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			cycle++
 		}
+		// Adopt promoted generations mid-session: a promotion keeps the
+		// sensor set and output shape, so the session's monitor (and its
+		// alarm hysteresis) carries over via SetPredictor. Reloads are not
+		// adopted — the session finishes on the generation it started with.
+		if latest := s.cur.Load(); latest != m && latest.adopt && latest.q == m.q && latest.k == m.k {
+			mon.SetPredictor(latest.pred)
+			if returnPool != nil {
+				returnPool = latest.pool
+			}
+			m = latest
+			ev := streamPromotion{Cycle: cycle, ModelGeneration: m.gen}
+			if lin := m.pred.Lineage; lin != nil {
+				ev.ModelVersion = lin.Version
+				ev.Source = lin.Source
+			}
+			enc.Encode(map[string]streamPromotion{"promotion": ev})
+			flush()
+		}
 		readings := toFloats(in.Readings)
 		if err := checkVector(readings, m.q, m.guard != nil); err != nil {
 			enc.Encode(map[string]string{"error": err.Error()})
@@ -703,7 +1050,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		events := mon.ProcessPredicted(cycle, f)
-		s.metrics.Predictions.Inc()
+		s.metrics.AddPredictions(m.gen, 1)
 		if emitVoltages {
 			enc.Encode(streamVoltages{Cycle: cycle, Voltages: f})
 		}

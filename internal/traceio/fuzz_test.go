@@ -15,6 +15,10 @@ func FuzzReadMatrixCSV(f *testing.F) {
 	f.Add("")
 	f.Add("x,y\nnot,numbers\n")
 	f.Add("h\n1\n2\n3\n")
+	f.Add("a,b\ninf,1\n")
+	f.Add("a,b\n1,-inf\n")
+	f.Add("a,b\nnan,2\n")
+	f.Add("a,b\nNaN,+Inf\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, names, err := ReadMatrixCSV(strings.NewReader(in))
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"voltsense/internal/mat"
@@ -53,7 +54,9 @@ func WriteMatrixCSV(w io.Writer, m *mat.Matrix, names []string) error {
 
 // ReadMatrixCSV reads a CSV written by WriteMatrixCSV (or any header + one
 // row per sample layout), returning the matrix in rows-are-variables form
-// plus the header names.
+// plus the header names. Non-finite values (NaN, ±Inf) are rejected with a
+// positioned error, mirroring core.LoadPredictor's hardening: a corrupt
+// measurement must fail at import time, not poison a fit downstream.
 func ReadMatrixCSV(r io.Reader) (*mat.Matrix, []string, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
@@ -80,11 +83,72 @@ func ReadMatrixCSV(r io.Reader) (*mat.Matrix, []string, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("traceio: sample %d field %q: %w", j, names[i], err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("traceio: sample %d field %q: non-finite value %q", j, names[i], field)
+			}
 			m.Set(i, j, v)
 		}
 	}
 	return m, names, nil
 }
+
+// SampleWriter appends samples row by row to a CSV stream in the
+// WriteMatrixCSV layout — the streaming counterpart used by paths that
+// record samples as they arrive (e.g. the serving tier's feedback log)
+// instead of materializing a matrix first. Every appended row is flushed,
+// so a crashed process loses at most the row being written.
+type SampleWriter struct {
+	cw      *csv.Writer
+	nFields int
+	row     []string
+	written int
+}
+
+// NewSampleWriter writes the header row and returns the writer. names must
+// be non-empty; each subsequent row carries exactly len(names) values.
+func NewSampleWriter(w io.Writer, names []string) (*SampleWriter, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("traceio: sample writer needs at least one column")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(names); err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	return &SampleWriter{cw: cw, nFields: len(names), row: make([]string, len(names))}, nil
+}
+
+// AppendSamples writes one CSV row per sample and flushes. A width mismatch
+// or non-finite value fails before anything of the offending row is written,
+// keeping the stream loadable by ReadMatrixCSV.
+func (sw *SampleWriter) AppendSamples(samples ...[]float64) error {
+	for _, s := range samples {
+		if len(s) != sw.nFields {
+			return fmt.Errorf("traceio: sample %d has %d values, want %d", sw.written, len(s), sw.nFields)
+		}
+		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("traceio: sample %d field %d: non-finite value %v", sw.written, i, v)
+			}
+			sw.row[i] = strconv.FormatFloat(v, 'g', 17, 64)
+		}
+		if err := sw.cw.Write(sw.row); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+		sw.written++
+	}
+	sw.cw.Flush()
+	if err := sw.cw.Error(); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return nil
+}
+
+// Written returns the number of sample rows appended so far.
+func (sw *SampleWriter) Written() int { return sw.written }
 
 // Dataset bundles the two matrices of a placement problem for persistence.
 type Dataset struct {

@@ -167,3 +167,83 @@ func TestRoundTripPreservesSpecialValues(t *testing.T) {
 		}
 	}
 }
+
+func TestReadMatrixRejectsNonFinite(t *testing.T) {
+	cases := []struct{ in, wantPos string }{
+		{"a,b\ninf,1\n", `sample 0 field "a"`},
+		{"a,b\n1,-Inf\n", `sample 0 field "b"`},
+		{"a,b\n1,2\nnan,3\n", `sample 1 field "a"`},
+		{"a,b\n1,NaN\n", `sample 0 field "b"`},
+	}
+	for _, c := range cases {
+		_, _, err := ReadMatrixCSV(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("input %q: non-finite value accepted", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPos) || !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("input %q: error %q lacks position %q", c.in, err, c.wantPos)
+		}
+	}
+}
+
+func TestSampleWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSampleWriter(&buf, []string{"s0", "s1", "f0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendSamples([]float64{0.9, 0.91, 0.88}); err != nil {
+		t.Fatal(err)
+	}
+	// Every append flushes: the stream must be loadable mid-recording.
+	m, names, err := ReadMatrixCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("mid-stream read: %v", err)
+	}
+	if m.Cols() != 1 || len(names) != 3 {
+		t.Fatalf("mid-stream shape %dx%d names %v", m.Rows(), m.Cols(), names)
+	}
+	if err := sw.AppendSamples([]float64{0.8, 0.81, 0.79}, []float64{0.95, 0.94, 0.96}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Written() != 3 {
+		t.Fatalf("Written() = %d, want 3", sw.Written())
+	}
+	m, _, err = ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("final shape %dx%d, want 3x3", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 0.79 {
+		t.Fatalf("value (2,1) = %v", m.At(2, 1))
+	}
+}
+
+func TestSampleWriterErrors(t *testing.T) {
+	if _, err := NewSampleWriter(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty header accepted")
+	}
+	var buf bytes.Buffer
+	sw, err := NewSampleWriter(&buf, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendSamples([]float64{1}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := sw.AppendSamples([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := sw.AppendSamples([]float64{1, math.Inf(-1)}); err == nil {
+		t.Error("-Inf accepted")
+	}
+	if sw.Written() != 0 {
+		t.Errorf("rejected rows counted: %d", sw.Written())
+	}
+	if got := buf.String(); got != "a,b\n" {
+		t.Errorf("rejected rows leaked into the stream: %q", got)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"voltsense/internal/lasso"
 	"voltsense/internal/mat"
 	"voltsense/internal/monitor"
+	"voltsense/internal/online"
 	"voltsense/internal/pdn"
 	"voltsense/internal/power"
 	"voltsense/internal/sensor"
@@ -307,6 +308,59 @@ func NewFaultDetector(stats []faults.SensorStats, cfg FaultDetectorConfig) (*Fau
 // into the runtime switch used by the serving layer.
 func NewFaultGuard(det *FaultDetector, primary FaultRoute, lookup func([]int) (FaultRoute, bool)) (*FaultGuard, error) {
 	return faults.NewGuard(det, primary, lookup)
+}
+
+// --- Online recalibration: tracking a drifting chip at runtime ---
+
+// Lineage is the versioned provenance of a predictor: generation chain,
+// fit source (offline training or an online promotion), and the residual
+// baseline the drift detector judges against. Serialized as the artifact's
+// optional "lineage" section.
+type Lineage = core.Lineage
+
+// Lineage sources.
+const (
+	LineageSourceTrain  = core.LineageSourceTrain
+	LineageSourceOnline = core.LineageSourceOnline
+)
+
+// OnlineConfig tunes the adaptation loop: the shadow refit's forgetting
+// factor, the promotion guardrails (minimum scored samples, TE margin),
+// and the drift baseline.
+type OnlineConfig = online.Config
+
+// OnlineResult reports what one ingested labeled sample did to the loop —
+// including whether it triggered a promotion.
+type OnlineResult = online.Result
+
+// OnlineStatus is a point-in-time snapshot of the adaptation loop: model
+// version, drift score, live/shadow total error, promotion counts.
+type OnlineStatus = online.Status
+
+// OnlineApplyFunc, when non-nil, gates every promotion and rollback: it
+// receives the candidate model and may veto the swap by returning an error
+// (voltserved uses this to refuse stale or fault-compromised promotions).
+type OnlineApplyFunc = online.ApplyFunc
+
+// OnlineAdapter closes the recalibration loop around a live predictor:
+// labeled samples feed a Sherman–Morrison shadow refit, both models are
+// scored on the paper's total-error rate, and the shadow is promoted when
+// it provably beats the live model.
+type OnlineAdapter = online.Adapter
+
+// NewOnlineAdapter builds the adaptation loop around the live predictor.
+func NewOnlineAdapter(live *Predictor, cfg OnlineConfig, apply OnlineApplyFunc) (*OnlineAdapter, error) {
+	return online.NewAdapter(live, cfg, apply)
+}
+
+// RecursiveOLS is the incremental least-squares fitter behind the shadow:
+// rank-1 Sherman–Morrison updates with exponential forgetting, exactly
+// matching a batch OLS refit after warmup.
+type RecursiveOLS = online.RecursiveOLS
+
+// NewRecursiveOLS creates an incremental fitter for q inputs and k outputs.
+func NewRecursiveOLS(q, k int, forgetting float64) *RecursiveOLS {
+	return online.NewRecursiveOLS(q, k, forgetting)
 }
 
 // --- Dataset persistence ---
