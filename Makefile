@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: build test race vet lint bench bench-quick fault-ablation adapt-ablation docs-check clean
+.PHONY: build test race vet lint bench bench-quick bench-compare fault-ablation adapt-ablation docs-check clean
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,21 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi
 
-# bench runs the kernel/solver/engine/server/online benchmark suite and
-# writes BENCH_PR4.json with ns/op, allocs/op, and the speedup of each
-# blocked parallel kernel over its serial naive baseline.
+# bench runs the kernel/solver/pipeline/engine/server/online benchmark suite
+# and writes BENCH_PR5.json with ns/op, allocs/op, and the speedup of each
+# parallel or warm-started implementation over its serial/cold baseline.
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR4.json -benchtime $(BENCHTIME)
+	$(GO) run ./cmd/benchreport -out BENCH_PR5.json -benchtime $(BENCHTIME)
 
 # bench-quick runs every benchmark exactly once — the CI smoke configuration.
 bench-quick:
-	$(GO) run ./cmd/benchreport -out BENCH_PR4.json -benchtime 1x
+	$(GO) run ./cmd/benchreport -out BENCH_PR5.json -benchtime 1x
+
+# bench-compare regenerates a quick report and diffs it against the
+# committed BENCH_PR5.json baseline; warn-only (see cmd/benchreport).
+bench-compare:
+	$(GO) run ./cmd/benchreport -out BENCH_PR5.new.json -benchtime 1x
+	$(GO) run ./cmd/benchreport -compare BENCH_PR5.json -tolerance 0.25 BENCH_PR5.new.json
 
 # fault-ablation regenerates the sensor-failure table (naive vs leave-k-out
 # fallback) that CI uploads as an artifact.
@@ -50,4 +56,4 @@ docs-check:
 	$(GO) test -run Example ./...
 
 clean:
-	rm -f BENCH_PR2.json BENCH_PR4.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv

@@ -26,8 +26,15 @@ import (
 	"voltsense/internal/lasso"
 	"voltsense/internal/mat"
 	"voltsense/internal/ols"
+	"voltsense/internal/profiling"
 	"voltsense/internal/traceio"
 )
+
+// startProfiles hooks the -cpuprofile/-memprofile flags up to the shared
+// profiling helper; the returned stop writes both files.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	return profiling.Start(cpuPath, memPath)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -46,9 +53,20 @@ func run(args []string, out *os.File) error {
 	holdout := fs.Float64("holdout", 0.25, "fraction of samples reserved for accuracy reporting")
 	modelPath := fs.String("model", "", "write the fitted runtime model as JSON to this path")
 	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "sensorplace: profiling:", err)
+		}
+	}()
 	if *xPath == "" || *fPath == "" {
 		fs.Usage()
 		return errors.New("both -x and -f are required")
@@ -164,33 +182,25 @@ func split(ds *core.Dataset, holdout float64) (train, test *core.Dataset) {
 	return ds.Subset(trainCols), ds.Subset(testCols)
 }
 
-// placeForCount bisects the penalized multiplier to land q sensors,
-// trimming to the strongest groups when the count cannot land exactly.
+// placeForCount bisects the penalized multiplier to land q sensors, trimming
+// to the strongest groups when the count cannot land exactly. The whole
+// search runs on one warm-started path solver: a single Gram build, each
+// midpoint solve starting from the previous solution with safe screening —
+// the same ≤40 solves as before at a fraction of the cost.
 func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, error) {
 	if q < 1 || q > ds.X.Rows() {
 		return nil, 0, fmt.Errorf("count %d out of range 1..%d", q, ds.X.Rows())
 	}
 	z, _ := mat.Standardize(ds.X)
 	g, _ := mat.Standardize(ds.F)
-	muMax := 0.0
-	u := make([]float64, g.Rows())
-	for j := 0; j < z.Rows(); j++ {
-		zj := z.Row(j)
-		for i := range u {
-			u[i] = mat.Dot(g.Row(i), zj)
-		}
-		if n := mat.Norm2(u); n > muMax {
-			muMax = n
-		}
-	}
-	opts := lasso.Options{MaxIter: 3000, Tol: 1e-7}
-	lo, hi := 0.0, muMax
+	ps := lasso.NewPathSolver(z, g, lasso.Options{MaxIter: 3000, Tol: 1e-7})
+	lo, hi := 0.0, ps.MuMax()
 	var best *lasso.Result
 	bestCount := -1
 	var bestMu float64
 	for it := 0; it < 40; it++ {
 		mu := (lo + hi) / 2
-		r, err := lasso.SolvePenalized(z, g, mu, opts)
+		r, _, err := ps.SolvePenalized(mu)
 		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
 			return nil, mu, err
 		}

@@ -43,6 +43,7 @@ import (
 	"voltsense/internal/detect"
 	"voltsense/internal/experiments"
 	"voltsense/internal/online"
+	"voltsense/internal/profiling"
 	"voltsense/internal/vmap"
 )
 
@@ -66,6 +67,8 @@ func run(args []string) error {
 	useUarch := fs.Bool("uarch", false, "drive the grid from the microarchitectural performance model instead of the phase generator")
 	useThermal := fs.Bool("thermal", false, "couple average power to temperature and scale leakage (hotter blocks leak more)")
 	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt>\n")
 		fs.PrintDefaults()
@@ -77,6 +80,15 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment, got %d args", fs.NArg())
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "voltmap: profiling:", err)
+		}
+	}()
 	exp := fs.Arg(0)
 	if !knownExperiments[exp] {
 		fs.Usage()

@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the side listener's mux
 	"os"
 	"os/signal"
 	"strings"
@@ -76,6 +78,7 @@ func run(args []string) error {
 	promoteMargin := fs.Float64("promote-margin", 0, "TE improvement the shadow must show over the live model (0 = default 0.002)")
 	feedbackLog := fs.String("feedback-log", "", "append accepted /v1/feedback samples to this CSV file (audit trail)")
 	version := fs.String("version", "", "build version reported by the voltsense_build_info metric")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keep it off the service port and firewalled")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,6 +152,18 @@ func run(args []string) error {
 			log.Printf("voltserved: SIGHUP reloaded %s (generation %d)", *modelPath, srv.Generation())
 		}
 	}()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register themselves on http.DefaultServeMux via
+		// the net/http/pprof import; serving that mux on a dedicated side
+		// listener keeps profiling endpoints off the public service mux.
+		go func() {
+			log.Printf("voltserved: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("voltserved: pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -167,6 +167,19 @@ func (c *CholFactor) Solve(b []float64) []float64 {
 	return x
 }
 
+// SolveInto writes the solution of A x = b into dst without touching b.
+// dst and b must have length n and must not alias. Like SolveInPlace it
+// allocates nothing; it exists so a caller with separate state and
+// right-hand-side buffers (the transient engine's step) avoids the extra
+// copy a Solve call would force.
+func (c *CholFactor) SolveInto(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("banded: SolveInto lengths %d, %d, want %d", len(dst), len(b), c.n))
+	}
+	copy(dst, b)
+	c.SolveInPlace(dst)
+}
+
 // SolveInPlace overwrites b with the solution of A x = b. It allocates
 // nothing, which matters in the per-time-step inner loop of the transient
 // engine.

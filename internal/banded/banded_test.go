@@ -254,3 +254,66 @@ func BenchmarkSolveGrid64(b *testing.B) {
 		c.SolveInPlace(buf)
 	}
 }
+
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := randSPDBanded(rng, 40, 5)
+	f, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), b...)
+	dst := make([]float64, 40)
+	f.SolveInto(dst, b)
+	want := f.Solve(b)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("SolveInto[%d] = %g, Solve = %g", i, dst[i], want[i])
+		}
+		if b[i] != orig[i] {
+			t.Fatalf("SolveInto modified its right-hand side at %d", i)
+		}
+	}
+}
+
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := randSPDBanded(rng, 64, 6)
+	f, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 64)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 64)
+	if a := testing.AllocsPerRun(50, func() { f.SolveInto(dst, b) }); a != 0 {
+		t.Fatalf("SolveInto allocates %v times per run, want 0", a)
+	}
+}
+
+// BenchmarkSolveInto tracks the no-copy solve the transient engine steps on;
+// allocs/op must report 0.
+func BenchmarkSolveInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	s := randSPDBanded(rng, 2048, 26)
+	f, err := Factor(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 2048)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveInto(dst, rhs)
+	}
+}

@@ -98,6 +98,46 @@ func PlaceSensors(ds *Dataset, cfg Config) (*Placement, error) {
 	}, nil
 }
 
+// PlaceSensorsPath runs the Step 2-5 selection at every budget in lambdas
+// with one shared Gram and warm starts carried between points (descending λ
+// internally; results in input order). Each returned Placement is equivalent
+// to an independent PlaceSensors call at that λ — the path layer's screening
+// is KKT-verified — at a fraction of the cost, which is what the Table 1 /
+// Figure 1 sweeps and the λ-grid CLI workflows want. cfg.Lambda is ignored.
+func PlaceSensorsPath(ds *Dataset, lambdas []float64, cfg Config) ([]*Placement, error) {
+	if err := ds.Check(); err != nil {
+		return nil, err
+	}
+	for _, l := range lambdas {
+		if l < 0 {
+			return nil, fmt.Errorf("core: negative lambda %v", l)
+		}
+	}
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = DefaultThreshold
+	}
+	z, xStd := mat.Standardize(ds.X)
+	g, fStd := mat.Standardize(ds.F)
+	points, err := lasso.SolvePath(z, g, lambdas, cfg.Solver)
+	if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+		return nil, fmt.Errorf("core: group lasso path: %w", err)
+	}
+	out := make([]*Placement, len(points))
+	for i, pt := range points {
+		out[i] = &Placement{
+			Lambda:     pt.Lambda,
+			Threshold:  thr,
+			Selected:   pt.Result.Select(thr),
+			GroupNorms: pt.Result.GroupNorms,
+			GL:         pt.Result,
+			XStd:       xStd,
+			FStd:       fStd,
+		}
+	}
+	return out, nil
+}
+
 // Predictor is the runtime model of Eq. 20: f* = αˢ·xˢ + c evaluated on the
 // raw voltages of the selected sensors. Fallbacks, when present, carries the
 // fault-tolerance tier: leave-k-out submodels and the per-sensor training

@@ -28,11 +28,11 @@ func (p *Pipeline) Figure1(lambdas ...float64) (*Fig1Data, error) {
 		lambdas = []float64{2, 4}
 	}
 	d := &Fig1Data{Core: 0, Lambdas: lambdas, Threshold: p.Cfg.Threshold}
-	for _, l := range lambdas {
-		pl, err := p.PlaceCore(0, l)
-		if err != nil {
-			return nil, err
-		}
+	pls, err := p.PlaceCorePath(0, lambdas)
+	if err != nil {
+		return nil, err
+	}
+	for _, pl := range pls {
 		d.Norms = append(d.Norms, pl.GroupNorms)
 		d.Selected = append(d.Selected, pl.LocalIdx)
 	}
@@ -61,12 +61,16 @@ func (p *Pipeline) Table1(lambdas []float64) (*Table1Data, error) {
 		lambdas = p.Cfg.Lambdas
 	}
 	testAll := p.TestAll()
+	// One pass over the whole (core, λ) grid: cores concurrent, budgets
+	// warm-started along each core's path.
+	byLambda, err := p.ChipPlacementPath(lambdas)
+	if err != nil {
+		return nil, err
+	}
 	var d Table1Data
-	for _, l := range lambdas {
-		placements, union, err := p.ChipPlacementLambda(l)
-		if err != nil {
-			return nil, err
-		}
+	for li, l := range lambdas {
+		placements := byLambda[li]
+		union := unionOf(placements)
 		row := Table1Row{Lambda: l, SensorsCore0: len(placements[0].LocalIdx), TotalSensors: len(union)}
 		row.SensorsPerCore = float64(len(union)) / float64(len(placements))
 		if len(union) == 0 {

@@ -56,7 +56,14 @@ type Pipeline struct {
 	Train       *SampleSet   // pooled training maps across all benchmarks
 	TestByBench []*SampleSet // held-out maps, one set per benchmark
 
-	placeCache map[string]*CorePlacement
+	placeMu    sync.Mutex // guards placeCache and pathState map structure
+	placeCache map[placeKey]*CorePlacement
+	pathState  map[int]*corePathState // per-core warm-started path solvers
+
+	// simPool recycles transient simulators across benchmark runs: the
+	// banded Cholesky factorization in NewSimulator dominates short runs,
+	// and Run re-settles all state, so reuse is exact.
+	simPool sync.Pool
 
 	thermalOnce sync.Once
 	thermalM    *thermal.Model
@@ -74,7 +81,8 @@ func New(cfg Config) (*Pipeline, error) {
 		Grid:       grd,
 		Power:      pm,
 		Bench:      workload.Benchmarks(),
-		placeCache: make(map[string]*CorePlacement),
+		placeCache: make(map[placeKey]*CorePlacement),
+		pathState:  make(map[int]*corePathState),
 	}
 	if err := p.calibrateCriticalNodes(); err != nil {
 		return nil, err
@@ -149,10 +157,11 @@ func (p *Pipeline) simulate(bench workload.Benchmark, run, steps int, onStep fun
 		return fmt.Errorf("experiments: %s: %w", bench.Name, err)
 	}
 	ct := p.Power.CurrentsScaledLeakage(tr, scale)
-	sim, err := pdn.NewSimulator(p.Grid, p.Cfg.DT)
+	sim, err := p.acquireSim()
 	if err != nil {
 		return fmt.Errorf("experiments: %s: %w", bench.Name, err)
 	}
+	defer p.simPool.Put(sim)
 	cur := make([]float64, p.Chip.NumBlocks())
 	err = sim.Run(total, func(t int) []float64 {
 		for b := range cur {
@@ -170,35 +179,38 @@ func (p *Pipeline) simulate(bench workload.Benchmark, run, steps int, onStep fun
 	return nil
 }
 
-// forEachBenchmark runs fn(bi, bench) for every benchmark across a worker
-// pool sized by Config.Workers (default: GOMAXPROCS). Benchmarks are
-// mutually independent — each fn gets its own simulator — so results are
-// identical to the sequential order. The first error wins.
+// workers returns the configured outer-loop parallelism: Config.Workers, or
+// GOMAXPROCS when unset.
+func (p *Pipeline) workers() int {
+	if p.Cfg.Workers > 0 {
+		return p.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquireSim takes a transient simulator from the pool, building (and
+// factoring) a fresh one only when the pool is empty. Return it with
+// simPool.Put when the run completes.
+func (p *Pipeline) acquireSim() (*pdn.Simulator, error) {
+	if s, ok := p.simPool.Get().(*pdn.Simulator); ok {
+		return s, nil
+	}
+	return pdn.NewSimulator(p.Grid, p.Cfg.DT)
+}
+
+// forEachBenchmark runs fn(bi, bench) for every benchmark concurrently on
+// the mat worker pool, bounded by Config.Workers (default: GOMAXPROCS).
+// Benchmarks are mutually independent — each fn gets its own pooled
+// simulator — and every result lands in a benchmark-indexed slot, so output
+// is identical to the sequential order regardless of scheduling. The first
+// error (by benchmark index) wins.
 func (p *Pipeline) forEachBenchmark(fn func(bi int, b workload.Benchmark) error) error {
-	workers := p.Cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(p.Bench) {
-		workers = len(p.Bench)
-	}
-	jobs := make(chan int)
 	errs := make([]error, len(p.Bench))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for bi := range jobs {
-				errs[bi] = fn(bi, p.Bench[bi])
-			}
-		}()
-	}
-	for bi := range p.Bench {
-		jobs <- bi
-	}
-	close(jobs)
-	wg.Wait()
+	mat.ParallelFor(len(p.Bench), 1, p.workers(), func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			errs[bi] = fn(bi, p.Bench[bi])
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -394,11 +406,14 @@ func (p *Pipeline) glTrainDataset(c int) (*core.Dataset, []int) {
 	return ds.Subset(cols), candIdx
 }
 
-// ClearPlacementCache drops memoized per-core placements, forcing the next
-// experiment to re-run the solvers (used by benchmarks to measure real
-// work).
+// ClearPlacementCache drops memoized per-core placements and warm-started
+// path solvers, forcing the next experiment to re-run the solvers (used by
+// benchmarks to measure real work).
 func (p *Pipeline) ClearPlacementCache() {
-	p.placeCache = make(map[string]*CorePlacement)
+	p.placeMu.Lock()
+	p.placeCache = make(map[placeKey]*CorePlacement)
+	p.pathState = make(map[int]*corePathState)
+	p.placeMu.Unlock()
 }
 
 // BusiestBenchmark returns the index of the benchmark whose held-out run

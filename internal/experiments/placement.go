@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"voltsense/internal/core"
 	"voltsense/internal/lasso"
@@ -21,79 +22,164 @@ type CorePlacement struct {
 	GroupNorms []float64 // per core-candidate ‖β_m‖₂
 }
 
+// placeKey identifies a memoized placement. Exactly one of lambda/count is
+// meaningful, disambiguated by byCount — unlike the old formatted-string key,
+// a λ entry can never collide with a count entry, and lookups build no
+// garbage.
+type placeKey struct {
+	core    int
+	byCount bool
+	lambda  float64
+	count   int
+}
+
+func lambdaKey(c int, l float64) placeKey { return placeKey{core: c, lambda: l} }
+func countKey(c, q int) placeKey          { return placeKey{core: c, byCount: true, count: q} }
+
+// corePathState is one core's warm-started path solver plus the dataset
+// indexing it was built from. Its mutex serializes the solver (PathSolver is
+// single-threaded state); the per-core granularity lets ChipPlacement* run
+// all cores concurrently.
+type corePathState struct {
+	mu      sync.Mutex
+	ps      *lasso.PathSolver
+	candIdx []int
+	m       int // candidate count for this core
+}
+
+// corePath returns core c's path state with its mutex HELD; the caller must
+// unlock it. The solver is built lazily on first use: one dataset extraction,
+// one standardization, one Gram for every λ and μ this core will ever see.
+func (p *Pipeline) corePath(c int) *corePathState {
+	p.placeMu.Lock()
+	st, ok := p.pathState[c]
+	if !ok {
+		st = &corePathState{}
+		p.pathState[c] = st
+	}
+	p.placeMu.Unlock()
+	st.mu.Lock()
+	if st.ps == nil {
+		ds, candIdx := p.glTrainDataset(c)
+		z, _ := mat.Standardize(ds.X)
+		g, _ := mat.Standardize(ds.F)
+		// Selection needs the support, not a polished optimum, and the count
+		// bisection in particular tolerates hitting the iteration ceiling, so
+		// give the shared solver the same headroom the old per-call bisection
+		// used.
+		opts := p.Cfg.Solver
+		if opts.MaxIter < 3000 {
+			opts.MaxIter = 3000
+		}
+		st.ps = lasso.NewPathSolver(z, g, opts)
+		st.candIdx = candIdx
+		st.m = ds.X.Rows()
+	}
+	return st
+}
+
+func (p *Pipeline) threshold() float64 {
+	if p.Cfg.Threshold != 0 {
+		return p.Cfg.Threshold
+	}
+	return core.DefaultThreshold
+}
+
+func (p *Pipeline) cachedPlacement(key placeKey) (*CorePlacement, bool) {
+	p.placeMu.Lock()
+	pl, ok := p.placeCache[key]
+	p.placeMu.Unlock()
+	return pl, ok
+}
+
+func (p *Pipeline) storePlacement(key placeKey, pl *CorePlacement) {
+	p.placeMu.Lock()
+	p.placeCache[key] = pl
+	p.placeMu.Unlock()
+}
+
 // PlaceCore runs the paper's group-lasso selection on core c's candidates at
-// budget lambda. Results are cached per (core, λ).
+// budget lambda. Results are cached per (core, λ); concurrent callers are
+// safe.
 func (p *Pipeline) PlaceCore(c int, lambda float64) (*CorePlacement, error) {
-	key := fmt.Sprintf("c%d-l%g", c, lambda)
-	if pl, ok := p.placeCache[key]; ok {
-		return pl, nil
-	}
-	ds, candIdx := p.glTrainDataset(c)
-	pl, err := core.PlaceSensors(ds, core.Config{
-		Lambda:    lambda,
-		Threshold: p.Cfg.Threshold,
-		Solver:    p.Cfg.Solver,
-	})
+	pls, err := p.PlaceCorePath(c, []float64{lambda})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: core %d λ=%v: %w", c, lambda, err)
+		return nil, err
 	}
-	out := &CorePlacement{
-		Core:       c,
-		Lambda:     lambda,
-		LocalIdx:   pl.Selected,
-		CandIdx:    mapIdx(candIdx, pl.Selected),
-		GroupNorms: pl.GroupNorms,
+	return pls[0], nil
+}
+
+// PlaceCorePath places core c's sensors at every budget in lambdas through
+// one warm-started path solve (shared Gram, descending λ, screening),
+// returning placements in input order. Cached points are reused; only the
+// missing budgets are solved.
+func (p *Pipeline) PlaceCorePath(c int, lambdas []float64) ([]*CorePlacement, error) {
+	out := make([]*CorePlacement, len(lambdas))
+	var missing []int
+	for i, l := range lambdas {
+		if pl, ok := p.cachedPlacement(lambdaKey(c, l)); ok {
+			out[i] = pl
+		} else {
+			missing = append(missing, i)
+		}
 	}
-	p.placeCache[key] = out
+	if len(missing) == 0 {
+		return out, nil
+	}
+	st := p.corePath(c)
+	defer st.mu.Unlock()
+	// Dense → sparse keeps each warm start close to the next optimum.
+	sort.SliceStable(missing, func(a, b int) bool {
+		return lambdas[missing[a]] > lambdas[missing[b]]
+	})
+	thr := p.threshold()
+	for _, i := range missing {
+		l := lambdas[i]
+		res, _, err := st.ps.SolveConstrained(l)
+		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+			return nil, fmt.Errorf("experiments: core %d λ=%v: %w", c, l, err)
+		}
+		sel := res.Select(thr)
+		pl := &CorePlacement{
+			Core:       c,
+			Lambda:     l,
+			LocalIdx:   sel,
+			CandIdx:    mapIdx(st.candIdx, sel),
+			GroupNorms: res.GroupNorms,
+		}
+		p.storePlacement(lambdaKey(c, l), pl)
+		out[i] = pl
+	}
 	return out, nil
 }
 
 // PlaceCoreCount finds a per-core placement with exactly q sensors by
-// bisecting the penalized group-lasso multiplier μ (sensor count is
-// monotone in μ) and trimming to the top-q group norms when the count
-// cannot land exactly. Results are cached per (core, q).
+// bisecting the penalized group-lasso multiplier μ (sensor count is monotone
+// in μ) and trimming to the top-q group norms when the count cannot land
+// exactly. Every bisection step reuses the core's path solver — one Gram for
+// the whole search, each solve warm-started from the previous midpoint —
+// and results are cached per (core, q).
 func (p *Pipeline) PlaceCoreCount(c, q int) (*CorePlacement, error) {
-	key := fmt.Sprintf("c%d-q%d", c, q)
-	if pl, ok := p.placeCache[key]; ok {
+	if pl, ok := p.cachedPlacement(countKey(c, q)); ok {
 		return pl, nil
 	}
 	if q < 1 {
 		return nil, fmt.Errorf("experiments: sensor count %d must be positive", q)
 	}
-	ds, candIdx := p.glTrainDataset(c)
-	if q > ds.X.Rows() {
-		return nil, fmt.Errorf("experiments: core %d has %d candidates, cannot place %d", c, ds.X.Rows(), q)
+	st := p.corePath(c)
+	defer st.mu.Unlock()
+	if q > st.m {
+		return nil, fmt.Errorf("experiments: core %d has %d candidates, cannot place %d", c, st.m, q)
 	}
-	z, _ := mat.Standardize(ds.X)
-	g, _ := mat.Standardize(ds.F)
+	thr := p.threshold()
+	count := func(r *lasso.Result) int { return len(r.Select(thr)) }
 
-	// μ upper bound: the smallest μ that zeroes everything.
-	muMax := 0.0
-	k := g.Rows()
-	u := make([]float64, k)
-	for j := 0; j < z.Rows(); j++ {
-		zj := z.Row(j)
-		for i := 0; i < k; i++ {
-			u[i] = mat.Dot(g.Row(i), zj)
-		}
-		if n := mat.Norm2(u); n > muMax {
-			muMax = n
-		}
-	}
-	count := func(r *lasso.Result) int { return len(r.Select(p.Cfg.Threshold)) }
-
-	// Selection only needs the support, not a fully polished optimum, so a
-	// bisection step that runs out of iterations is still usable.
-	opts := p.Cfg.Solver
-	if opts.MaxIter < 3000 {
-		opts.MaxIter = 3000
-	}
-	lo, hi := 0.0, muMax // count(lo) = max, count(hi) = 0
+	lo, hi := 0.0, st.ps.MuMax() // count(lo) = max, count(hi) = 0
 	var best *lasso.Result
 	bestCount := -1
 	for it := 0; it < 40; it++ {
 		mu := (lo + hi) / 2
-		r, err := lasso.SolvePenalized(z, g, mu, opts)
+		r, _, err := st.ps.SolvePenalized(mu)
 		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
 			return nil, fmt.Errorf("experiments: core %d q=%d: %w", c, q, err)
 		}
@@ -114,7 +200,7 @@ func (p *Pipeline) PlaceCoreCount(c, q int) (*CorePlacement, error) {
 	if best == nil {
 		return nil, fmt.Errorf("experiments: core %d: could not reach %d sensors", c, q)
 	}
-	sel := best.Select(p.Cfg.Threshold)
+	sel := best.Select(thr)
 	if len(sel) > q {
 		// Keep the q strongest groups.
 		sort.Slice(sel, func(a, b int) bool {
@@ -126,45 +212,93 @@ func (p *Pipeline) PlaceCoreCount(c, q int) (*CorePlacement, error) {
 	out := &CorePlacement{
 		Core:       c,
 		LocalIdx:   sel,
-		CandIdx:    mapIdx(candIdx, sel),
+		CandIdx:    mapIdx(st.candIdx, sel),
 		GroupNorms: best.GroupNorms,
 	}
-	p.placeCache[key] = out
+	p.storePlacement(countKey(c, q), out)
 	return out, nil
 }
 
-// ChipPlacementCount places q sensors in every core and returns the
-// per-core placements plus the union of global candidate indices.
-func (p *Pipeline) ChipPlacementCount(q int) ([]*CorePlacement, []int, error) {
-	var all []*CorePlacement
-	var union []int
-	for c := range p.Chip.Cores {
-		pl, err := p.PlaceCoreCount(c, q)
-		if err != nil {
-			return nil, nil, err
+// forEachCore runs fn(c) for every core concurrently on the mat worker pool
+// (bounded by Config.Workers), collecting per-core errors into an indexed
+// slice so the first-error rule is deterministic. Each core's placement
+// state has its own lock, so cores proceed independently; the nested lasso
+// kernels degrade to serial when the pool is saturated.
+func (p *Pipeline) forEachCore(fn func(c int) error) error {
+	nc := len(p.Chip.Cores)
+	errs := make([]error, nc)
+	mat.ParallelFor(nc, 1, p.workers(), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			errs[c] = fn(c)
 		}
-		all = append(all, pl)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unionOf merges per-core global candidate selections, ascending.
+func unionOf(placements []*CorePlacement) []int {
+	var union []int
+	for _, pl := range placements {
 		union = append(union, pl.CandIdx...)
 	}
 	sort.Ints(union)
-	return all, union, nil
+	return union
+}
+
+// ChipPlacementCount places q sensors in every core — cores solved
+// concurrently — and returns the per-core placements (core order) plus the
+// union of global candidate indices.
+func (p *Pipeline) ChipPlacementCount(q int) ([]*CorePlacement, []int, error) {
+	all := make([]*CorePlacement, len(p.Chip.Cores))
+	err := p.forEachCore(func(c int) error {
+		pl, err := p.PlaceCoreCount(c, q)
+		all[c] = pl
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return all, unionOf(all), nil
 }
 
 // ChipPlacementLambda places sensors in every core at budget λ and returns
 // the per-core placements plus the union of global candidate indices.
 func (p *Pipeline) ChipPlacementLambda(lambda float64) ([]*CorePlacement, []int, error) {
-	var all []*CorePlacement
-	var union []int
-	for c := range p.Chip.Cores {
-		pl, err := p.PlaceCore(c, lambda)
-		if err != nil {
-			return nil, nil, err
-		}
-		all = append(all, pl)
-		union = append(union, pl.CandIdx...)
+	byLambda, err := p.ChipPlacementPath([]float64{lambda})
+	if err != nil {
+		return nil, nil, err
 	}
-	sort.Ints(union)
-	return all, union, nil
+	return byLambda[0], unionOf(byLambda[0]), nil
+}
+
+// ChipPlacementPath runs every core's full λ path — cores concurrent, each
+// core's budgets warm-started off one shared Gram — and returns placements
+// indexed [lambda][core], lambdas in input order. This is the Table 1 sweep
+// engine: nLambdas × nCores selections for nCores Gram builds.
+func (p *Pipeline) ChipPlacementPath(lambdas []float64) ([][]*CorePlacement, error) {
+	nc := len(p.Chip.Cores)
+	perCore := make([][]*CorePlacement, nc)
+	err := p.forEachCore(func(c int) error {
+		pls, err := p.PlaceCorePath(c, lambdas)
+		perCore[c] = pls
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	byLambda := make([][]*CorePlacement, len(lambdas))
+	for li := range lambdas {
+		byLambda[li] = make([]*CorePlacement, nc)
+		for c := 0; c < nc; c++ {
+			byLambda[li][c] = perCore[c][li]
+		}
+	}
+	return byLambda, nil
 }
 
 // BuildChipPredictor refits the unbiased OLS model from the chosen sensors

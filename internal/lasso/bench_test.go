@@ -53,3 +53,38 @@ func BenchmarkSolvePenalized(b *testing.B) {
 		}
 	}
 }
+
+// benchLambdas is the Table 1 budget grid the placement pipeline sweeps.
+var benchLambdas = []float64{8, 6, 5, 4, 3, 2}
+
+// BenchmarkSolvePathCold is the pre-path baseline: one independent
+// SolveConstrained per budget, each rebuilding the Gram and starting FISTA
+// from zero — exactly what PlaceCore did per λ before the path solver.
+func BenchmarkSolvePathCold(b *testing.B) {
+	z, g := benchProblem(8, 60, 600)
+	opt := Options{MaxIter: 2000, Tol: 1e-8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range benchLambdas {
+			if _, err := SolveConstrained(z, g, l, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSolvePathWarm sweeps the same budgets through SolvePath: one Gram,
+// warm starts between points, screening ahead of each solve. benchreport
+// pairs this against BenchmarkSolvePathCold.
+func BenchmarkSolvePathWarm(b *testing.B) {
+	z, g := benchProblem(8, 60, 600)
+	opt := Options{MaxIter: 2000, Tol: 1e-8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolvePath(z, g, benchLambdas, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

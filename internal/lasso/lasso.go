@@ -387,14 +387,23 @@ func SolvePenalized(z, g *mat.Matrix, mu float64, opt Options) (*Result, error) 
 	if mu < 0 {
 		panic(fmt.Sprintf("lasso: negative mu %v", mu))
 	}
-	opt = opt.withDefaults()
-	k, m := g.Rows(), z.Rows()
+	return solvePenalizedGram(newGram(z, g), mu, opt, mat.Zeros(g.Rows(), z.Rows()))
+}
 
-	gr := newGram(z, g)
-	beta := mat.Zeros(k, m)
+// solvePenalizedGram is the Gram-space core of SolvePenalized: it starts the
+// block coordinate descent from beta (the warm start, taken over and returned
+// inside the Result) and works entirely from the sufficient statistics, so a
+// regularization path can reuse one Gram across every μ.
+func solvePenalizedGram(gr *gram, mu float64, opt Options, beta *mat.Matrix) (*Result, error) {
+	opt = opt.withDefaults()
+	k, m := beta.Rows(), beta.Cols()
+
 	// s = β·ZZᵀ, maintained incrementally as groups change; the group-j
 	// statistic is then u_i = (GZᵀ)[i][j] − s[i][j] + β[i][j]·(ZZᵀ)[j][j].
 	s := mat.Zeros(k, m)
+	if !betaIsZero(beta) {
+		mat.MulInto(s, beta, gr.zzt)
+	}
 
 	zsq := make([]float64, m)
 	for j := 0; j < m; j++ {
@@ -452,6 +461,17 @@ func SolvePenalized(z, g *mat.Matrix, mu float64, opt Options) (*Result, error) 
 		return r, ErrDidNotConverge
 	}
 	return r, nil
+}
+
+// betaIsZero reports whether every coefficient is exactly zero (the cold
+// start), letting warm-started solves skip the initial β·ZZᵀ product.
+func betaIsZero(beta *mat.Matrix) bool {
+	for _, v := range beta.Data() {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // BudgetOf returns Σ_m ‖β_m‖₂ of a solution — the quantity the paper's λ

@@ -1,0 +1,220 @@
+package lasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+// pathProblem builds a random instance whose optimum is meaningfully sparse:
+// G is generated from a handful of true candidate rows plus noise, so small
+// budgets zero most groups and the screening layer has something to drop.
+func pathProblem(seed int64, k, m, n int) (*mat.Matrix, *mat.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	z := randn(rng, m, n)
+	g := mat.Zeros(k, n)
+	for i := 0; i < k; i++ {
+		src := rng.Intn(m)
+		w := 1 + rng.Float64()
+		for j := 0; j < n; j++ {
+			g.Set(i, j, w*z.At(src, j)+0.1*rng.NormFloat64())
+		}
+	}
+	return z, g
+}
+
+// selections thresholds group norms the way core.PlaceSensors does: active
+// means above a small fraction of the largest group norm.
+func selections(norms []float64) []bool {
+	max := 0.0
+	for _, v := range norms {
+		if v > max {
+			max = v
+		}
+	}
+	sel := make([]bool, len(norms))
+	for i, v := range norms {
+		sel[i] = v > 1e-3*max && v > 0
+	}
+	return sel
+}
+
+func sameSelections(a, b []float64) bool {
+	sa, sb := selections(a), selections(b)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tightOpt drives both the cold reference and the path solver close enough to
+// the shared optimum that 1e-9 agreement is meaningful.
+var tightOpt = Options{MaxIter: 20000, Tol: 1e-11}
+
+func TestSolvePathMatchesColdConstrained(t *testing.T) {
+	z, g := pathProblem(11, 6, 40, 240)
+	// Deliberately unsorted input: the solver must reorder internally and
+	// return points in this order.
+	lambdas := []float64{3, 8, 2, 6, 4, 5}
+	points, err := SolvePath(z, g, lambdas, tightOpt)
+	if err != nil {
+		t.Fatalf("SolvePath: %v", err)
+	}
+	screened := 0
+	for i, p := range points {
+		if p.Lambda != lambdas[i] {
+			t.Fatalf("point %d has lambda %g, want %g", i, p.Lambda, lambdas[i])
+		}
+		cold, err := SolveConstrained(z, g, p.Lambda, tightOpt)
+		if err != nil {
+			t.Fatalf("cold solve λ=%g: %v", p.Lambda, err)
+		}
+		if d := mat.MaxAbsDiff(p.Result.Beta, cold.Beta); d > 1e-9 {
+			t.Errorf("λ=%g: path vs cold max |Δβ| = %g", p.Lambda, d)
+		}
+		if !sameSelections(p.Result.GroupNorms, cold.GroupNorms) {
+			t.Errorf("λ=%g: path and cold solves select different groups", p.Lambda)
+		}
+		screened += p.Stats.Screened
+	}
+	if screened == 0 {
+		t.Error("screening never dropped a group across the whole path; test exercises nothing")
+	}
+}
+
+func TestSolvePenalizedPathMatchesCold(t *testing.T) {
+	z, g := pathProblem(12, 6, 40, 240)
+	muMax := NewPathSolver(z, g, tightOpt).MuMax()
+	mus := []float64{0.3 * muMax, 0.7 * muMax, 0.05 * muMax, 0.15 * muMax, 0.5 * muMax}
+	points, err := SolvePenalizedPath(z, g, mus, tightOpt)
+	if err != nil {
+		t.Fatalf("SolvePenalizedPath: %v", err)
+	}
+	screened := 0
+	for i, p := range points {
+		cold, err := SolvePenalized(z, g, mus[i], tightOpt)
+		if err != nil {
+			t.Fatalf("cold solve μ=%g: %v", mus[i], err)
+		}
+		if d := mat.MaxAbsDiff(p.Result.Beta, cold.Beta); d > 1e-9 {
+			t.Errorf("μ=%g: path vs cold max |Δβ| = %g", mus[i], d)
+		}
+		if !sameSelections(p.Result.GroupNorms, cold.GroupNorms) {
+			t.Errorf("μ=%g: path and cold solves select different groups", mus[i])
+		}
+		screened += p.Stats.Screened
+	}
+	if screened == 0 {
+		t.Error("gap-safe screening never fired; test exercises nothing")
+	}
+}
+
+// TestPathSolverPenalizedBisectionOrder drives SolvePenalized in the
+// non-monotone order a bisection produces; every point must still match an
+// independent cold solve (warm starts and screening may never change the
+// answer, whatever the visiting order).
+func TestPathSolverPenalizedBisectionOrder(t *testing.T) {
+	z, g := pathProblem(13, 5, 32, 200)
+	ps := NewPathSolver(z, g, tightOpt)
+	lo, hi := 0.0, ps.MuMax()
+	for step := 0; step < 12; step++ {
+		mu := 0.5 * (lo + hi)
+		res, _, err := ps.SolvePenalized(mu)
+		if err != nil {
+			t.Fatalf("step %d μ=%g: %v", step, mu, err)
+		}
+		cold, err := SolvePenalized(z, g, mu, tightOpt)
+		if err != nil {
+			t.Fatalf("cold μ=%g: %v", mu, err)
+		}
+		if d := mat.MaxAbsDiff(res.Beta, cold.Beta); d > 1e-9 {
+			t.Fatalf("step %d μ=%g: warm bisection vs cold max |Δβ| = %g", step, mu, d)
+		}
+		nz := 0
+		for _, n := range res.GroupNorms {
+			if n > 0 {
+				nz++
+			}
+		}
+		if nz > 6 {
+			hi = mu
+		} else {
+			lo = mu
+		}
+	}
+}
+
+func TestPathSolverEdgeCases(t *testing.T) {
+	z, g := pathProblem(14, 4, 20, 120)
+	ps := NewPathSolver(z, g, tightOpt)
+
+	res, stats, err := ps.SolvePenalized(2 * ps.MuMax())
+	if err != nil {
+		t.Fatalf("μ>μmax: %v", err)
+	}
+	if !betaIsZero(res.Beta) || stats.Screened != 20 {
+		t.Fatalf("μ>μmax must zero everything (screened=%d)", stats.Screened)
+	}
+
+	res, _, err = ps.SolveConstrained(0)
+	if err != nil {
+		t.Fatalf("λ=0: %v", err)
+	}
+	if !betaIsZero(res.Beta) {
+		t.Fatal("λ=0 must produce the zero solution")
+	}
+	if want := 0.5 * sumSquares(g); math.Abs(res.Objective-want) > 1e-9*want {
+		t.Fatalf("zero-solution objective = %g, want %g", res.Objective, want)
+	}
+
+	// A single-point path equals the one-shot solver exactly in structure.
+	points, err := SolvePath(z, g, []float64{4}, tightOpt)
+	if err != nil {
+		t.Fatalf("single-point path: %v", err)
+	}
+	cold, err := SolveConstrained(z, g, 4, tightOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(points[0].Result.Beta, cold.Beta); d > 1e-9 {
+		t.Fatalf("single-point path vs cold max |Δβ| = %g", d)
+	}
+}
+
+func sumSquares(m *mat.Matrix) float64 {
+	s := 0.0
+	for _, v := range m.Data() {
+		s += v * v
+	}
+	return s
+}
+
+// TestSolvePathInputOrderInvariance shuffles the budget list: the returned
+// points must be identical (bitwise) to the sorted run's, point by point.
+func TestSolvePathInputOrderInvariance(t *testing.T) {
+	z, g := pathProblem(15, 5, 30, 180)
+	sorted := []float64{8, 6, 5, 4, 3, 2}
+	shuffled := []float64{4, 2, 8, 5, 3, 6}
+	a, err := SolvePath(z, g, sorted, tightOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolvePath(z, g, shuffled, tightOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLambda := map[float64]*Result{}
+	for _, p := range a {
+		byLambda[p.Lambda] = p.Result
+	}
+	for _, p := range b {
+		ref := byLambda[p.Lambda]
+		if d := mat.MaxAbsDiff(p.Result.Beta, ref.Beta); d != 0 {
+			t.Fatalf("λ=%g: shuffled path differs from sorted by %g", p.Lambda, d)
+		}
+	}
+}

@@ -73,6 +73,23 @@ func SetParallelism(n int) int {
 // chunk. It returns after every chunk has completed. fn must not depend on
 // chunk execution order; chunks never overlap.
 func parallelFor(n, minChunk int, fn func(lo, hi int)) {
+	parallelForShares(n, minChunk, 0, fn)
+}
+
+// ParallelFor runs fn over contiguous, non-overlapping chunks of [0, n) on
+// the package worker pool, returning after every chunk completes. minChunk
+// bounds the smallest chunk; maxShares additionally caps the number of
+// concurrent shares (<= 0 means the kernel default, SetParallelism /
+// GOMAXPROCS). Chunk boundaries depend only on n and the effective share
+// count, never on scheduling, so callers that partition output by index —
+// the pattern every kernel here uses — stay bitwise deterministic. Nested
+// calls (fn itself invoking kernels or ParallelFor) are safe: a saturated
+// pool degrades to inline execution instead of queueing or deadlocking.
+func ParallelFor(n, minChunk, maxShares int, fn func(lo, hi int)) {
+	parallelForShares(n, minChunk, maxShares, fn)
+}
+
+func parallelForShares(n, minChunk, maxShares int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -80,6 +97,9 @@ func parallelFor(n, minChunk int, fn func(lo, hi int)) {
 		minChunk = 1
 	}
 	p := Parallelism()
+	if maxShares > 0 && p > maxShares {
+		p = maxShares
+	}
 	if max := n / minChunk; p > max {
 		p = max
 	}

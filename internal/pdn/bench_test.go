@@ -59,3 +59,24 @@ func BenchmarkStaticSolve(b *testing.B) {
 		}
 	}
 }
+
+// TestStepZeroAllocs pins the transient hot loop: after construction, every
+// Step must be a pair of in-place triangular solves plus state updates —
+// no allocation, ever.
+func TestStepZeroAllocs(t *testing.T) {
+	g := fullGrid()
+	s, err := NewSimulator(g, 5e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2
+		}
+	}
+	s.Step(loads)
+	if a := testing.AllocsPerRun(20, func() { s.Step(loads) }); a != 0 {
+		t.Fatalf("Step allocates %v times per run, want 0", a)
+	}
+}

@@ -119,8 +119,7 @@ func (s *Simulator) Step(loads []float64) []float64 {
 	for p, pad := range s.g.Pads {
 		s.rhs[pad.Node] += s.padGeff[p] * (vdd + s.padLh[p]*s.padCur[p])
 	}
-	copy(s.v, s.rhs)
-	s.chol.SolveInPlace(s.v)
+	s.chol.SolveInto(s.v, s.rhs)
 	for p, pad := range s.g.Pads {
 		s.padCur[p] = s.padGeff[p] * (vdd - s.v[pad.Node] + s.padLh[p]*s.padCur[p])
 	}

@@ -1,0 +1,56 @@
+// Package profiling wires the standard runtime/pprof file profiles into the
+// CLI tools: a CPU profile covering the whole run and a heap profile
+// captured at exit. It exists so voltmap and sensorplace share one tested
+// implementation instead of duplicating the start/stop choreography.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath and schedules a heap profile at
+// memPath; either may be empty to skip that profile. The returned stop
+// function ends the CPU profile and writes the heap profile (after a GC, so
+// the numbers reflect live objects); call it exactly once, typically via
+// defer. Start never returns a nil stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() error { return nil }, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer memFile.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
