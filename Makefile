@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: build test race vet lint bench bench-quick bench-compare fault-ablation adapt-ablation docs-check clean
+.PHONY: build test race vet lint bench bench-quick bench-compare fleet-smoke fleet-compare fault-ablation adapt-ablation docs-check clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ bench-compare:
 	$(GO) run ./cmd/benchreport -out BENCH_PR5.new.json -benchtime 1x
 	$(GO) run ./cmd/benchreport -compare BENCH_PR5.json -tolerance 0.25 BENCH_PR5.new.json
 
+# fleet-smoke drives the multi-tenant server with the CI-sized fleet
+# workload — 8 tenants, 1000 concurrent NDJSON streams, mixed
+# predict/feedback traffic — in-process, and writes BENCH_PR6.json.
+fleet-smoke:
+	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -out BENCH_PR6.json
+
+# fleet-compare regenerates a fleet report and diffs it against the
+# committed BENCH_PR6.json baseline; warn-only (see cmd/benchreport).
+fleet-compare:
+	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -out BENCH_PR6.new.json
+	$(GO) run ./cmd/benchreport -compare BENCH_PR6.json -tolerance 0.5 BENCH_PR6.new.json
+
 # fault-ablation regenerates the sensor-failure table (naive vs leave-k-out
 # fallback) that CI uploads as an artifact.
 fault-ablation:
@@ -56,4 +68,4 @@ docs-check:
 	$(GO) test -run Example ./...
 
 clean:
-	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv
+	rm -f BENCH_PR2.json BENCH_PR4.json BENCH_PR5.new.json BENCH_PR6.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv

@@ -29,6 +29,16 @@
 // recalibration runbook. POST /v1/rollback reverts the last promotion.
 //
 //	voltserved -model model.json -adapt -forgetting 0.995 -feedback-log feedback.csv
+//
+// -store runs the server in fleet mode instead of -model: a directory of
+// <tenant-id>.json artifacts becomes a multi-tenant model registry, requests
+// route by the X-Voltsense-Tenant header (or tenant field), and SIGHUP or
+// POST /v1/reload rescans the store, swapping only the tenants whose
+// artifacts changed. Overload knobs bound admission and stream concurrency;
+// past them the server sheds with 503 + Retry-After:
+//
+//	voltserved -store /var/lib/voltsense/fleet -max-tenants 64 -tenant-idle 30m \
+//	  -max-inflight 256 -max-streams 2000 -max-tenant-streams 200
 package main
 
 import (
@@ -62,7 +72,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("voltserved", flag.ContinueOnError)
-	modelPath := fs.String("model", "", "predictor artifact JSON written by sensorplace -model (required)")
+	modelPath := fs.String("model", "", "predictor artifact JSON written by sensorplace -model (single-tenant mode)")
+	storeDir := fs.String("store", "", "directory of <tenant-id>.json artifacts (fleet mode; mutually exclusive with -model)")
+	defaultTenant := fs.String("default-tenant", "", "tenant served to requests that name none (default \"default\")")
+	maxTenants := fs.Int("max-tenants", 0, "resident tenant models before LRU eviction (0 = default 64)")
+	tenantIdle := fs.Duration("tenant-idle", 0, "evict tenants idle longer than this; 0 disables the sweep")
+	maxInflight := fs.Int("max-inflight", 0, "concurrently admitted unary requests; 0 = unlimited")
+	maxQueue := fs.Int("max-queue", 0, "requests queued for an admission slot before shedding")
+	queueTimeout := fs.Duration("queue-timeout", 0, "longest a queued request waits before shedding (0 = default 250ms)")
+	maxStreams := fs.Int("max-streams", 0, "concurrently open NDJSON sessions across all tenants; 0 = unlimited")
+	maxTenantStreams := fs.Int("max-tenant-streams", 0, "concurrently open NDJSON sessions per tenant; 0 = unlimited")
 	addr := fs.String("addr", ":8080", "listen address")
 	vth := fs.Float64("vth", 0.95, "default emergency threshold for streaming sessions (volts)")
 	clearMargin := fs.Float64("clear-margin", 0, "hysteresis margin above vth to clear an alarm (0 = monitor default)")
@@ -82,22 +101,28 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *modelPath == "" {
+	if *modelPath == "" && *storeDir == "" {
 		fs.Usage()
-		return errors.New("-model is required")
+		return errors.New("one of -model or -store is required")
+	}
+	if *modelPath != "" && *storeDir != "" {
+		return errors.New("-model and -store are mutually exclusive")
 	}
 	injected, err := loadFaultSpec(*faultSpec)
 	if err != nil {
 		return err
 	}
 
-	loader := func() (*core.Predictor, error) {
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			return nil, err
+	var loader func() (*core.Predictor, error)
+	if *modelPath != "" {
+		loader = func() (*core.Predictor, error) {
+			f, err := os.Open(*modelPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return core.LoadPredictor(f)
 		}
-		defer f.Close()
-		return core.LoadPredictor(f)
 	}
 
 	var fbLog io.Writer
@@ -111,7 +136,17 @@ func run(args []string) error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Loader: loader,
+		Loader:        loader,
+		StoreDir:      *storeDir,
+		DefaultTenant: *defaultTenant,
+		MaxTenants:    *maxTenants,
+		Overload: serve.Overload{
+			MaxInflight:      *maxInflight,
+			MaxQueue:         *maxQueue,
+			QueueTimeout:     *queueTimeout,
+			MaxStreams:       *maxStreams,
+			MaxTenantStreams: *maxTenantStreams,
+		},
 		Monitor: monitor.Config{
 			Vth:         *vth,
 			ClearMargin: *clearMargin,
@@ -133,7 +168,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("voltserved: model %s loaded (generation %d), listening on %s", *modelPath, srv.Generation(), *addr)
+	if *storeDir != "" {
+		log.Printf("voltserved: fleet store %s (default tenant %q), listening on %s", *storeDir, srv.DefaultTenantID(), *addr)
+	} else {
+		log.Printf("voltserved: model %s loaded (generation %d), listening on %s", *modelPath, srv.Generation(), *addr)
+	}
 	if len(injected) > 0 {
 		log.Printf("voltserved: CHAOS MODE — injecting %d synthetic sensor faults per -fault-spec", len(injected))
 	}
@@ -146,12 +185,30 @@ func run(args []string) error {
 	go func() {
 		for range hup {
 			if err := srv.Reload(); err != nil {
-				log.Printf("voltserved: SIGHUP reload failed, previous model still serving: %v", err)
+				log.Printf("voltserved: SIGHUP reload failed, previous models still serving: %v", err)
 				continue
 			}
-			log.Printf("voltserved: SIGHUP reloaded %s (generation %d)", *modelPath, srv.Generation())
+			if *storeDir != "" {
+				log.Printf("voltserved: SIGHUP rescanned %s", *storeDir)
+			} else {
+				log.Printf("voltserved: SIGHUP reloaded %s (generation %d)", *modelPath, srv.Generation())
+			}
 		}
 	}()
+
+	if *tenantIdle > 0 {
+		sweep := *tenantIdle / 4
+		if sweep < time.Second {
+			sweep = time.Second
+		}
+		go func() {
+			for range time.Tick(sweep) {
+				if evicted := srv.EvictIdleTenants(*tenantIdle); len(evicted) > 0 {
+					log.Printf("voltserved: evicted idle tenants %v", evicted)
+				}
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		// The pprof handlers register themselves on http.DefaultServeMux via

@@ -1,0 +1,155 @@
+// Fleet serving: one voltserved process, many chips. Two chips with
+// different sensor placements get their own runtime models; a store
+// directory of <tenant-id>.json artifacts becomes a model registry, and
+// requests route to a tenant's model by the X-Voltsense-Tenant header.
+// Retraining one chip and rescanning swaps only that tenant — the other
+// keeps serving its model, untouched.
+//
+// This is the library form of:
+//
+//	voltserved -store ./fleet -max-tenants 64
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"voltsense"
+	"voltsense/internal/monitor"
+	"voltsense/internal/serve"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := &voltsense.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+
+	// Two chips, two placements: chip-a gets 2 sensors per core, chip-b 3.
+	// Each gets its own fitted Eq. 17 model; the reading width each model
+	// expects is the size of its sensor union.
+	store, err := os.MkdirTemp("", "fleet-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(store)
+	width := map[string]int{}
+	for tenant, perCore := range map[string]int{"chip-a": 2, "chip-b": 3} {
+		q, err := fitTenant(p, train, store, tenant, perCore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		width[tenant] = q
+	}
+
+	// One server over the store. chip-a doubles as the default tenant, so
+	// requests that name no tenant — old single-tenant clients — still work.
+	srv, err := serve.New(serve.Config{
+		StoreDir:      store,
+		DefaultTenant: "chip-a",
+		Monitor:       monitor.Config{Vth: 0.95},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("fleet server on %s, store %s\n\n", base, store)
+
+	// Route by header; an absent tenant falls back to the default.
+	predict(base, "", width["chip-a"])
+	predict(base, "chip-b", width["chip-b"])
+
+	// Retrain chip-b (here: refit as-is) and rescan. Only chip-b reloads;
+	// chip-a's generation — and any live stream it has — is untouched.
+	if _, err := fitTenant(p, train, store, "chip-b", 3); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/reload", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rl map[string]any
+	json.NewDecoder(resp.Body).Decode(&rl)
+	resp.Body.Close()
+	fmt.Printf("rescan: reloaded=%v removed=%v\n\n", rl["reloaded"], rl["removed"])
+
+	predict(base, "", width["chip-a"])
+	predict(base, "chip-b", width["chip-b"])
+}
+
+// fitTenant places perCore sensors on every core, fits the runtime model,
+// and writes the tenant's artifact into the store. Returns the model's
+// reading width (the sensor-union size).
+func fitTenant(p *voltsense.Pipeline, train *voltsense.Dataset, store, tenant string, perCore int) (int, error) {
+	_, sensors, err := p.ChipPlacementCount(perCore)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := voltsense.BuildPredictor(train, sensors)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(filepath.Join(store, tenant+".json"))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return len(sensors), voltsense.SavePredictor(f, pred)
+}
+
+// predict posts one reading vector of the tenant's width and prints the
+// response, which names the tenant and model generation that served it.
+func predict(base, tenant string, q int) {
+	row := make([]float64, q)
+	for i := range row {
+		row[i] = 0.96
+	}
+	body, _ := json.Marshal(map[string]any{"readings": [][]float64{row}})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(serve.TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("predict as %q: %s: %s", tenant, resp.Status, raw)
+	}
+	var out struct {
+		Tenant     string      `json:"tenant"`
+		Generation uint64      `json:"model_generation"`
+		Voltages   [][]float64 `json:"voltages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	who := tenant
+	if who == "" {
+		who = "(no tenant header)"
+	}
+	v := out.Voltages[0]
+	if len(v) > 4 {
+		v = v[:4]
+	}
+	fmt.Printf("%-20s -> served by %q gen %d, voltages %.4f...\n", who, out.Tenant, out.Generation, v)
+}

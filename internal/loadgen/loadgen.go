@@ -1,0 +1,355 @@
+// Package loadgen drives a voltsense inference server with a configurable
+// mix of predict, feedback, and NDJSON streaming load across many tenants,
+// and reports latency quantiles, throughput, and shed rates.
+//
+// It is the engine behind cmd/voltbench. The generator speaks the public
+// HTTP API only — it can point at a live voltserved over TCP or at an
+// in-process server via ServeInProcess, which multiplexes thousands of
+// concurrent streams over pipe connections without exhausting sockets.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantHeader routes a request to a tenant, mirroring serve.TenantHeader.
+// Duplicated here so the generator depends only on the wire protocol.
+const TenantHeader = "X-Voltsense-Tenant"
+
+// Options shapes the offered load.
+type Options struct {
+	// Tenants are the tenant ids requests round-robin across. Required.
+	Tenants []string
+	// Sensors is the width Q of each reading vector. Default 2.
+	Sensors int
+	// Blocks is the width K of feedback truth vectors. Default 3.
+	Blocks int
+
+	// Workers is the number of concurrent unary clients. Default 8.
+	Workers int
+	// Requests is the total number of unary requests (predict plus
+	// feedback). 0 skips the unary phase.
+	Requests int
+	// FeedbackEvery makes every Nth unary request a /v1/feedback call
+	// instead of /v1/predict. 0 sends only predicts.
+	FeedbackEvery int
+
+	// Streams is the number of NDJSON sessions opened concurrently. All
+	// accepted sessions are held open until every open has resolved, so the
+	// peak concurrency the server sustained is a real measurement, then each
+	// pumps StreamCycles cycles. 0 skips the streaming phase.
+	Streams int
+	// StreamCycles is the number of cycles pumped per accepted session.
+	// Default 4.
+	StreamCycles int
+}
+
+// OpStats summarizes one operation type.
+type OpStats struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	Shed      int64   `json:"shed"`
+	MeanNs    float64 `json:"mean_ns"`
+	P50Ns     float64 `json:"p50_ns"`
+	P95Ns     float64 `json:"p95_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Tenants     int     `json:"tenants"`
+	Streams     int     `json:"streams_requested"`
+	PeakStreams int64   `json:"streams_peak_concurrent"`
+	WallNs      int64   `json:"wall_ns"`
+	ShedTotal   int64   `json:"shed_total"`
+	ShedRate    float64 `json:"shed_rate"`
+
+	Predict     OpStats `json:"predict"`
+	Feedback    OpStats `json:"feedback"`
+	StreamOpen  OpStats `json:"stream_open"`
+	StreamCycle OpStats `json:"stream_cycle"`
+}
+
+// recorder accumulates one operation type's latencies and failure counts.
+type recorder struct {
+	mu   sync.Mutex
+	lat  []time.Duration
+	errs atomic.Int64
+	shed atomic.Int64
+}
+
+func (r *recorder) ok(d time.Duration) {
+	r.mu.Lock()
+	r.lat = append(r.lat, d)
+	r.mu.Unlock()
+}
+
+// stats freezes the recorder into quantiles over the given wall time.
+func (r *recorder) stats(wall time.Duration) OpStats {
+	r.mu.Lock()
+	lat := r.lat
+	r.mu.Unlock()
+	st := OpStats{
+		Count:  int64(len(lat)),
+		Errors: r.errs.Load(),
+		Shed:   r.shed.Load(),
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	q := func(p float64) float64 {
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i].Nanoseconds())
+	}
+	st.MeanNs = float64(total.Nanoseconds()) / float64(len(lat))
+	st.P50Ns = q(0.50)
+	st.P95Ns = q(0.95)
+	st.P99Ns = q(0.99)
+	if wall > 0 {
+		st.OpsPerSec = float64(len(lat)) / wall.Seconds()
+	}
+	return st
+}
+
+// Run offers the configured load to the target and reports what came back.
+// Request failures are counted, not fatal: a bench against an overloaded
+// server is measuring exactly that.
+func Run(t Target, o Options) (*Report, error) {
+	if len(o.Tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one tenant required")
+	}
+	if o.Sensors <= 0 {
+		o.Sensors = 2
+	}
+	if o.Blocks <= 0 {
+		o.Blocks = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.StreamCycles <= 0 {
+		o.StreamCycles = 4
+	}
+
+	rep := &Report{Tenants: len(o.Tenants), Streams: o.Streams}
+	start := time.Now()
+
+	var predict, feedback, open, cycle recorder
+	if o.Requests > 0 {
+		unaryPhase(t, o, &predict, &feedback)
+	}
+	if o.Streams > 0 {
+		rep.PeakStreams = streamPhase(t, o, &open, &cycle)
+	}
+
+	wall := time.Since(start)
+	rep.WallNs = wall.Nanoseconds()
+	rep.Predict = predict.stats(wall)
+	rep.Feedback = feedback.stats(wall)
+	rep.StreamOpen = open.stats(wall)
+	rep.StreamCycle = cycle.stats(wall)
+	rep.ShedTotal = rep.Predict.Shed + rep.Feedback.Shed + rep.StreamOpen.Shed
+	if n := rep.Predict.Count + rep.Feedback.Count + rep.StreamOpen.Count + rep.ShedTotal; n > 0 {
+		rep.ShedRate = float64(rep.ShedTotal) / float64(n)
+	}
+	return rep, nil
+}
+
+// readings builds one deterministic Q-wide reading vector; seed varies it
+// so consecutive cycles are not byte-identical.
+func readings(q, seed int) []float64 {
+	v := make([]float64, q)
+	for i := range v {
+		v[i] = 0.94 + 0.005*float64((seed+i)%4)
+	}
+	return v
+}
+
+// unaryPhase fires o.Requests predict/feedback calls from o.Workers
+// goroutines, round-robining tenants.
+func unaryPhase(t Target, o Options, predict, feedback *recorder) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.Requests {
+					return
+				}
+				tenant := o.Tenants[i%len(o.Tenants)]
+				if o.FeedbackEvery > 0 && i%o.FeedbackEvery == o.FeedbackEvery-1 {
+					unaryCall(t, tenant, "/v1/feedback", feedbackBody(o, i), feedback)
+				} else {
+					unaryCall(t, tenant, "/v1/predict", predictBody(o, i), predict)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func predictBody(o Options, seed int) []byte {
+	b, _ := json.Marshal(map[string]any{"readings": [][]float64{readings(o.Sensors, seed)}})
+	return b
+}
+
+func feedbackBody(o Options, seed int) []byte {
+	truth := make([]float64, o.Blocks)
+	for i := range truth {
+		truth[i] = 0.94 + 0.004*float64((seed+i)%5)
+	}
+	b, _ := json.Marshal(map[string]any{"samples": []map[string]any{{
+		"readings": readings(o.Sensors, seed),
+		"voltages": truth,
+	}}})
+	return b
+}
+
+// unaryCall posts one body and buckets the outcome: latency on 2xx, shed on
+// 503, error otherwise.
+func unaryCall(t Target, tenant, path string, body []byte, rec *recorder) {
+	req, err := http.NewRequest(http.MethodPost, t.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		rec.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TenantHeader, tenant)
+	t0 := time.Now()
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		rec.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		rec.ok(time.Since(t0))
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		rec.shed.Add(1)
+	default:
+		rec.errs.Add(1)
+	}
+}
+
+// streamPhase opens o.Streams NDJSON sessions concurrently. Accepted
+// sessions hold at a barrier until every open has resolved — so the reported
+// peak is concurrency the server genuinely sustained — then pump
+// o.StreamCycles cycles each, measuring per-cycle round trips.
+func streamPhase(t Target, o Options, open, cycle *recorder) (peak int64) {
+	var active, high atomic.Int64
+	var openWG, doneWG sync.WaitGroup
+	pump := make(chan struct{}) // closed once all opens resolved
+	for i := 0; i < o.Streams; i++ {
+		openWG.Add(1)
+		doneWG.Add(1)
+		go func(i int) {
+			defer doneWG.Done()
+			runStream(t, o, o.Tenants[i%len(o.Tenants)], i, open, cycle,
+				&active, &high, openWG.Done, pump)
+		}(i)
+	}
+	openWG.Wait()
+	close(pump)
+	doneWG.Wait()
+	return high.Load()
+}
+
+// runStream drives one session: open, barrier, pump cycles, close, drain
+// the summary.
+func runStream(t Target, o Options, tenant string, seed int, open, cyc *recorder,
+	active, high *atomic.Int64, opened func(), pump <-chan struct{}) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, t.BaseURL+"/v1/stream?emit_voltages=true", pr)
+	if err != nil {
+		open.errs.Add(1)
+		opened()
+		return
+	}
+	req.Header.Set(TenantHeader, tenant)
+	t0 := time.Now()
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		open.errs.Add(1)
+		opened()
+		pw.Close()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			open.shed.Add(1)
+		} else {
+			open.errs.Add(1)
+		}
+		opened()
+		pw.Close()
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	open.ok(time.Since(t0))
+	if n := active.Add(1); n > high.Load() {
+		high.Store(n) // racy max is fine: the floor only ever rises
+	}
+	defer active.Add(-1)
+	opened()
+	<-pump
+
+	br := bufio.NewReader(resp.Body)
+	enc := json.NewEncoder(pw)
+	for c := 0; c < o.StreamCycles; c++ {
+		t0 = time.Now()
+		if err := enc.Encode(map[string]any{"readings": readings(o.Sensors, seed+c)}); err != nil {
+			cyc.errs.Add(1)
+			break
+		}
+		// Each cycle answers with a voltages line; alarm events may precede
+		// it, so scan until the voltages line for this cycle arrives.
+		if err := awaitVoltages(br); err != nil {
+			cyc.errs.Add(1)
+			break
+		}
+		cyc.ok(time.Since(t0))
+	}
+	pw.Close() // EOF ends the session; the server replies with a summary
+	io.Copy(io.Discard, resp.Body)
+}
+
+// awaitVoltages reads NDJSON lines until one carries a voltages payload.
+func awaitVoltages(br *bufio.Reader) error {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.Contains(line, `"voltages"`) {
+			return nil
+		}
+	}
+}

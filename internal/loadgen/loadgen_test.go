@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"voltsense/internal/monitor"
+	"voltsense/internal/serve"
+)
+
+const testArtifact = `{
+  "format": "voltsense-predictor/v1",
+  "selected_sensors": [3, 7],
+  "alpha": [[1, 0], [0, 1], [0.5, 0.5]],
+  "c": [0, 0, 0]
+}`
+
+func newTarget(t *testing.T, tenants []string, overload serve.Overload) (Target, func()) {
+	t.Helper()
+	dir := t.TempDir()
+	for _, id := range tenants {
+		if err := os.WriteFile(filepath.Join(dir, id+".json"), []byte(testArtifact), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := serve.New(serve.Config{
+		StoreDir: dir,
+		Monitor:  monitor.Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2},
+		Adapt:    true,
+		Overload: overload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ServeInProcess(s.Handler())
+}
+
+func TestRunMixedLoad(t *testing.T) {
+	tenants := []string{"default", "chipA", "chipB", "chipC"}
+	target, shutdown := newTarget(t, tenants, serve.Overload{})
+	defer shutdown()
+
+	rep, err := Run(target, Options{
+		Tenants:       tenants,
+		Workers:       4,
+		Requests:      40,
+		FeedbackEvery: 4,
+		Streams:       12,
+		StreamCycles:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predict.Count != 30 || rep.Predict.Errors != 0 {
+		t.Errorf("predict count=%d errors=%d, want 30/0", rep.Predict.Count, rep.Predict.Errors)
+	}
+	if rep.Feedback.Count != 10 || rep.Feedback.Errors != 0 {
+		t.Errorf("feedback count=%d errors=%d, want 10/0", rep.Feedback.Count, rep.Feedback.Errors)
+	}
+	if rep.StreamOpen.Count != 12 || rep.StreamOpen.Errors != 0 {
+		t.Errorf("stream opens=%d errors=%d, want 12/0", rep.StreamOpen.Count, rep.StreamOpen.Errors)
+	}
+	if rep.PeakStreams != 12 {
+		t.Errorf("peak concurrent streams = %d, want 12 (opens barrier before pumping)", rep.PeakStreams)
+	}
+	if want := int64(12 * 3); rep.StreamCycle.Count != want {
+		t.Errorf("stream cycles = %d, want %d", rep.StreamCycle.Count, want)
+	}
+	if rep.Predict.P50Ns <= 0 || rep.Predict.P99Ns < rep.Predict.P50Ns {
+		t.Errorf("implausible predict quantiles: p50=%v p99=%v", rep.Predict.P50Ns, rep.Predict.P99Ns)
+	}
+	if rep.ShedTotal != 0 {
+		t.Errorf("unexpected shedding: %d", rep.ShedTotal)
+	}
+}
+
+func TestRunReportsShedding(t *testing.T) {
+	tenants := []string{"default", "chipA"}
+	target, shutdown := newTarget(t, tenants, serve.Overload{MaxStreams: 4})
+	defer shutdown()
+
+	rep, err := Run(target, Options{
+		Tenants:      tenants,
+		Streams:      10,
+		StreamCycles: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamOpen.Count != 4 {
+		t.Errorf("accepted streams = %d, want 4 (MaxStreams)", rep.StreamOpen.Count)
+	}
+	if rep.StreamOpen.Shed != 6 {
+		t.Errorf("shed streams = %d, want 6", rep.StreamOpen.Shed)
+	}
+	if rep.PeakStreams != 4 {
+		t.Errorf("peak = %d, want 4", rep.PeakStreams)
+	}
+	if rep.ShedRate <= 0 {
+		t.Error("shed rate not reported")
+	}
+}

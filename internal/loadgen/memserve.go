@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// memListener is a net.Listener whose connections are in-process pipes.
+// Driving a server through it exercises the full net/http stack — chunked
+// encoding, full-duplex streams, connection teardown — without consuming
+// sockets or file descriptors, so a single-machine bench can hold thousands
+// of concurrent NDJSON sessions.
+type memListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+// dial hands the server half of a fresh pipe to Accept and returns the
+// client half.
+func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "in-process" }
+
+// Target is an HTTP endpoint under load: the base URL plus the client used
+// to reach it.
+type Target struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// ServeInProcess serves h over an in-memory listener and returns a Target
+// whose client dials it without touching the network, plus a shutdown func
+// that stops the server and severs outstanding connections.
+func ServeInProcess(h http.Handler) (Target, func()) {
+	l := newMemListener()
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			return l.dial(ctx)
+		},
+		// Streams mark their responses Connection: close, so pooling only
+		// ever helps the unary endpoints; the default pool size is fine.
+	}}
+	shutdown := func() {
+		srv.Close()
+		l.Close()
+	}
+	return Target{BaseURL: "http://voltbench.mem", Client: client}, shutdown
+}

@@ -1,0 +1,322 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeStore is an in-memory Source whose artifacts are version-stamped
+// strings; fingerprints are the version numbers, so bumping a version is
+// "rewriting the artifact".
+type fakeStore struct {
+	mu       sync.Mutex
+	versions map[string]int
+	loads    atomic.Int64
+	loadGate chan struct{} // when non-nil, Load blocks until it closes
+	failLoad map[string]error
+}
+
+func newFakeStore(ids ...string) *fakeStore {
+	s := &fakeStore{versions: make(map[string]int), failLoad: make(map[string]error)}
+	for _, id := range ids {
+		s.versions[id] = 1
+	}
+	return s
+}
+
+func (s *fakeStore) bump(id string) {
+	s.mu.Lock()
+	s.versions[id]++
+	s.mu.Unlock()
+}
+
+func (s *fakeStore) remove(id string) {
+	s.mu.Lock()
+	delete(s.versions, id)
+	s.mu.Unlock()
+}
+
+func (s *fakeStore) source() Source {
+	return Source{
+		List: func() ([]string, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			ids := make([]string, 0, len(s.versions))
+			for id := range s.versions {
+				ids = append(ids, id)
+			}
+			return ids, nil
+		},
+		Stat: func(id string) (string, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			v, ok := s.versions[id]
+			if !ok {
+				return "", fmt.Errorf("%s: %w", id, fs.ErrNotExist)
+			}
+			return fmt.Sprintf("v%d", v), nil
+		},
+		Load: func(id string) (any, string, error) {
+			if gate := s.loadGate; gate != nil {
+				<-gate
+			}
+			s.loads.Add(1)
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err := s.failLoad[id]; err != nil {
+				return nil, "", err
+			}
+			v, ok := s.versions[id]
+			if !ok {
+				return nil, "", fmt.Errorf("%s: %w", id, fs.ErrNotExist)
+			}
+			return fmt.Sprintf("%s@v%d", id, v), fmt.Sprintf("v%d", v), nil
+		},
+	}
+}
+
+func mustGet(t *testing.T, r *Registry, id string) string {
+	t.Helper()
+	v, err := r.Get(id)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", id, err)
+	}
+	return v.(string)
+}
+
+func TestGetLoadsAndCaches(t *testing.T) {
+	st := newFakeStore("a")
+	r, err := New(Config{Source: st.source()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGet(t, r, "a"); got != "a@v1" {
+		t.Fatalf("got %q", got)
+	}
+	mustGet(t, r, "a")
+	mustGet(t, r, "a")
+	if st.loads.Load() != 1 {
+		t.Fatalf("loads = %d, want 1 (cache hit path)", st.loads.Load())
+	}
+	if _, err := r.Get("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing tenant error = %v, want fs.ErrNotExist", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d (failed load must not insert)", r.Len())
+	}
+}
+
+// TestSingleFlightConcurrentFirstRequests hammers a cold tenant from many
+// goroutines while the store's Load is gated shut: exactly one Load may
+// happen, and every caller gets its value.
+func TestSingleFlightConcurrentFirstRequests(t *testing.T) {
+	st := newFakeStore("a")
+	st.loadGate = make(chan struct{})
+	r, err := New(Config{Source: st.source()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	var wg sync.WaitGroup
+	got := make([]string, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := r.Get("a")
+			errs[i] = err
+			if err == nil {
+				got[i] = v.(string)
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the callers pile onto the gate
+	close(st.loadGate)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] != "a@v1" {
+			t.Fatalf("caller %d got %q", i, got[i])
+		}
+	}
+	if st.loads.Load() != 1 {
+		t.Fatalf("loads = %d, want 1 (single flight)", st.loads.Load())
+	}
+}
+
+func TestLRUCapacityEvictsIdleNeverPinned(t *testing.T) {
+	st := newFakeStore("default", "a", "b", "c")
+	var retired []string
+	r, err := New(Config{
+		Source:   st.source(),
+		Pinned:   "default",
+		Capacity: 2,
+		OnRetire: func(id string, v any, replaced bool) {
+			if replaced {
+				t.Errorf("capacity eviction of %s reported as replaced", id)
+			}
+			retired = append(retired, id)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, r, "default")
+	mustGet(t, r, "a") // resident: default, a
+	mustGet(t, r, "b") // over capacity: default pinned, a is LRU → retired
+	if fmt.Sprint(retired) != "[a]" {
+		t.Fatalf("retired = %v, want [a]", retired)
+	}
+	if fmt.Sprint(r.Resident()) != "[b default]" {
+		t.Fatalf("resident = %v", r.Resident())
+	}
+	// Touch b so default stays least-recently-used among... it is pinned:
+	// loading c must evict b, not default, even though default is older.
+	mustGet(t, r, "c")
+	if fmt.Sprint(retired) != "[a b]" {
+		t.Fatalf("retired = %v, want [a b]", retired)
+	}
+	if fmt.Sprint(r.Resident()) != "[c default]" {
+		t.Fatalf("resident = %v (pinned default evicted?)", r.Resident())
+	}
+	if r.Evictions() != 2 {
+		t.Fatalf("Evictions = %d", r.Evictions())
+	}
+	// Evicted tenants reload on demand — eviction is not removal.
+	if got := mustGet(t, r, "a"); got != "a@v1" {
+		t.Fatalf("re-Get after eviction: %q", got)
+	}
+}
+
+func TestEvictIdleRespectsTTLAndPin(t *testing.T) {
+	st := newFakeStore("default", "a", "b")
+	r, err := New(Config{Source: st.source(), Pinned: "default", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, r, "default")
+	mustGet(t, r, "a")
+	mustGet(t, r, "b")
+	if got := r.EvictIdle(time.Hour); len(got) != 0 {
+		t.Fatalf("fresh tenants evicted: %v", got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	mustGet(t, r, "b") // refresh b's recency; a and default stay idle
+	if got := r.EvictIdle(2 * time.Millisecond); fmt.Sprint(got) != "[a]" {
+		t.Fatalf("EvictIdle = %v, want [a] (pinned default must survive)", got)
+	}
+	if fmt.Sprint(r.Resident()) != "[b default]" {
+		t.Fatalf("resident = %v", r.Resident())
+	}
+}
+
+func TestRescanSwapsOnlyChangedTenants(t *testing.T) {
+	st := newFakeStore("default", "a", "b")
+	var replaced, dropped []string
+	r, err := New(Config{
+		Source: st.source(),
+		Pinned: "default",
+		OnRetire: func(id string, v any, wasReplaced bool) {
+			if wasReplaced {
+				replaced = append(replaced, id)
+			} else {
+				dropped = append(dropped, id)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vDefault, vA, vB := mustGet(t, r, "default"), mustGet(t, r, "a"), mustGet(t, r, "b")
+
+	// No changes: rescan is a no-op and rebuilds nothing.
+	res := r.Rescan()
+	if len(res.Reloaded)+len(res.Removed)+len(res.Failed) != 0 {
+		t.Fatalf("no-op rescan = %+v", res)
+	}
+	if st.loads.Load() != 3 {
+		t.Fatalf("no-op rescan reloaded something: %d loads", st.loads.Load())
+	}
+
+	// Bump a, remove b: only a is swapped, b retired, default untouched.
+	st.bump("a")
+	st.remove("b")
+	res = r.Rescan()
+	if fmt.Sprint(res.Reloaded) != "[a]" || fmt.Sprint(res.Removed) != "[b]" || len(res.Failed) != 0 {
+		t.Fatalf("rescan = %+v", res)
+	}
+	if got := mustGet(t, r, "a"); got != "a@v2" || got == vA {
+		t.Fatalf("a after rescan = %q", got)
+	}
+	if got := mustGet(t, r, "default"); got != vDefault {
+		t.Fatalf("untouched default was rebuilt: %q vs %q", got, vDefault)
+	}
+	if _, ok := r.Peek("b"); ok {
+		t.Fatalf("removed tenant %q still resident", vB)
+	}
+	if fmt.Sprint(replaced) != "[a]" || fmt.Sprint(dropped) != "[b]" {
+		t.Fatalf("retire callbacks: replaced=%v dropped=%v", replaced, dropped)
+	}
+
+	// A failing reload keeps the previous value serving.
+	st.bump("default")
+	st.failLoad["default"] = errors.New("artifact corrupt")
+	res = r.Rescan()
+	if res.Err() == nil || res.Failed["default"] == nil {
+		t.Fatalf("rescan with corrupt artifact = %+v", res)
+	}
+	if got := mustGet(t, r, "default"); got != vDefault {
+		t.Fatalf("failed reload replaced the serving value: %q", got)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"default", "chip-a", "wafer_7.lot9", "A1"} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "../x", "a/b", "a\\b", "-flag", ".hidden",
+		"x y", "tenant\x00", string(make([]byte, 65))} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true", bad)
+		}
+	}
+}
+
+func TestDirLayout(t *testing.T) {
+	dir := t.TempDir()
+	d := Dir{Path: dir}
+	if err := os.WriteFile(filepath.Join(dir, "chipA.json"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte(`x`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ids) != "[chipA]" {
+		t.Fatalf("List = %v", ids)
+	}
+	if _, err := d.Stat("chipA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Stat("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Stat(missing) = %v", err)
+	}
+	if _, err := d.File("../escape"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("traversal id accepted: %v", err)
+	}
+}

@@ -201,7 +201,7 @@ func TestFeedbackValidation(t *testing.T) {
 		t.Errorf("GET /v1/feedback: status %d, want 405", resp.StatusCode)
 	}
 	// A rejected batch must not have been half-ingested.
-	if st := h.s.adapter.Load().ad.Status(); st.Ingested != 0 {
+	if st := h.s.defaultTenant().adapter.Load().ad.Status(); st.Ingested != 0 {
 		t.Errorf("rejected batches ingested %d samples", st.Ingested)
 	}
 }
@@ -279,7 +279,7 @@ func TestFeedbackPromotesRecalibratedModel(t *testing.T) {
 	if h.s.Generation() != 2 {
 		t.Errorf("server generation = %d, want 2", h.s.Generation())
 	}
-	live := h.s.adapter.Load().ad.Live()
+	live := h.s.defaultTenant().adapter.Load().ad.Live()
 	if live.Lineage == nil || live.Lineage.Source != core.LineageSourceOnline || live.Lineage.Version != 2 {
 		t.Errorf("promoted lineage = %+v", live.Lineage)
 	}
@@ -311,8 +311,8 @@ func TestFeedbackPromotesRecalibratedModel(t *testing.T) {
 	for _, want := range []string{
 		"voltserved_promotions_total 1",
 		"voltserved_model_generation 2",
-		`voltserved_predictions_total{model_generation="1"} 1`,
-		`voltserved_predictions_total{model_generation="2"} 1`,
+		`voltserved_predictions_total{tenant="default",model_generation="1"} 1`,
+		`voltserved_predictions_total{tenant="default",model_generation="2"} 1`,
 	} {
 		if !strings.Contains(exp, want) {
 			t.Errorf("exposition missing %q", want)
@@ -542,10 +542,11 @@ func TestFeedbackSkippedWhileSensorsFaulty(t *testing.T) {
 func TestApplySwapGuards(t *testing.T) {
 	s, ts := newFaultServer(t, Config{Adapt: true})
 	cand := faultPredictor(t)
-	ast := s.adapter.Load()
+	tn := s.defaultTenant()
+	ast := tn.adapter.Load()
 
 	// A stale adapter generation must never install a model.
-	err := s.applySwap(&adapterState{q: 3, k: 1})(cand, false)
+	err := s.applySwap(tn, &adapterState{q: 3, k: 1})(cand, false)
 	if err == nil || !strings.Contains(err.Error(), "reloaded") {
 		t.Fatalf("stale adapter promotion: err = %v", err)
 	}
@@ -557,7 +558,7 @@ func TestApplySwapGuards(t *testing.T) {
 		t.Fatalf("predict status %d: %s", code, body)
 	}
 	gen := s.Generation()
-	err = s.applySwap(ast)(cand, false)
+	err = s.applySwap(tn, ast)(cand, false)
 	if err == nil || !strings.Contains(err.Error(), "faulty") {
 		t.Fatalf("faulty-sensor promotion: err = %v", err)
 	}
@@ -566,7 +567,7 @@ func TestApplySwapGuards(t *testing.T) {
 	}
 	// ...but an operator rollback is not: reverting to known-good
 	// coefficients must work exactly when the chip is misbehaving.
-	if err := s.applySwap(ast)(cand, true); err != nil {
+	if err := s.applySwap(tn, ast)(cand, true); err != nil {
 		t.Fatalf("rollback through fault gate: %v", err)
 	}
 	if s.Generation() != gen+1 {

@@ -328,7 +328,7 @@ func TestLegacyArtifactServesUnchanged(t *testing.T) {
 	// No fallbacks section: fault tolerance off, null readings rejected,
 	// health reports fault_tolerance false.
 	s, ts := newTestServer(t)
-	if s.cur.Load().guard != nil {
+	if s.defaultTenant().cur.Load().guard != nil {
 		t.Fatal("legacy artifact got a guard")
 	}
 	code, body := postJSON(t, ts.URL+"/v1/predict", `{"readings":[[null,0.9]]}`)

@@ -90,15 +90,115 @@ func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
 	return
 }
 
+// TenantMetrics holds one tenant's monotone counters. Counter families are
+// label-bounded by construction: the registry folds a tenant's counts into
+// the `_retired` aggregate when it leaves the cache (RetireTenant), so the
+// exposition's tenant label set never outgrows the resident fleet.
+type TenantMetrics struct {
+	mu          sync.Mutex
+	predictions map[uint64]*Counter // model generation → vectors evaluated
+	shed        map[string]*Counter // shed reason → count
+
+	StreamsTotal     Counter // streaming sessions ever opened on this tenant
+	DegradedRequests Counter // requests refused or streams ended degraded
+}
+
+// AddPredictions counts n evaluated sensor vectors against the given model
+// generation, so promotions and reloads are visible in scrape deltas.
+func (t *TenantMetrics) AddPredictions(gen uint64, n uint64) {
+	t.mu.Lock()
+	c := t.predictions[gen]
+	if c == nil {
+		c = &Counter{}
+		t.predictions[gen] = c
+	}
+	t.mu.Unlock()
+	c.Add(n)
+}
+
+// Shed returns the counter for one shed reason (see the shedReasons set).
+func (t *TenantMetrics) Shed(reason string) *Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.shed[reason]
+	if c == nil {
+		c = &Counter{}
+		t.shed[reason] = c
+	}
+	return c
+}
+
+// predictionsSnapshot returns the per-generation counts in generation order.
+func (t *TenantMetrics) predictionsSnapshot() ([]uint64, map[uint64]uint64) {
+	t.mu.Lock()
+	gens := make([]uint64, 0, len(t.predictions))
+	vals := make(map[uint64]uint64, len(t.predictions))
+	for g, c := range t.predictions {
+		gens = append(gens, g)
+		vals[g] = c.Value()
+	}
+	t.mu.Unlock()
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, vals
+}
+
+// shedSnapshot returns the per-reason shed counts.
+func (t *TenantMetrics) shedSnapshot() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.shed))
+	for reason, c := range t.shed {
+		out[reason] = c.Value()
+	}
+	return out
+}
+
+// predictionsTotal sums evaluated vectors across generations.
+func (t *TenantMetrics) predictionsTotal() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, c := range t.predictions {
+		n += c.Value()
+	}
+	return n
+}
+
+// TenantSnapshot is one tenant's instantaneous state, collected at scrape
+// time so gauge cardinality always equals the resident tenant set.
+type TenantSnapshot struct {
+	ID            string
+	Generation    uint64
+	ActiveStreams int64
+	FaultySensors int
+	Degraded      bool
+}
+
+// retiredTenant is the label value aggregating counters of tenants that
+// left the registry (eviction, removal, or artifact swap).
+const retiredTenant = "_retired"
+
 // Metrics is the server's dependency-free metric registry. It exposes the
 // Prometheus text format (version 0.0.4) without importing any client
 // library, per the repo's stdlib-only rule.
 type Metrics struct {
-	mu          sync.Mutex
-	requests    map[string]*Counter   // "path\x00code" → count
-	latency     map[string]*Histogram // path → latency histogram
-	predictions map[uint64]*Counter   // model generation → vectors evaluated
-	version     string                // build version for voltsense_build_info
+	mu       sync.Mutex
+	requests map[string]*Counter   // "path\x00code" → count
+	latency  map[string]*Histogram // path → latency histogram
+	tenants  map[string]*TenantMetrics
+	version  string // build version for voltsense_build_info
+
+	// Folded counts of retired tenants keep the totals monotone while the
+	// per-tenant series disappear with their tenant.
+	retiredPredictions Counter
+	retiredStreams     Counter
+	retiredDegraded    Counter
+	retiredShed        map[string]*Counter
+
+	// snapshotFn supplies the scrape-time per-tenant gauges; admissionFn
+	// supplies the admission-queue gauges. Both are set by the server.
+	snapshotFn func() []TenantSnapshot
+	admissionFn func() (inflight, queued int64)
 
 	ActiveStreams Gauge   // streaming sessions currently open
 	StreamsTotal  Counter // streaming sessions ever opened
@@ -120,6 +220,10 @@ type Metrics struct {
 	DriftScore        FloatGauge // live-model residual sigmas above its baseline
 	LiveTE            FloatGauge // live-model total error over the evaluation window
 	ShadowTE          FloatGauge // shadow-model total error over the evaluation window
+
+	Shed            Counter // requests/streams shed by overload control, all tenants
+	TenantLoads     Counter // tenant runtimes built (cold loads and rescan swaps)
+	TenantEvictions Counter // tenants retired by LRU capacity, idle TTL, or removal
 }
 
 // NewMetrics builds an empty registry.
@@ -127,9 +231,81 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:    make(map[string]*Counter),
 		latency:     make(map[string]*Histogram),
-		predictions: make(map[uint64]*Counter),
+		tenants:     make(map[string]*TenantMetrics),
+		retiredShed: make(map[string]*Counter),
 		version:     "dev",
 	}
+}
+
+// Tenant returns (creating if needed) the counter set for one tenant id.
+func (m *Metrics) Tenant(id string) *TenantMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tenants[id]
+	if t == nil {
+		t = &TenantMetrics{
+			predictions: make(map[uint64]*Counter),
+			shed:        make(map[string]*Counter),
+		}
+		m.tenants[id] = t
+	}
+	return t
+}
+
+// RetireTenant folds a departed tenant's counters into the `_retired`
+// aggregate and drops its per-tenant series, keeping label cardinality
+// bounded by the resident fleet while totals stay monotone.
+func (m *Metrics) RetireTenant(id string) {
+	m.mu.Lock()
+	t := m.tenants[id]
+	delete(m.tenants, id)
+	m.mu.Unlock()
+	if t == nil {
+		return
+	}
+	m.retiredPredictions.Add(t.predictionsTotal())
+	m.retiredStreams.Add(t.StreamsTotal.Value())
+	m.retiredDegraded.Add(t.DegradedRequests.Value())
+	t.mu.Lock()
+	shed := make(map[string]uint64, len(t.shed))
+	for reason, c := range t.shed {
+		shed[reason] = c.Value()
+	}
+	t.mu.Unlock()
+	m.mu.Lock()
+	for reason, n := range shed {
+		c := m.retiredShed[reason]
+		if c == nil {
+			c = &Counter{}
+			m.retiredShed[reason] = c
+		}
+		c.Add(n)
+	}
+	m.mu.Unlock()
+}
+
+// TenantLabelCount reports how many tenant ids currently carry counter
+// series (the cardinality-bound invariant checked by tests).
+func (m *Metrics) TenantLabelCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tenants)
+}
+
+// SetTenantSnapshotFunc installs the scrape-time source of per-tenant
+// gauges (resident tenants only).
+func (m *Metrics) SetTenantSnapshotFunc(fn func() []TenantSnapshot) {
+	m.mu.Lock()
+	m.snapshotFn = fn
+	m.mu.Unlock()
+}
+
+// SetAdmissionStatsFunc installs the scrape-time source of the admission
+// queue gauges.
+func (m *Metrics) SetAdmissionStatsFunc(fn func() (inflight, queued int64)) {
+	m.mu.Lock()
+	m.admissionFn = fn
+	m.mu.Unlock()
 }
 
 // SetVersion records the build version exposed by voltsense_build_info.
@@ -141,28 +317,20 @@ func (m *Metrics) SetVersion(v string) {
 	m.mu.Unlock()
 }
 
-// AddPredictions counts n evaluated sensor vectors against the given model
-// generation, so promotions and reloads are visible in scrape deltas.
-func (m *Metrics) AddPredictions(gen uint64, n uint64) {
-	m.mu.Lock()
-	c := m.predictions[gen]
-	if c == nil {
-		c = &Counter{}
-		m.predictions[gen] = c
-	}
-	m.mu.Unlock()
-	c.Add(n)
-}
-
-// PredictionsTotal sums evaluated vectors across all generations.
+// PredictionsTotal sums evaluated vectors across all tenants and
+// generations, including retired tenants.
 func (m *Metrics) PredictionsTotal() uint64 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	var t uint64
-	for _, c := range m.predictions {
-		t += c.Value()
+	tenants := make([]*TenantMetrics, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		tenants = append(tenants, t)
 	}
-	return t
+	m.mu.Unlock()
+	total := m.retiredPredictions.Value()
+	for _, t := range tenants {
+		total += t.predictionsTotal()
+	}
+	return total
 }
 
 // ObserveRequest records one completed HTTP request.
@@ -218,19 +386,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	for k, v := range m.latency {
 		lats[k] = v
 	}
-	genKeys := make([]uint64, 0, len(m.predictions))
-	for g := range m.predictions {
-		genKeys = append(genKeys, g)
+	tenantIDs := make([]string, 0, len(m.tenants))
+	for id := range m.tenants {
+		tenantIDs = append(tenantIDs, id)
 	}
-	preds := make(map[uint64]*Counter, len(m.predictions))
-	for g, c := range m.predictions {
-		preds[g] = c
+	tenants := make(map[string]*TenantMetrics, len(m.tenants))
+	for id, t := range m.tenants {
+		tenants[id] = t
 	}
+	retiredShed := make(map[string]uint64, len(m.retiredShed))
+	for reason, c := range m.retiredShed {
+		retiredShed[reason] = c.Value()
+	}
+	snapshotFn, admissionFn := m.snapshotFn, m.admissionFn
 	version := m.version
 	m.mu.Unlock()
 	sort.Strings(reqKeys)
 	sort.Strings(latKeys)
-	sort.Slice(genKeys, func(i, j int) bool { return genKeys[i] < genKeys[j] })
+	sort.Strings(tenantIDs)
+	var snaps []TenantSnapshot
+	if snapshotFn != nil {
+		snaps = snapshotFn()
+	}
 
 	fmt.Fprintln(w, "# HELP voltserved_requests_total HTTP requests served, by path and status code.")
 	fmt.Fprintln(w, "# TYPE voltserved_requests_total counter")
@@ -264,10 +441,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeCounter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	fmt.Fprintln(w, "# HELP voltserved_predictions_total Sensor vectors evaluated (batch and stream), by model generation.")
+	fmt.Fprintln(w, "# HELP voltserved_predictions_total Sensor vectors evaluated (batch and stream), by tenant and model generation.")
 	fmt.Fprintln(w, "# TYPE voltserved_predictions_total counter")
-	for _, g := range genKeys {
-		fmt.Fprintf(w, "voltserved_predictions_total{model_generation=\"%d\"} %d\n", g, preds[g].Value())
+	for _, id := range tenantIDs {
+		gens, vals := tenants[id].predictionsSnapshot()
+		for _, g := range gens {
+			fmt.Fprintf(w, "voltserved_predictions_total{tenant=%q,model_generation=\"%d\"} %d\n", id, g, vals[g])
+		}
+	}
+	if v := m.retiredPredictions.Value(); v > 0 {
+		fmt.Fprintf(w, "voltserved_predictions_total{tenant=%q,model_generation=\"all\"} %d\n", retiredTenant, v)
 	}
 
 	writeGauge("voltserved_active_streams", "Streaming sessions currently open.", m.ActiveStreams.Value())
@@ -292,6 +475,78 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeFloatGauge("voltserved_drift_score", "Live-model residual sigmas above the drift baseline.", m.DriftScore.Value())
 	writeFloatGauge("voltserved_live_te", "Live-model total error over the shadow evaluation window.", m.LiveTE.Value())
 	writeFloatGauge("voltserved_shadow_te", "Shadow-model total error over the shadow evaluation window.", m.ShadowTE.Value())
+
+	// Fleet families. Counter series carry the tenant label only while the
+	// tenant holds counters; retired tenants fold into one _retired series,
+	// so cardinality tracks the resident fleet, not its history.
+	writeCounter("voltserved_shed_total", "Requests and streams refused by overload control, all tenants.", m.Shed.Value())
+	fmt.Fprintln(w, "# HELP voltserved_tenant_shed_total Requests and streams refused by overload control, by tenant and reason.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_shed_total counter")
+	for _, id := range tenantIDs {
+		shed := tenants[id].shedSnapshot()
+		for _, reason := range shedReasons {
+			if v, ok := shed[reason]; ok {
+				fmt.Fprintf(w, "voltserved_tenant_shed_total{tenant=%q,reason=%q} %d\n", id, reason, v)
+			}
+		}
+	}
+	for _, reason := range shedReasons {
+		if v, ok := retiredShed[reason]; ok && v > 0 {
+			fmt.Fprintf(w, "voltserved_tenant_shed_total{tenant=%q,reason=%q} %d\n", retiredTenant, reason, v)
+		}
+	}
+	fmt.Fprintln(w, "# HELP voltserved_tenant_streams_total Streaming sessions ever opened, by tenant.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_streams_total counter")
+	for _, id := range tenantIDs {
+		fmt.Fprintf(w, "voltserved_tenant_streams_total{tenant=%q} %d\n", id, tenants[id].StreamsTotal.Value())
+	}
+	if v := m.retiredStreams.Value(); v > 0 {
+		fmt.Fprintf(w, "voltserved_tenant_streams_total{tenant=%q} %d\n", retiredTenant, v)
+	}
+	fmt.Fprintln(w, "# HELP voltserved_tenant_degraded_requests_total Requests refused or streams ended degraded, by tenant.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_degraded_requests_total counter")
+	for _, id := range tenantIDs {
+		fmt.Fprintf(w, "voltserved_tenant_degraded_requests_total{tenant=%q} %d\n", id, tenants[id].DegradedRequests.Value())
+	}
+	if v := m.retiredDegraded.Value(); v > 0 {
+		fmt.Fprintf(w, "voltserved_tenant_degraded_requests_total{tenant=%q} %d\n", retiredTenant, v)
+	}
+	writeCounter("voltserved_tenant_loads_total", "Tenant runtimes built: cold loads and rescan swaps.", m.TenantLoads.Value())
+	writeCounter("voltserved_tenant_evictions_total", "Tenants retired by LRU capacity, idle TTL, or artifact removal.", m.TenantEvictions.Value())
+	writeGauge("voltserved_tenants_resident", "Tenants currently loaded in the model registry.", int64(len(snaps)))
+
+	// Per-tenant gauges come from a scrape-time snapshot of the resident
+	// fleet; an evicted tenant's series vanish with it.
+	fmt.Fprintln(w, "# HELP voltserved_tenant_model_generation Generation of the predictor serving each resident tenant.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_model_generation gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "voltserved_tenant_model_generation{tenant=%q} %d\n", sn.ID, sn.Generation)
+	}
+	fmt.Fprintln(w, "# HELP voltserved_tenant_active_streams Streaming sessions currently open, by resident tenant.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_active_streams gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "voltserved_tenant_active_streams{tenant=%q} %d\n", sn.ID, sn.ActiveStreams)
+	}
+	fmt.Fprintln(w, "# HELP voltserved_tenant_faulty_sensors Sensors currently diagnosed faulty, by resident tenant.")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_faulty_sensors gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "voltserved_tenant_faulty_sensors{tenant=%q} %d\n", sn.ID, sn.FaultySensors)
+	}
+	fmt.Fprintln(w, "# HELP voltserved_tenant_degraded Whether the tenant's fault tier is degraded (1) or serving (0).")
+	fmt.Fprintln(w, "# TYPE voltserved_tenant_degraded gauge")
+	for _, sn := range snaps {
+		degraded := 0
+		if sn.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "voltserved_tenant_degraded{tenant=%q} %d\n", sn.ID, degraded)
+	}
+	var inflight, queued int64
+	if admissionFn != nil {
+		inflight, queued = admissionFn()
+	}
+	writeGauge("voltserved_admission_inflight", "Unary requests currently admitted by overload control.", inflight)
+	writeGauge("voltserved_admission_queued", "Unary requests waiting for an admission slot.", queued)
 
 	fmt.Fprintln(w, "# HELP voltsense_build_info Build metadata; the value is always 1.")
 	fmt.Fprintln(w, "# TYPE voltsense_build_info gauge")

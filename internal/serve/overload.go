@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Overload tunes the admission-control layer: what the server does when
+// offered more work than it can absorb. The degraded-mode 503 from the
+// fault tier already taught clients to honor Retry-After; overload control
+// generalizes the same contract to capacity, so saturation produces bounded
+// queueing and explicit shedding instead of unbounded latency.
+//
+// Zero values mean unlimited, which preserves the pre-fleet behavior for
+// existing single-tenant deployments and tests.
+type Overload struct {
+	// MaxInflight caps concurrently admitted unary requests (/v1/predict,
+	// /v1/feedback). 0 = unlimited.
+	MaxInflight int
+	// MaxQueue caps requests waiting for an inflight slot. Arrivals beyond
+	// it are shed immediately with reason "queue_full". 0 disables queueing:
+	// when every slot is busy, arrivals shed at once.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot before
+	// being shed with reason "queue_timeout". Default 250ms.
+	QueueTimeout time.Duration
+	// MaxStreams caps concurrently open NDJSON streaming sessions across
+	// all tenants. 0 = unlimited.
+	MaxStreams int
+	// MaxTenantStreams caps concurrently open streams per tenant, so one
+	// noisy tenant cannot starve the rest of the fleet. 0 = unlimited.
+	MaxTenantStreams int
+	// RetryAfter is the Retry-After header sent with shed 503s.
+	// Default 1s.
+	RetryAfter time.Duration
+}
+
+// shed reasons, the bounded label set for voltserved_shed_total.
+const (
+	shedQueueFull        = "queue_full"
+	shedQueueTimeout     = "queue_timeout"
+	shedStreamCap        = "stream_cap"
+	shedTenantStreamCap  = "tenant_stream_cap"
+)
+
+// shedReasons enumerates every reason in exposition order.
+var shedReasons = []string{shedQueueFull, shedQueueTimeout, shedStreamCap, shedTenantStreamCap}
+
+// admission is a bounded slot semaphore with a bounded, deadline-capped
+// wait queue. nil means unlimited admission.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	timeout  time.Duration
+}
+
+func newAdmission(o Overload) *admission {
+	if o.MaxInflight <= 0 {
+		return nil
+	}
+	timeout := o.QueueTimeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	return &admission{
+		slots:    make(chan struct{}, o.MaxInflight),
+		maxQueue: int64(o.MaxQueue),
+		timeout:  timeout,
+	}
+}
+
+// acquire admits the caller or reports a shed reason. On admission the
+// returned release func MUST be called exactly once.
+func (a *admission) acquire() (release func(), reason string) {
+	if a == nil {
+		return func() {}, ""
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, ""
+	default:
+	}
+	if a.maxQueue <= 0 || a.queued.Add(1) > a.maxQueue {
+		if a.maxQueue > 0 {
+			a.queued.Add(-1)
+		}
+		return nil, shedQueueFull
+	}
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		return a.release, ""
+	case <-t.C:
+		a.queued.Add(-1)
+		return nil, shedQueueTimeout
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// stats reports (admitted inflight, queued waiters) for the metrics scrape.
+func (a *admission) stats() (inflight, queued int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return int64(len(a.slots)), a.queued.Load()
+}
+
+// acquireStream claims a streaming slot under the global and per-tenant
+// caps. The per-tenant count always runs (it feeds the
+// voltserved_tenant_active_streams gauge); the caps only bite when set.
+func (s *Server) acquireStream(tn *Tenant) (release func(), reason string) {
+	if max := s.cfg.Overload.MaxStreams; max > 0 && s.streamCount.Add(1) > int64(max) {
+		s.streamCount.Add(-1)
+		return nil, shedStreamCap
+	} else if max <= 0 {
+		s.streamCount.Add(1)
+	}
+	if max := s.cfg.Overload.MaxTenantStreams; max > 0 && tn.streams.Add(1) > int64(max) {
+		tn.streams.Add(-1)
+		s.streamCount.Add(-1)
+		return nil, shedTenantStreamCap
+	} else if max <= 0 {
+		tn.streams.Add(1)
+	}
+	return func() {
+		tn.streams.Add(-1)
+		s.streamCount.Add(-1)
+	}, ""
+}
+
+// shed refuses a request at the overload layer: 503 with Retry-After, the
+// same backoff contract degraded mode established, plus a machine-readable
+// reason for the client and the tenant-labeled shed counter.
+func (s *Server) shed(w http.ResponseWriter, tn *Tenant, reason string) {
+	s.metrics.Shed.Inc()
+	if tn != nil {
+		tn.tm.Shed(reason).Inc()
+	}
+	retry := s.cfg.Overload.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error":  "overloaded: " + reason + "; back off and retry",
+		"reason": reason,
+	})
+}

@@ -487,7 +487,7 @@ func TestMetricsExposition(t *testing.T) {
 		`voltserved_request_seconds_bucket{path="/v1/predict",le="+Inf"} 2`,
 		"voltserved_active_streams 0",
 		"voltserved_streams_total 1",
-		`voltserved_predictions_total{model_generation="1"} 2`,
+		`voltserved_predictions_total{tenant="default",model_generation="1"} 2`,
 		"# TYPE voltserved_predictions_total counter",
 		"voltserved_alarms_raised_total 2",
 		"# TYPE voltserved_request_seconds histogram",

@@ -13,24 +13,48 @@
 //	                  own monitor state machine
 //	GET  /healthz     liveness + loaded-model summary
 //	GET  /metrics     Prometheus text exposition (dependency-free)
-//	POST /v1/reload   atomic hot-swap of the predictor artifact
+//	POST /v1/reload   atomic rescan of the model registry
 //
-// The loaded model lives behind an atomic.Pointer: /v1/reload (or SIGHUP in
-// cmd/voltserved) swaps it without dropping in-flight streams — a session
-// keeps the predictor generation it started with until it ends.
+// # Fleet serving
+//
+// The paper fits one predictor per chip instance; a fleet deployment hosts
+// many chips behind one server. Every request routes to a tenant — the
+// X-Voltsense-Tenant header, the `tenant` query parameter, or a `tenant`
+// body field, defaulting to the configured default tenant — and each tenant
+// owns a complete runtime (model generations, fault guard, online adapter,
+// monitor pool), loaded on demand from an artifact directory through an
+// LRU-bounded registry (internal/registry). Tenants are isolated by
+// construction: a fault diagnosed on one chip, or a shadow model promoted
+// on it, never touches another. Configured with a Loader instead of a
+// StoreDir, the server runs exactly the pre-fleet single-tenant shape: one
+// pinned default tenant, reloaded wholesale on /v1/reload.
+//
+// Each tenant's model lives behind an atomic.Pointer: /v1/reload (or SIGHUP
+// in cmd/voltserved) rescans the store and swaps only tenants whose
+// artifact changed, without dropping in-flight streams — a session keeps
+// the runtime it started with until it ends.
 //
 // # Fault tolerance
 //
-// When the artifact carries a `fallbacks` section (core.FallbackSet), the
-// server runs the internal/faults degradation tier: every reading vector
+// When an artifact carries a `fallbacks` section (core.FallbackSet), the
+// tenant runs the internal/faults degradation tier: every reading vector
 // feeds a chip-global fault detector, and on a diagnosis (dropout, stuck-at
 // flatline, drift) prediction switches atomically to the narrowest
 // precomputed leave-k-out fallback — in-flight streams keep their alarm
 // hysteresis and never drop. Dropouts are reported in request JSON as null
-// readings. When more sensors fail than the fallbacks cover, the server
+// readings. When more sensors fail than the fallbacks cover, the tenant
 // enters degraded mode: /v1/predict and new /v1/stream sessions get 503
 // with Retry-After, and open streams end with an error line. Legacy
 // artifacts without fallbacks serve exactly as before.
+//
+// # Overload control
+//
+// The same 503+Retry-After contract generalizes from "this chip cannot be
+// served" to "the server cannot absorb this load": Config.Overload bounds
+// admitted unary requests behind a slot semaphore with a bounded,
+// deadline-capped queue, and caps concurrently open streams globally and
+// per tenant. Work beyond the bounds is shed immediately with a
+// machine-readable reason instead of queueing without limit.
 package serve
 
 import (
@@ -39,8 +63,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -50,15 +76,31 @@ import (
 	"voltsense/internal/faults"
 	"voltsense/internal/monitor"
 	"voltsense/internal/online"
+	"voltsense/internal/registry"
 	"voltsense/internal/traceio"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Loader produces the predictor; called once at startup and again on
-	// every reload. Required. Typically a closure over core.LoadPredictor
-	// and an artifact path.
+	// Loader produces the default tenant's predictor; called at startup and
+	// again on every reload. Typically a closure over core.LoadPredictor
+	// and an artifact path. Exactly one of Loader and StoreDir is required;
+	// Loader runs the server in single-tenant mode.
 	Loader func() (*core.Predictor, error)
+	// StoreDir, when non-empty, runs the server in fleet mode: a model
+	// registry over the directory's <tenant-id>.json artifacts, loading
+	// tenants on demand and routing requests by tenant id.
+	StoreDir string
+	// DefaultTenant is the tenant id used for requests that carry none, and
+	// the id pinned against eviction. Default "default".
+	DefaultTenant string
+	// MaxTenants bounds resident tenant runtimes; past it the
+	// least-recently-used unpinned tenant is retired (its counters fold
+	// into the _retired metric aggregate). Default 64.
+	MaxTenants int
+	// Overload tunes admission control and stream caps; the zero value
+	// means unlimited (pre-fleet behavior).
+	Overload Overload
 	// Monitor is the default alarm configuration for streaming sessions.
 	// Vth is required; per-session query parameters can override.
 	Monitor monitor.Config
@@ -67,7 +109,7 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps any single request body. Default 32 MiB.
 	MaxBodyBytes int64
-	// Detector tunes fault detection when the loaded artifact carries
+	// Detector tunes fault detection when a loaded artifact carries
 	// fallbacks. The zero value uses the faults package defaults.
 	Detector faults.DetectorConfig
 	// InjectFaults, when non-empty, corrupts every incoming reading vector
@@ -87,65 +129,32 @@ type Config struct {
 	// Monitor.Vth so scoring and alarming agree on what an emergency is.
 	Adaptation online.Config
 	// FeedbackLog, when non-nil, records every labeled sample accepted by
-	// /v1/feedback as CSV rows (readings then truths) via
-	// traceio.NewSampleWriter — an offline-replayable audit trail of what
-	// the adaptation loop learned from.
+	// the default tenant's /v1/feedback as CSV rows (readings then truths)
+	// via traceio.NewSampleWriter — an offline-replayable audit trail of
+	// what the adaptation loop learned from.
 	FeedbackLog io.Writer
 	// Version is the build version exposed by the voltsense_build_info
 	// metric. Empty means "dev".
 	Version string
 }
 
-// model is one loaded predictor generation plus the session pool bound to
-// it. Pooled monitors embed the generation's predictor, so swapping models
-// swaps pools too and stale monitors simply age out with their generation.
-// The guard (fault detector + fallback router) is likewise per-generation:
-// a reload starts from an all-healthy diagnosis, since a new artifact may
-// place different sensors.
-type model struct {
-	pred     *core.Predictor
-	q, k     int
-	gen      uint64
-	pool     *sync.Pool       // of *monitor.Monitor with the server's default config
-	guard    *faults.Guard    // nil when the artifact has no fallbacks
-	injector *faults.Injector // nil without --fault-spec
-	// adopt marks generations produced by an online promotion: in-flight
-	// streams of the same shape switch to them mid-session (hysteresis
-	// preserved via monitor.SetPredictor) instead of finishing on the old
-	// coefficients. Reloaded artifacts keep adopt false — a reload may
-	// place different sensors, so sessions finish on their generation.
-	adopt bool
-}
-
-// adapterState binds one online.Adapter to the model generation lineage it
-// was built from. Reloads replace the whole state; a promotion attempt from
-// a replaced (stale) adapter is refused by the ownership check in applySwap.
-type adapterState struct {
-	ad   *online.Adapter
-	q, k int
-}
-
 // Server is the voltage-map inference service.
 type Server struct {
-	cfg      Config
-	metrics  *Metrics
-	cur      atomic.Pointer[model]
-	gen      atomic.Uint64
-	start    time.Time
-	mux      *http.ServeMux
-	reloadMu sync.Mutex // serializes hot-swaps
+	cfg       Config
+	metrics   *Metrics
+	reg       *registry.Registry
+	defaultID string
+	gen       atomic.Uint64 // model generations, global across tenants
+	start     time.Time
+	mux       *http.ServeMux
+	reloadMu  sync.Mutex // serializes registry rescans
 
-	// injectCycle clocks --fault-spec injection for stateless /v1/predict
-	// vectors; streams use their own session cycle numbers.
-	injectCycle atomic.Int64
-
-	// adapter is the current recalibration loop (nil unless cfg.Adapt);
-	// rebuilt on every reload so it always shadows the serving artifact.
-	adapter atomic.Pointer[adapterState]
+	adm         *admission
+	streamCount atomic.Int64 // open NDJSON sessions, all tenants
 
 	// fbMu serializes the optional feedback CSV log; the writer is created
-	// on the first adapter build and dropped if a reload changes the
-	// model's shape (a CSV stream has one fixed-width header).
+	// on the default tenant's first adapter build and dropped if a reload
+	// changes the model's shape (a CSV stream has one fixed-width header).
 	fbMu     sync.Mutex
 	fbWriter *traceio.SampleWriter
 	fbRow    []float64
@@ -154,10 +163,23 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New builds a server and loads the initial model through cfg.Loader.
+// New builds a server and loads the default tenant through cfg.Loader (or,
+// in fleet mode, from cfg.StoreDir if its artifact exists).
 func New(cfg Config) (*Server, error) {
-	if cfg.Loader == nil {
-		return nil, errors.New("serve: Config.Loader is required")
+	if cfg.Loader == nil && cfg.StoreDir == "" {
+		return nil, errors.New("serve: one of Config.Loader or Config.StoreDir is required")
+	}
+	if cfg.Loader != nil && cfg.StoreDir != "" {
+		return nil, errors.New("serve: Config.Loader and Config.StoreDir are mutually exclusive")
+	}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = "default"
+	}
+	if !registry.ValidID(cfg.DefaultTenant) {
+		return nil, fmt.Errorf("serve: invalid default tenant id %q", cfg.DefaultTenant)
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 4096
@@ -171,11 +193,38 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Adaptation.Vth == 0 {
 		cfg.Adaptation.Vth = cfg.Monitor.Vth
 	}
-	s := &Server{cfg: cfg, metrics: NewMetrics(), start: time.Now()}
+	s := &Server{cfg: cfg, metrics: NewMetrics(), defaultID: cfg.DefaultTenant, start: time.Now()}
 	s.metrics.SetVersion(cfg.Version)
-	if err := s.Reload(); err != nil {
-		return nil, fmt.Errorf("serve: initial load: %w", err)
+	s.adm = newAdmission(cfg.Overload)
+	s.metrics.SetTenantSnapshotFunc(s.tenantSnapshots)
+	s.metrics.SetAdmissionStatsFunc(s.adm.stats)
+
+	var src registry.Source
+	if cfg.StoreDir != "" {
+		src = s.dirSource(registry.Dir{Path: cfg.StoreDir})
+	} else {
+		src = s.loaderSource()
 	}
+	reg, err := registry.New(registry.Config{
+		Source:   src,
+		Pinned:   s.defaultID,
+		Capacity: cfg.MaxTenants,
+		OnRetire: s.onRetire,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.reg = reg
+
+	// Eager-load the default tenant so a bad artifact fails startup, not
+	// the first request. In fleet mode a missing default artifact is fine
+	// — clients that name tenants never touch it.
+	if _, err := s.reg.Get(s.defaultID); err != nil {
+		if cfg.StoreDir == "" || !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("serve: initial load: %w", err)
+		}
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	s.mux.HandleFunc("/v1/stream", s.instrument("/v1/stream", s.handleStream))
@@ -187,60 +236,136 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// loaderSource adapts the single-tenant Loader to the registry: one id (the
+// default tenant) whose fingerprint changes on every Stat, so each rescan
+// re-runs the Loader — exactly the pre-fleet "/v1/reload always reloads"
+// semantics.
+func (s *Server) loaderSource() registry.Source {
+	var statSeq atomic.Uint64
+	fp := func() string { return strconv.FormatUint(statSeq.Add(1), 10) }
+	return registry.Source{
+		List: func() ([]string, error) { return []string{s.defaultID}, nil },
+		Stat: func(id string) (string, error) {
+			if id != s.defaultID {
+				return "", fmt.Errorf("tenant %q: %w", id, fs.ErrNotExist)
+			}
+			return fp(), nil
+		},
+		Load: func(id string) (any, string, error) {
+			if id != s.defaultID {
+				return nil, "", fmt.Errorf("tenant %q: %w", id, fs.ErrNotExist)
+			}
+			pred, err := s.cfg.Loader()
+			if err != nil {
+				return nil, "", err
+			}
+			tn, err := s.newTenant(id, pred)
+			if err != nil {
+				return nil, "", err
+			}
+			return tn, fp(), nil
+		},
+	}
+}
+
+// dirSource serves tenants from the standard artifact directory layout.
+func (s *Server) dirSource(dir registry.Dir) registry.Source {
+	return registry.Source{
+		List: dir.List,
+		Stat: dir.Stat,
+		Load: func(id string) (any, string, error) {
+			// Fingerprint before reading: if a writer atomically replaces
+			// the artifact mid-load, the next rescan sees a newer
+			// fingerprint and reloads.
+			fingerprint, err := dir.Stat(id)
+			if err != nil {
+				return nil, "", err
+			}
+			path, err := dir.File(id)
+			if err != nil {
+				return nil, "", err
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, "", err
+			}
+			defer f.Close()
+			pred, err := core.LoadPredictor(f)
+			if err != nil {
+				return nil, "", err
+			}
+			tn, err := s.newTenant(id, pred)
+			if err != nil {
+				return nil, "", err
+			}
+			return tn, fingerprint, nil
+		},
+	}
+}
+
+// onRetire observes tenants leaving the registry. Replaced tenants (rescan
+// swaps) keep their id resident, so their counters stay live under the same
+// tenant label; evicted or removed tenants fold into the _retired aggregate
+// to keep label cardinality bounded by the resident fleet.
+func (s *Server) onRetire(id string, v any, replaced bool) {
+	tn := v.(*Tenant)
+	tn.retired.Store(true)
+	if !replaced {
+		s.metrics.RetireTenant(id)
+		s.metrics.TenantEvictions.Inc()
+	}
+}
+
 // Metrics exposes the registry (tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the tenant cache (tests and embedders).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // Handler returns the routing handler, for mounting under httptest or an
 // outer mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Generation returns the current model generation, starting at 1.
-func (s *Server) Generation() uint64 {
-	return s.cur.Load().gen
+// DefaultTenantID returns the id requests without a tenant route to.
+func (s *Server) DefaultTenantID() string { return s.defaultID }
+
+// defaultTenant returns the default tenant if resident (tests and health).
+func (s *Server) defaultTenant() *Tenant {
+	if v, ok := s.reg.Peek(s.defaultID); ok {
+		return v.(*Tenant)
+	}
+	return nil
 }
 
-// Reload runs the loader and atomically swaps the model in. On error the
-// previous model keeps serving. In-flight streaming sessions finish on the
-// generation they started with.
+// Generation returns the default tenant's current model generation,
+// starting at 1 (0 when no default artifact is loaded).
+func (s *Server) Generation() uint64 {
+	if tn := s.defaultTenant(); tn != nil {
+		return tn.Generation()
+	}
+	return 0
+}
+
+// Reload rescans the model registry, atomically swapping only tenants whose
+// artifact changed (in single-tenant mode: always the default tenant). On
+// error the previous models keep serving. In-flight streaming sessions
+// finish on the runtime they started with.
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	pred, err := s.cfg.Loader()
-	if err != nil {
-		return err
+	res := s.reg.Rescan()
+	if n := len(res.Reloaded); n > 0 {
+		s.metrics.Reloads.Add(uint64(n))
 	}
-	m, err := s.newModel(pred)
-	if err != nil {
-		return err
-	}
-	s.cur.Store(m)
-	s.metrics.ModelGeneration.Set(int64(m.gen))
-	if m.gen > 1 {
-		s.metrics.Reloads.Inc()
-	}
-	if s.cfg.Adapt {
-		if err := s.rebuildAdapter(pred); err != nil {
-			// The artifact itself loaded and is serving; only the
-			// adaptation loop could not be built around it.
-			return fmt.Errorf("serve: model gen %d serving, but adaptation disabled: %w", m.gen, err)
-		}
-	}
-	return nil
+	s.refreshFaultMetrics()
+	return res.Err()
 }
 
-// rebuildAdapter wraps a fresh recalibration loop around pred. The previous
-// adapter (if any) becomes stale: its in-flight promotion attempts fail the
-// ownership check in applySwap. Caller holds reloadMu.
-func (s *Server) rebuildAdapter(pred *core.Predictor) error {
-	st := &adapterState{q: pred.Model.NumInputs(), k: pred.Model.NumOutputs()}
-	ad, err := online.NewAdapter(pred, s.cfg.Adaptation, s.applySwap(st))
-	if err != nil {
-		return err
-	}
-	st.ad = ad
-	s.adapter.Store(st)
-	s.initFeedbackLog(st.q, st.k)
-	return nil
+// EvictIdleTenants retires tenants idle longer than maxIdle (never the
+// default tenant), returning the retired ids. cmd/voltserved runs this on a
+// timer when -tenant-idle is set.
+func (s *Server) EvictIdleTenants(maxIdle time.Duration) []string {
+	return s.reg.EvictIdle(maxIdle)
 }
 
 // initFeedbackLog lazily creates the CSV feedback recorder, or drops it when
@@ -272,99 +397,12 @@ func (s *Server) initFeedbackLog(q, k int) {
 	s.fbRow = make([]float64, q+k)
 }
 
-// applySwap returns the promotion callback for one adapter generation: it
-// installs a candidate predictor as the serving model, refusing stale
-// adapters (a reload replaced the loop), and — for shadow promotions, never
-// operator rollbacks — refusing while the fault tier has diagnosed sensors
-// or entered degraded mode, so a generation fit on corrupt readings can
-// never be promoted.
-func (s *Server) applySwap(owner *adapterState) online.ApplyFunc {
-	return func(p *core.Predictor, rollback bool) error {
-		s.reloadMu.Lock()
-		defer s.reloadMu.Unlock()
-		if s.adapter.Load() != owner {
-			return errors.New("serve: model reloaded since this adapter was built; promotion abandoned")
-		}
-		cur := s.cur.Load()
-		if !rollback && cur.guard != nil {
-			st := cur.guard.Snapshot()
-			if st.Degraded {
-				return fmt.Errorf("serve: refusing promotion while degraded (%d sensors faulty)", len(st.Faulty))
-			}
-			if len(st.Faulty) > 0 {
-				return fmt.Errorf("serve: refusing promotion while sensors %v are faulty", st.Faulty)
-			}
-		}
-		m, err := s.newModel(p)
-		if err != nil {
-			return err
-		}
-		m.adopt = true
-		s.cur.Store(m)
-		s.metrics.ModelGeneration.Set(int64(m.gen))
-		return nil
-	}
-}
-
-func (s *Server) newModel(pred *core.Predictor) (*model, error) {
-	if pred == nil || pred.Model == nil {
-		return nil, errors.New("serve: loader returned nil predictor")
-	}
-	q, k := pred.Model.NumInputs(), pred.Model.NumOutputs()
-	// Construct one monitor eagerly so a bad alarm config (or degenerate
-	// model shape) fails the swap instead of the first stream.
-	first, err := monitor.New(pred, k, s.cfg.Monitor, nil)
-	if err != nil {
-		return nil, err
-	}
-	m := &model{pred: pred, q: q, k: k, gen: s.gen.Add(1)}
-	m.pool = &sync.Pool{New: func() any {
-		mon, err := monitor.New(pred, k, s.cfg.Monitor, nil)
-		if err != nil {
-			// Unreachable: the identical construction above succeeded.
-			panic(err)
-		}
-		return mon
-	}}
-	m.pool.Put(first)
-	if fb := pred.Fallbacks; fb != nil {
-		det, err := faults.NewDetector(fb.Stats, s.cfg.Detector)
-		if err != nil {
-			return nil, fmt.Errorf("serve: fault detector: %w", err)
-		}
-		primary := faults.Route{Predict: pred.Predict}
-		lookup := func(faulty []int) (faults.Route, bool) {
-			fm := fb.Lookup(faulty)
-			if fm == nil {
-				return faults.Route{}, false
-			}
-			return faults.Route{Predict: fm.PredictFull, Excluded: fm.Excluded}, true
-		}
-		m.guard, err = faults.NewGuard(det, primary, lookup)
-		if err != nil {
-			return nil, fmt.Errorf("serve: fault guard: %w", err)
-		}
-	}
-	if len(s.cfg.InjectFaults) > 0 {
-		inj, err := faults.NewInjector(s.cfg.InjectFaults, q)
-		if err != nil {
-			return nil, fmt.Errorf("serve: fault injection: %w", err)
-		}
-		m.injector = inj
-	}
-	return m, nil
-}
-
-// refreshFaultMetrics publishes the guard's state after a change.
-func (s *Server) refreshFaultMetrics(st faults.Status) {
-	s.metrics.FaultySensors.Set(int64(len(st.Faulty)))
-	s.metrics.ActiveFallback.Set(int64(len(st.ActiveExcluded)))
-}
-
-// degrade rejects a request in degraded mode: more sensors failed than the
-// precomputed fallbacks cover, so every prediction would be garbage.
-func (s *Server) degrade(w http.ResponseWriter, st faults.Status) {
+// degrade rejects a request in degraded mode: more of the tenant's sensors
+// failed than the precomputed fallbacks cover, so every prediction would be
+// garbage.
+func (s *Server) degrade(w http.ResponseWriter, tn *Tenant, st faults.Status) {
 	s.metrics.DegradedRequests.Inc()
+	tn.tm.DegradedRequests.Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
 	httpError(w, http.StatusServiceUnavailable,
 		"degraded: %d sensors faulty (%v), no fallback covers them; replace sensors or reload a wider-budget model",
@@ -497,14 +535,17 @@ func toFloats(rs []reading) []float64 {
 }
 
 // predictRequest is the /v1/predict input: one or more sensor-reading
-// vectors, each of length Q (the loaded model's sensor count).
+// vectors, each of length Q (the tenant's model sensor count). Tenant is
+// optional; it routes the request when no header or query parameter does.
 type predictRequest struct {
+	Tenant   string      `json:"tenant"`
 	Readings [][]reading `json:"readings"`
 }
 
 // predictResponse carries per-block voltage estimates, one row per input
 // vector, each of length K.
 type predictResponse struct {
+	Tenant          string      `json:"tenant"`
 	ModelGeneration uint64      `json:"model_generation"`
 	Blocks          int         `json:"blocks"`
 	Voltages        [][]float64 `json:"voltages"`
@@ -532,7 +573,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	m := s.cur.Load()
+	release, reason := s.adm.acquire()
+	if reason != "" {
+		s.shed(w, s.tenantForShed(r), reason)
+		return
+	}
+	defer release()
 	var req predictRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -547,6 +593,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Readings), s.cfg.MaxBatch)
 		return
 	}
+	tn, ok := s.resolveTenant(w, r, req.Tenant)
+	if !ok {
+		return
+	}
+	m := tn.cur.Load()
 	batch := make([][]float64, len(req.Readings))
 	for i, rv := range req.Readings {
 		batch[i] = toFloats(rv)
@@ -556,13 +607,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if m.guard != nil && m.guard.Snapshot().Degraded {
-		s.degrade(w, m.guard.Snapshot())
+		s.degrade(w, tn, m.guard.Snapshot())
 		return
 	}
 	out := make([][]float64, len(batch))
 	for i, v := range batch {
 		if m.injector != nil {
-			m.injector.Apply(int(s.injectCycle.Add(1)-1), v)
+			m.injector.Apply(int(tn.injectCycle.Add(1)-1), v)
 		}
 		if m.guard == nil {
 			out[i] = m.pred.Predict(v)
@@ -571,16 +622,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		f, st := m.guard.Process(v)
 		if st.Changed {
 			s.metrics.FallbackSwitches.Inc()
-			s.refreshFaultMetrics(st)
+			s.refreshFaultMetrics()
 		}
 		if st.Degraded {
-			s.degrade(w, st)
+			s.degrade(w, tn, st)
 			return
 		}
 		out[i] = f
 	}
-	s.metrics.AddPredictions(m.gen, uint64(len(batch)))
+	tn.tm.AddPredictions(m.gen, uint64(len(batch)))
 	writeJSON(w, http.StatusOK, predictResponse{
+		Tenant:          tn.id,
 		ModelGeneration: m.gen,
 		Blocks:          m.k,
 		Voltages:        out,
@@ -591,17 +643,29 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if err := s.Reload(); err != nil {
+	s.reloadMu.Lock()
+	res := s.reg.Rescan()
+	if n := len(res.Reloaded); n > 0 {
+		s.metrics.Reloads.Add(uint64(n))
+	}
+	s.refreshFaultMetrics()
+	s.reloadMu.Unlock()
+	if err := res.Err(); err != nil {
 		httpError(w, http.StatusInternalServerError, "reload failed, previous model still serving: %v", err)
 		return
 	}
-	m := s.cur.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":           "reloaded",
-		"model_generation": m.gen,
-		"sensors":          m.q,
-		"blocks":           m.k,
-	})
+	resp := map[string]any{
+		"status":   "reloaded",
+		"reloaded": res.Reloaded,
+		"removed":  res.Removed,
+	}
+	if tn := s.defaultTenant(); tn != nil {
+		m := tn.cur.Load()
+		resp["model_generation"] = m.gen
+		resp["sensors"] = m.q
+		resp["blocks"] = m.k
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // feedbackSample pairs one cycle's sensor readings with the ground-truth
@@ -613,8 +677,10 @@ type feedbackSample struct {
 	Voltages []float64 `json:"voltages"`
 }
 
-// feedbackRequest is the /v1/feedback input.
+// feedbackRequest is the /v1/feedback input. Tenant is optional routing,
+// like predictRequest's.
 type feedbackRequest struct {
+	Tenant  string           `json:"tenant"`
 	Samples []feedbackSample `json:"samples"`
 }
 
@@ -636,11 +702,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	ast := s.adapter.Load()
-	if ast == nil {
+	if !s.cfg.Adapt {
 		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
 		return
 	}
+	release, reason := s.adm.acquire()
+	if reason != "" {
+		s.shed(w, s.tenantForShed(r), reason)
+		return
+	}
+	defer release()
 	var req feedbackRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -655,11 +726,20 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Samples), s.cfg.MaxBatch)
 		return
 	}
-	m := s.cur.Load()
+	tn, ok := s.resolveTenant(w, r, req.Tenant)
+	if !ok {
+		return
+	}
+	ast := tn.adapter.Load()
+	if ast == nil {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
+		return
+	}
+	m := tn.cur.Load()
 	if m.guard != nil {
 		st := m.guard.Snapshot()
 		if st.Degraded {
-			s.degrade(w, st)
+			s.degrade(w, tn, st)
 			return
 		}
 		if len(st.Faulty) > 0 {
@@ -709,7 +789,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Accepted++
-		s.logFeedback(x, req.Samples[i].Voltages)
+		if tn.id == s.defaultID {
+			s.logFeedback(x, req.Samples[i].Voltages)
+		}
 		if res.Promoted != nil {
 			resp.Promoted = true
 			s.metrics.Promotions.Inc()
@@ -724,7 +806,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	s.metrics.DriftScore.Set(stat.DriftScore)
 	s.metrics.LiveTE.Set(stat.LiveTE)
 	s.metrics.ShadowTE.Set(stat.ShadowTE)
-	resp.ModelGeneration = s.cur.Load().gen
+	resp.ModelGeneration = tn.cur.Load().gen
 	resp.ModelVersion = stat.Version
 	resp.ShadowSamples = stat.ShadowSamples
 	resp.DriftScore = stat.DriftScore
@@ -749,7 +831,24 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	ast := s.adapter.Load()
+	if !s.cfg.Adapt {
+		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
+		return
+	}
+	// Rollback bodies are optional ({"tenant": ...} or nothing at all).
+	var req struct {
+		Tenant string `json:"tenant"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	tn, ok := s.resolveTenant(w, r, req.Tenant)
+	if !ok {
+		return
+	}
+	ast := tn.adapter.Load()
 	if ast == nil {
 		httpError(w, http.StatusNotFound, "online adaptation is disabled; restart voltserved with -adapt")
 		return
@@ -760,9 +859,10 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Rollbacks.Inc()
-	m := s.cur.Load()
+	m := tn.cur.Load()
 	resp := map[string]any{
 		"status":           "rolled-back",
+		"tenant":           tn.id,
 		"model_generation": m.gen,
 	}
 	if target.Lineage != nil {
@@ -775,39 +875,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	m := s.cur.Load()
 	resp := map[string]any{
-		"status":           "ok",
-		"model_generation": m.gen,
-		"sensors":          m.q,
-		"blocks":           m.k,
-		"active_streams":   s.metrics.ActiveStreams.Value(),
-		"uptime_seconds":   time.Since(s.start).Seconds(),
-		"fault_tolerance":  m.guard != nil,
+		"status":         "ok",
+		"active_streams": s.metrics.ActiveStreams.Value(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"default_tenant": s.defaultID,
 	}
-	if m.guard != nil {
-		st := m.guard.Snapshot()
-		resp["faulty_sensors"] = st.Faulty
-		resp["active_fallback_excluded"] = st.ActiveExcluded
-		resp["degraded"] = st.Degraded
-		if st.Degraded {
-			resp["status"] = "degraded"
+	// The default tenant's model summary keeps the pre-fleet health shape.
+	if tn := s.defaultTenant(); tn != nil {
+		m := tn.cur.Load()
+		resp["model_generation"] = m.gen
+		resp["sensors"] = m.q
+		resp["blocks"] = m.k
+		resp["fault_tolerance"] = m.guard != nil
+		if m.guard != nil {
+			st := m.guard.Snapshot()
+			resp["faulty_sensors"] = st.Faulty
+			resp["active_fallback_excluded"] = st.ActiveExcluded
+			resp["degraded"] = st.Degraded
+			if st.Degraded {
+				resp["status"] = "degraded"
+			}
+		}
+		if ast := tn.adapter.Load(); ast != nil {
+			stat := ast.ad.Status()
+			resp["adaptation"] = map[string]any{
+				"model_version":    stat.Version,
+				"feedback_samples": stat.Ingested,
+				"shadow_ready":     stat.ShadowReady,
+				"shadow_samples":   stat.ShadowSamples,
+				"drift_score":      stat.DriftScore,
+				"live_te":          stat.LiveTE,
+				"shadow_te":        stat.ShadowTE,
+				"promotions":       stat.Promotions,
+				"rollbacks":        stat.Rollbacks,
+			}
 		}
 	}
-	if ast := s.adapter.Load(); ast != nil {
-		stat := ast.ad.Status()
-		resp["adaptation"] = map[string]any{
-			"model_version":    stat.Version,
-			"feedback_samples": stat.Ingested,
-			"shadow_ready":     stat.ShadowReady,
-			"shadow_samples":   stat.ShadowSamples,
-			"drift_score":      stat.DriftScore,
-			"live_te":          stat.LiveTE,
-			"shadow_te":        stat.ShadowTE,
-			"promotions":       stat.Promotions,
-			"rollbacks":        stat.Rollbacks,
+	tenants := make([]map[string]any, 0, 8)
+	for _, tn := range s.residentTenants() {
+		m := tn.cur.Load()
+		entry := map[string]any{
+			"id":               tn.id,
+			"model_generation": m.gen,
+			"active_streams":   tn.streams.Load(),
 		}
+		if m.guard != nil {
+			entry["degraded"] = m.guard.Snapshot().Degraded
+		}
+		tenants = append(tenants, entry)
 	}
+	resp["tenants"] = tenants
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -912,22 +1030,43 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	// Enable full-duplex before any possible rejection: without it, HTTP/1.x
+	// delays an early response (shed, degraded, unknown tenant) until the
+	// client finishes uploading its cycle stream, which under overload is
+	// exactly when the client most needs the 503 promptly. Each session also
+	// owns its connection outright — after interleaved chunked reads and
+	// writes (or a rejection that never reads the body) the conn is not
+	// safely reusable, so advertise the close up front.
+	http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Connection", "close")
 	cfg, overridden, err := s.sessionConfig(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	emitVoltages := r.URL.Query().Get("emit_voltages") == "true"
-	m := s.cur.Load() // session keeps this generation until it ends
+	// Streams route by header or query only: the NDJSON body is cycles.
+	tn, ok := s.resolveTenant(w, r, "")
+	if !ok {
+		return
+	}
+	m := tn.cur.Load() // session keeps this runtime until it ends
 
 	// A chip whose sensors already exceed fallback coverage cannot be
 	// monitored; refuse the session up front rather than stream garbage.
 	if m.guard != nil {
 		if st := m.guard.Snapshot(); st.Degraded {
-			s.degrade(w, st)
+			s.degrade(w, tn, st)
 			return
 		}
 	}
+
+	releaseStream, reason := s.acquireStream(tn)
+	if reason != "" {
+		s.shed(w, tn, reason)
+		return
+	}
+	defer releaseStream()
 
 	var mon *monitor.Monitor
 	var returnPool *sync.Pool // pool to return mon to; tracks adoptions
@@ -947,6 +1086,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.StreamsTotal.Inc()
+	tn.tm.StreamsTotal.Inc()
 	s.metrics.ActiveStreams.Inc()
 	defer s.metrics.ActiveStreams.Dec()
 
@@ -998,7 +1138,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// sensor set and output shape, so the session's monitor (and its
 		// alarm hysteresis) carries over via SetPredictor. Reloads are not
 		// adopted — the session finishes on the generation it started with.
-		if latest := s.cur.Load(); latest != m && latest.adopt && latest.q == m.q && latest.k == m.k {
+		if latest := tn.cur.Load(); latest != m && latest.adopt && latest.q == m.q && latest.k == m.k {
 			mon.SetPredictor(latest.pred)
 			if returnPool != nil {
 				returnPool = latest.pool
@@ -1029,7 +1169,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			f, st = m.guard.Process(readings)
 			if st.Changed {
 				s.metrics.FallbackSwitches.Inc()
-				s.refreshFaultMetrics(st)
+				s.refreshFaultMetrics()
 				enc.Encode(map[string]streamFault{"fault": {
 					Cycle:            cycle,
 					FaultySensors:    st.Faulty,
@@ -1043,6 +1183,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				// prediction would be garbage. End the session explicitly so
 				// the client knows to stop trusting it.
 				s.metrics.DegradedRequests.Inc()
+				tn.tm.DegradedRequests.Inc()
 				enc.Encode(map[string]string{"error": fmt.Sprintf(
 					"degraded: %d sensors faulty (%v), no fallback covers them; session closed", len(st.Faulty), st.Faulty)})
 				flush()
@@ -1050,7 +1191,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		events := mon.ProcessPredicted(cycle, f)
-		s.metrics.AddPredictions(m.gen, 1)
+		tn.tm.AddPredictions(m.gen, 1)
 		if emitVoltages {
 			enc.Encode(streamVoltages{Cycle: cycle, Voltages: f})
 		}
