@@ -1,17 +1,23 @@
 // Command benchreport runs the repository's benchmark suite and writes a
 // machine-readable summary, including the speedup of each parallel or
 // warm-started implementation over its serial/cold baseline. `make bench`
-// invokes it to produce BENCH_PR5.json; CI runs the same benchmarks once per
+// invokes it to produce BENCH_PR7.json; CI runs the same benchmarks once per
 // commit and diffs them against the committed baseline.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR5.json] [-benchtime 100ms] [-bench .]
+//	go run ./cmd/benchreport [-out BENCH_PR7.json] [-benchtime 100ms] [-bench .]
 //	go run ./cmd/benchreport -compare old.json new.json [-tolerance 0.25]
+//	go run ./cmd/benchreport -trajectory [dir]
 //
 // Compare mode never fails the build: micro-benchmarks on shared CI runners
 // are noisy, so regressions beyond the tolerance are reported as warnings
 // for a human to read, not as a flaky red X.
+//
+// Trajectory mode reads every committed BENCH_*.json in the given directory
+// (default .) in PR order and prints how each benchmark and speedup pair
+// evolved across the PRs that recorded it — the repository's performance
+// history at a glance.
 package main
 
 import (
@@ -21,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +60,9 @@ var speedupPairs = []struct{ Kernel, Baseline string }{
 	{"BenchmarkSolvePathWarm", "BenchmarkSolvePathCold"},
 	{"BenchmarkPlacementPathWarm", "BenchmarkPlacementColdPerPoint"},
 	{"BenchmarkCollectParallel", "BenchmarkCollectSerial"},
+	{"BenchmarkNewSimulator512Sparse", "BenchmarkNewSimulator512Banded"},
+	{"BenchmarkPlaceChipReduced", "BenchmarkPlaceChipDense"},
+	{"BenchmarkPlaceChipPathReduced", "BenchmarkPlaceChipPathDense"},
 }
 
 type benchResult struct {
@@ -81,12 +92,25 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	benchTime := flag.String("benchtime", "100ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
 	compareWith := flag.String("compare", "", "baseline report JSON; compare the report named by the positional argument against it instead of running benchmarks")
 	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op drift tolerated in -compare mode before a benchmark is flagged")
+	trajectory := flag.Bool("trajectory", false, "summarize every committed BENCH_*.json (in the optional positional dir) across PRs instead of running benchmarks")
 	flag.Parse()
+
+	if *trajectory {
+		dir := "."
+		if flag.NArg() > 0 {
+			dir = flag.Arg(0)
+		}
+		if err := trajectoryReport(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compareWith != "" {
 		if flag.NArg() != 1 {
@@ -191,6 +215,122 @@ func compareReports(oldPath, newPath string, tol float64) error {
 		fmt.Println("regressions are warn-only; investigate before trusting or updating the committed baseline")
 	}
 	return nil
+}
+
+// trajectoryReport reads every BENCH_*.json in dir in lexical (= PR) order
+// and prints, per benchmark and per speedup pair, the trail of values across
+// the PRs that recorded it. Benchmarks appear in the order the newest report
+// lists them; ones absent from the newest report (retired benchmarks) are
+// skipped — the trajectory is about where the suite is now and how it got
+// there.
+func trajectoryReport(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json files under %s", dir)
+	}
+	sort.Strings(paths)
+	type entry struct {
+		label string
+		rep   *report
+	}
+	var reports []entry
+	for _, p := range paths {
+		rep, err := loadReport(p)
+		if err != nil {
+			return err
+		}
+		label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		reports = append(reports, entry{label, rep})
+	}
+
+	fmt.Printf("benchmark trajectory across %d reports\n\n", len(reports))
+	fmt.Printf("%-8s %-12s %-10s %11s %13s\n", "report", "generated", "go", "benchmarks", "speedup pairs")
+	for _, e := range reports {
+		date := e.rep.GeneratedAt
+		if len(date) >= 10 {
+			date = date[:10]
+		}
+		fmt.Printf("%-8s %-12s %-10s %11d %13d\n", e.label, date, e.rep.GoVersion, len(e.rep.Benchmarks), len(e.rep.Speedups))
+	}
+
+	newest := reports[len(reports)-1].rep
+	byReport := make([]map[string]benchResult, len(reports))
+	for i, e := range reports {
+		byReport[i] = make(map[string]benchResult, len(e.rep.Benchmarks))
+		for _, r := range e.rep.Benchmarks {
+			byReport[i][r.Name] = r
+		}
+	}
+	fmt.Printf("\n%-40s", "benchmark (ns/op)")
+	for _, e := range reports {
+		fmt.Printf(" %12s", e.label)
+	}
+	fmt.Println()
+	for _, r := range newest.Benchmarks {
+		fmt.Printf("%-40s", r.Name)
+		var first, last float64
+		for i := range reports {
+			if br, ok := byReport[i][r.Name]; ok {
+				fmt.Printf(" %12.0f", br.NsPerOp)
+				if first == 0 {
+					first = br.NsPerOp
+				}
+				last = br.NsPerOp
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		if first > 0 && last > 0 && first != last {
+			fmt.Printf("  (%.2fx %s)", max2(first/last, last/first), trend(first, last))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%-56s", "speedup pair")
+	for _, e := range reports {
+		fmt.Printf(" %8s", e.label)
+	}
+	fmt.Println()
+	seen := map[string]bool{}
+	for i := len(reports) - 1; i >= 0; i-- {
+		for _, s := range reports[i].rep.Speedups {
+			key := s.Kernel + "/" + s.Baseline
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Printf("%-56s", strings.TrimPrefix(s.Kernel, "Benchmark")+" vs "+strings.TrimPrefix(s.Baseline, "Benchmark"))
+			for j := range reports {
+				val := "-"
+				for _, sj := range reports[j].rep.Speedups {
+					if sj.Kernel == s.Kernel && sj.Baseline == s.Baseline {
+						val = fmt.Sprintf("%.2fx", sj.Speedup)
+						break
+					}
+				}
+				fmt.Printf(" %8s", val)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func trend(first, last float64) string {
+	if last < first {
+		return "faster"
+	}
+	return "slower"
 }
 
 func loadReport(path string) (*report, error) {

@@ -10,7 +10,10 @@
 // optionally writes the runtime model as JSON (-model) for deployment.
 // With -fallback-budget the artifact additionally carries leave-k-out
 // fallback submodels so voltserved can survive up to that many sensor
-// failures at runtime (see internal/faults).
+// failures at runtime (see internal/faults). With -rank or -energy the
+// selection (and, without fallbacks, the refit) runs in a POD compression
+// of the monitored nodes — same methodology at O(r/K) of the solver cost,
+// which is what makes many-node target sets tractable (see internal/basis).
 //
 //	sensorplace -x candidates.csv -f blocks.csv -count 4 -fallback-budget 1 -model model.json
 package main
@@ -22,6 +25,7 @@ import (
 	"os"
 	"sort"
 
+	"voltsense/internal/basis"
 	"voltsense/internal/core"
 	"voltsense/internal/lasso"
 	"voltsense/internal/mat"
@@ -53,6 +57,8 @@ func run(args []string, out *os.File) error {
 	holdout := fs.Float64("holdout", 0.25, "fraction of samples reserved for accuracy reporting")
 	modelPath := fs.String("model", "", "write the fitted runtime model as JSON to this path")
 	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none)")
+	rank := fs.Int("rank", 0, "solve placement in a rank-r POD basis of the targets (0 = dense)")
+	energyFrac := fs.Float64("energy", 0, "solve placement in the smallest POD basis capturing this energy fraction, e.g. 0.99 (0 = dense)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +83,11 @@ func run(args []string, out *os.File) error {
 	if *holdout < 0 || *holdout >= 1 {
 		return fmt.Errorf("-holdout %v out of [0, 1)", *holdout)
 	}
+	if *rank > 0 && *energyFrac > 0 {
+		return errors.New("specify at most one of -rank and -energy")
+	}
+	reduced := *rank > 0 || *energyFrac > 0
+	bc := basis.Config{Rank: *rank, Energy: *energyFrac}
 
 	xf, err := os.Open(*xPath)
 	if err != nil {
@@ -107,6 +118,14 @@ func run(args []string, out *os.File) error {
 
 	var selected []int
 	switch {
+	case *lambda > 0 && reduced:
+		pl, err := core.PlaceSensorsReduced(train, core.Config{Lambda: *lambda, Threshold: *threshold}, bc)
+		if err != nil {
+			return err
+		}
+		selected = pl.Selected
+		fmt.Fprintf(out, "λ=%g selected %d sensors (POD rank %d, %.4f%% energy)\n",
+			*lambda, len(selected), pl.Basis.Rank(), 100*pl.Basis.EnergyCaptured())
 	case *lambda > 0:
 		pl, err := core.PlaceSensors(train, core.Config{Lambda: *lambda, Threshold: *threshold})
 		if err != nil {
@@ -115,12 +134,17 @@ func run(args []string, out *os.File) error {
 		selected = pl.Selected
 		fmt.Fprintf(out, "λ=%g selected %d sensors\n", *lambda, len(selected))
 	default:
-		sel, mu, err := placeForCount(train, *count, *threshold)
+		sel, mu, b, err := placeForCount(train, *count, *threshold, reduced, bc)
 		if err != nil {
 			return err
 		}
 		selected = sel
-		fmt.Fprintf(out, "count targeting reached %d sensors (μ=%.4g)\n", len(selected), mu)
+		if b != nil {
+			fmt.Fprintf(out, "count targeting reached %d sensors (μ=%.4g, POD rank %d, %.4f%% energy)\n",
+				len(selected), mu, b.Rank(), 100*b.EnergyCaptured())
+		} else {
+			fmt.Fprintf(out, "count targeting reached %d sensors (μ=%.4g)\n", len(selected), mu)
+		}
 	}
 	if len(selected) == 0 {
 		return errors.New("no sensors selected; increase -lambda or check the data")
@@ -133,14 +157,25 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "selected candidate names:   %v\n", names)
 
 	var pred *core.Predictor
-	if *fallbackBudget > 0 {
+	switch {
+	case *fallbackBudget > 0:
+		// The fallback machinery refits dense leave-k-out submodels; the
+		// reduced basis (when requested) still accelerated the selection.
 		pred, err = core.BuildPredictorWithFallbacks(train, selected, *fallbackBudget)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "fitted %d fallback submodels (budget %d failed sensors)\n",
 			len(pred.Fallbacks.Models), *fallbackBudget)
-	} else {
+	case reduced:
+		var rb *basis.Basis
+		pred, rb, err = core.BuildReducedPredictor(train, selected, bc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "refit in POD coefficient space (rank %d, %.4f%% energy)\n",
+			rb.Rank(), 100*rb.EnergyCaptured())
+	default:
 		pred, err = core.BuildPredictor(train, selected)
 		if err != nil {
 			return err
@@ -186,13 +221,28 @@ func split(ds *core.Dataset, holdout float64) (train, test *core.Dataset) {
 // to the strongest groups when the count cannot land exactly. The whole
 // search runs on one warm-started path solver: a single Gram build, each
 // midpoint solve starting from the previous solution with safe screening —
-// the same ≤40 solves as before at a fraction of the cost.
-func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, error) {
+// the same ≤40 solves as before at a fraction of the cost. With reduced
+// set, the targets are first projected onto a POD basis (bc picks the
+// rank), so every one of those solves costs O(r/K) of the dense version;
+// the fitted basis is returned for reporting (nil on the dense path).
+func placeForCount(ds *core.Dataset, q int, threshold float64, reduced bool, bc basis.Config) ([]int, float64, *basis.Basis, error) {
 	if q < 1 || q > ds.X.Rows() {
-		return nil, 0, fmt.Errorf("count %d out of range 1..%d", q, ds.X.Rows())
+		return nil, 0, nil, fmt.Errorf("count %d out of range 1..%d", q, ds.X.Rows())
 	}
 	z, _ := mat.Standardize(ds.X)
 	g, _ := mat.Standardize(ds.F)
+	var b *basis.Basis
+	if reduced {
+		var err error
+		b, err = basis.Fit(g, bc)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		g, err = b.Project(g)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+	}
 	ps := lasso.NewPathSolver(z, g, lasso.Options{MaxIter: 3000, Tol: 1e-7})
 	lo, hi := 0.0, ps.MuMax()
 	var best *lasso.Result
@@ -202,7 +252,7 @@ func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, 
 		mu := (lo + hi) / 2
 		r, _, err := ps.SolvePenalized(mu)
 		if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
-			return nil, mu, err
+			return nil, mu, nil, err
 		}
 		n := len(r.Select(threshold))
 		if n >= q && (bestCount < 0 || n < bestCount) {
@@ -218,7 +268,7 @@ func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, 
 		}
 	}
 	if best == nil {
-		return nil, 0, fmt.Errorf("could not reach %d sensors", q)
+		return nil, 0, nil, fmt.Errorf("could not reach %d sensors", q)
 	}
 	sel := best.Select(threshold)
 	if len(sel) > q {
@@ -226,5 +276,5 @@ func placeForCount(ds *core.Dataset, q int, threshold float64) ([]int, float64, 
 		sel = sel[:q]
 		sort.Ints(sel)
 	}
-	return sel, bestMu, nil
+	return sel, bestMu, b, nil
 }

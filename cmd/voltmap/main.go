@@ -28,6 +28,7 @@
 //	loo          leave-one-benchmark-out workload generalization
 //	faults       detection quality with failed sensors: naive vs fallback
 //	adapt        online recalibration under grid drift: static vs adapted
+//	rank         chip-joint placement, dense vs reduced-basis: rank/accuracy/time
 //
 // Flags select the pipeline scale (-full for the paper-scale run), CSV
 // output, sensor budgets and benchmark choice; see -help.
@@ -43,6 +44,7 @@ import (
 	"voltsense/internal/detect"
 	"voltsense/internal/experiments"
 	"voltsense/internal/online"
+	"voltsense/internal/pdn"
 	"voltsense/internal/profiling"
 	"voltsense/internal/vmap"
 )
@@ -67,10 +69,12 @@ func run(args []string) error {
 	useUarch := fs.Bool("uarch", false, "drive the grid from the microarchitectural performance model instead of the phase generator")
 	useThermal := fs.Bool("thermal", false, "couple average power to temperature and scale leakage (hotter blocks leak more)")
 	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
+	backend := fs.String("backend", "", "transient solver backend: auto (default), banded, or sparse")
+	rankLambda := fs.Float64("ranklambda", 12, "chip-joint λ for the rank experiment")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt>\n")
+		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt|rank>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +108,11 @@ func run(args []string) error {
 		cfg.TraceSource = experiments.TraceUarch
 	}
 	cfg.ThermalFeedback = *useThermal
+	be, err := pdn.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	cfg.Backend = be
 
 	fmt.Fprintf(os.Stderr, "building pipeline (%s scale)...\n", scaleName(*full))
 	p, err := experiments.New(cfg)
@@ -146,6 +155,7 @@ func run(args []string) error {
 		"loo":         func() error { return doLOO(p, *sensors) },
 		"faults":      func() error { return doFaults(p, *sensors, *budget, *csv) },
 		"adapt":       func() error { return doAdapt(p, *sensors, *csv) },
+		"rank":        func() error { return doRank(p, *rankLambda, *csv) },
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig2", "fig3", "table2", "fig4", "map"} {
@@ -165,7 +175,7 @@ var knownExperiments = map[string]bool{
 	"table1": true, "table2": true, "fig1": true, "fig2": true, "fig3": true,
 	"fig4": true, "map": true, "all": true, "correlation": true,
 	"perblock": true, "ablations": true, "robustness": true, "variation": true,
-	"closedloop": true, "loo": true, "faults": true, "adapt": true,
+	"closedloop": true, "loo": true, "faults": true, "adapt": true, "rank": true,
 }
 
 func scaleName(full bool) string {
@@ -360,6 +370,19 @@ func doFaults(p *experiments.Pipeline, sensors, budget int, csv bool) error {
 
 func doAdapt(p *experiments.Pipeline, sensors int, csv bool) error {
 	d, err := p.AblationOnlineAdaptation(sensors, 0.15, online.Config{})
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(d.CSV())
+	} else {
+		fmt.Print(d.Render())
+	}
+	return nil
+}
+
+func doRank(p *experiments.Pipeline, lambda float64, csv bool) error {
+	d, err := p.RankStudy(lambda, []float64{0.99, 0.999, 0.9999})
 	if err != nil {
 		return err
 	}

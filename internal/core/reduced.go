@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"voltsense/internal/basis"
+	"voltsense/internal/lasso"
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// ReducedPlacement is a group-lasso placement solved against a rank-r POD
+// compression of the critical-node targets instead of all K of them. The
+// embedded Placement is fully populated, but GL.Beta lives in the r-dim
+// coefficient space (r-by-M rather than K-by-M). Because the basis has
+// orthonormal columns, group norms in coefficient space equal the full-space
+// norms up to the discarded (1−energy) tail; at r = K the rotation is
+// exact and the selection provably matches the dense solve.
+type ReducedPlacement struct {
+	*Placement
+	Basis *basis.Basis // POD basis of the standardized critical targets
+}
+
+// fitTargetBasis standardizes the dataset and projects the critical targets
+// onto a POD basis — the shared front half of the reduced placement entry
+// points.
+func fitTargetBasis(ds *Dataset, bc basis.Config) (z, w *mat.Matrix, xStd, fStd *mat.Standardization, b *basis.Basis, err error) {
+	if err = ds.Check(); err != nil {
+		return
+	}
+	z, xStd = mat.Standardize(ds.X)
+	g, fStd := mat.Standardize(ds.F)
+	b, err = basis.Fit(g, bc)
+	if err != nil {
+		err = fmt.Errorf("core: target basis: %w", err)
+		return
+	}
+	w, err = b.Project(g)
+	if err != nil {
+		err = fmt.Errorf("core: target projection: %w", err)
+	}
+	return z, w, xStd, fStd, b, err
+}
+
+// PlaceSensorsReduced is PlaceSensors with the Step 4 solve run in the
+// r-dimensional POD coefficient space of the standardized critical targets:
+// every FISTA iteration costs O(r·M²) instead of O(K·M²). bc picks the rank
+// (exact Rank or an Energy fraction); cfg is interpreted as in PlaceSensors.
+func PlaceSensorsReduced(ds *Dataset, cfg Config, bc basis.Config) (*ReducedPlacement, error) {
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("core: negative lambda %v", cfg.Lambda)
+	}
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = DefaultThreshold
+	}
+	z, w, xStd, fStd, b, err := fitTargetBasis(ds, bc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lasso.SolveConstrained(z, w, cfg.Lambda, cfg.Solver)
+	if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+		return nil, fmt.Errorf("core: reduced group lasso: %w", err)
+	}
+	return &ReducedPlacement{
+		Placement: &Placement{
+			Lambda:     cfg.Lambda,
+			Threshold:  thr,
+			Selected:   res.Select(thr),
+			GroupNorms: res.GroupNorms,
+			GL:         res,
+			XStd:       xStd,
+			FStd:       fStd,
+		},
+		Basis: b,
+	}, nil
+}
+
+// PlaceSensorsPathReduced is PlaceSensorsPath in the POD coefficient space:
+// one shared Gram, warm starts and screening across the λ sweep, with every
+// per-target cost scaled by r/K. cfg.Lambda is ignored.
+func PlaceSensorsPathReduced(ds *Dataset, lambdas []float64, cfg Config, bc basis.Config) ([]*ReducedPlacement, error) {
+	for _, l := range lambdas {
+		if l < 0 {
+			return nil, fmt.Errorf("core: negative lambda %v", l)
+		}
+	}
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = DefaultThreshold
+	}
+	z, w, xStd, fStd, b, err := fitTargetBasis(ds, bc)
+	if err != nil {
+		return nil, err
+	}
+	points, err := lasso.SolvePath(z, w, lambdas, cfg.Solver)
+	if err != nil && !errors.Is(err, lasso.ErrDidNotConverge) {
+		return nil, fmt.Errorf("core: reduced group lasso path: %w", err)
+	}
+	out := make([]*ReducedPlacement, len(points))
+	for i, pt := range points {
+		out[i] = &ReducedPlacement{
+			Placement: &Placement{
+				Lambda:     pt.Lambda,
+				Threshold:  thr,
+				Selected:   pt.Result.Select(thr),
+				GroupNorms: pt.Result.GroupNorms,
+				GL:         pt.Result,
+				XStd:       xStd,
+				FStd:       fStd,
+			},
+			Basis: b,
+		}
+	}
+	return out, nil
+}
+
+// BuildReducedPredictor runs the Step 6-8 refit in POD coefficient space:
+// fit a fresh rank-r basis on the raw critical targets, regress the r
+// coefficient traces on the selected raw sensor voltages (O(r·Q²) instead
+// of O(K·Q²) after the shared QR), then lift the model back to full size.
+// The returned Predictor is a standard K-output model — downstream serving,
+// detection and fault tolerance see no difference — whose accuracy differs
+// from BuildPredictor only by the basis truncation. The basis used for the
+// refit is returned for rank/energy reporting.
+func BuildReducedPredictor(ds *Dataset, selected []int, bc basis.Config) (*Predictor, *basis.Basis, error) {
+	if err := ds.Check(); err != nil {
+		return nil, nil, err
+	}
+	if len(selected) == 0 {
+		return nil, nil, errors.New("core: no sensors selected; increase lambda")
+	}
+	for i, s := range selected {
+		if s < 0 || s >= ds.X.Rows() {
+			return nil, nil, fmt.Errorf("core: selected sensor %d out of range 0..%d", s, ds.X.Rows()-1)
+		}
+		if i > 0 && s <= selected[i-1] {
+			return nil, nil, fmt.Errorf("core: selected sensors not strictly ascending at position %d", i)
+		}
+	}
+	b, err := basis.Fit(ds.F, bc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: refit basis: %w", err)
+	}
+	w, err := b.Project(ds.F)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: refit projection: %w", err)
+	}
+	xs := ds.X.SelectRows(selected)
+	mr, err := ols.Fit(xs, w)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reduced OLS refit: %w", err)
+	}
+	// Lift α_r (r×Q) and c_r (r) back to the K-dim node space.
+	u := b.Components()
+	alpha := mat.Mul(u, mr.Alpha)
+	c, err := b.LiftVec(mr.C)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: lifting intercept: %w", err)
+	}
+	sel := make([]int, len(selected))
+	copy(sel, selected)
+	return &Predictor{Selected: sel, Model: &ols.Model{Alpha: alpha, C: c}}, b, nil
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"voltsense/internal/basis"
 	"voltsense/internal/core"
 )
 
@@ -89,3 +90,59 @@ func BenchmarkCollectSerial(b *testing.B) { collectBench(b, 1) }
 // (GOMAXPROCS); benchreport pairs it against BenchmarkCollectSerial for the
 // multi-core speedup number.
 func BenchmarkCollectParallel(b *testing.B) { collectBench(b, 0) }
+
+// chipBenchLambdas is the λ ladder of the chip-joint benchmarks. Chip-joint
+// group norms aggregate K = NumBlocks targets instead of a core's ~30, so
+// the useful budgets sit well above the per-core Table 1 sweep.
+var chipBenchLambdas = []float64{32, 24, 16, 12, 8, 4}
+
+// BenchmarkPlaceChipDense vs BenchmarkPlaceChipReduced: one chip-joint
+// placement solved against all K critical nodes versus the same solve in
+// the 99%-energy POD coefficient space (r ≪ K). benchreport pairs them for
+// the reduced-basis speedup number.
+func BenchmarkPlaceChipDense(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PlaceChipDense(12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceChipReduced(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PlaceChipReduced(12, basis.Config{Energy: 0.99}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceChipPathDense vs BenchmarkPlaceChipPathReduced: the full
+// chip-joint λ path, where the one-time basis fit amortizes across the
+// sweep and the per-iteration O(r/K) saving compounds.
+func BenchmarkPlaceChipPathDense(b *testing.B) {
+	p := benchPipeline(b)
+	ds := p.chipTrainDataset()
+	cfg := core.Config{Threshold: p.threshold(), Solver: p.Cfg.Solver}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlaceSensorsPath(ds, chipBenchLambdas, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceChipPathReduced(b *testing.B) {
+	p := benchPipeline(b)
+	ds := p.chipTrainDataset()
+	cfg := core.Config{Threshold: p.threshold(), Solver: p.Cfg.Solver}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlaceSensorsPathReduced(ds, chipBenchLambdas, cfg, basis.Config{Energy: 0.99}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

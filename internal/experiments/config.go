@@ -20,6 +20,7 @@ import (
 	"voltsense/internal/floorplan"
 	"voltsense/internal/grid"
 	"voltsense/internal/lasso"
+	"voltsense/internal/pdn"
 )
 
 // TraceSource selects which GEM5 substitute drives the pipeline.
@@ -64,6 +65,11 @@ type Config struct {
 	Seed        int64
 	Workers     int         // parallel benchmark simulations; 0 = GOMAXPROCS
 	TraceSource TraceSource // workload generator; default TraceMarkov
+	// Backend selects the transient linear-solver backend for every
+	// simulator the pipeline builds (pdn.Auto picks banded Cholesky for
+	// narrow meshes and IC-preconditioned CG for wide ones; see
+	// pdn.NewSimulatorBackend). Leave zero for Auto.
+	Backend pdn.Backend
 	// ThermalFeedback couples per-run average power to a steady-state
 	// temperature map and scales block leakage accordingly (hotter blocks
 	// leak more), deepening droops on hot benchmarks.

@@ -195,7 +195,7 @@ func (p *Pipeline) acquireSim() (*pdn.Simulator, error) {
 	if s, ok := p.simPool.Get().(*pdn.Simulator); ok {
 		return s, nil
 	}
-	return pdn.NewSimulator(p.Grid, p.Cfg.DT)
+	return pdn.NewSimulatorBackend(p.Grid, p.Cfg.DT, p.Cfg.Backend)
 }
 
 // forEachBenchmark runs fn(bi, bench) for every benchmark concurrently on
@@ -394,16 +394,22 @@ func (p *Pipeline) CoreDataset(c int, s *SampleSet) (*core.Dataset, []int) {
 // represented.
 func (p *Pipeline) glTrainDataset(c int) (*core.Dataset, []int) {
 	ds, candIdx := p.CoreDataset(c, p.Train)
+	return p.capSamples(ds), candIdx
+}
+
+// capSamples applies the GLSampleCap benchmark-balanced stride to a training
+// dataset (columns are already randomly ordered within each benchmark).
+func (p *Pipeline) capSamples(ds *core.Dataset) *core.Dataset {
 	cap := p.Cfg.GLSampleCap
 	if cap <= 0 || ds.X.Cols() <= cap {
-		return ds, candIdx
+		return ds
 	}
 	stride := ds.X.Cols() / cap
 	cols := make([]int, 0, cap)
 	for j := 0; j < ds.X.Cols() && len(cols) < cap; j += stride {
 		cols = append(cols, j)
 	}
-	return ds.Subset(cols), candIdx
+	return ds.Subset(cols)
 }
 
 // ClearPlacementCache drops memoized per-core placements and warm-started

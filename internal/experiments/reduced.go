@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"voltsense/internal/basis"
+	"voltsense/internal/core"
+	"voltsense/internal/detect"
+)
+
+// This file hosts the chip-joint placement experiments: instead of the
+// paper's per-core decomposition (8 independent K≈8 solves), one group
+// lasso places sensors against every critical node on the chip at once
+// (K = NumBlocks targets). That is the regime where the reduced-basis
+// pipeline pays off — the POD compression of the targets drops the
+// per-iteration cost from O(K·M²) to O(r·M²), and chip-wide voltage maps
+// are so correlated that r ≪ K at 99% energy.
+
+// chipTrainDataset is the chip-joint analogue of glTrainDataset: all
+// candidate rows as features, all critical-node rows as targets, capped to
+// GLSampleCap samples. Selected indices from a placement on this dataset
+// are global candidate indices, directly usable by BuildChipPredictor.
+func (p *Pipeline) chipTrainDataset() *core.Dataset {
+	return p.capSamples(&core.Dataset{X: p.Train.CandV, F: p.Train.CritV})
+}
+
+// PlaceChipDense solves the chip-joint group lasso against all K critical
+// nodes — the dense baseline the reduced solve is benchmarked against.
+func (p *Pipeline) PlaceChipDense(lambda float64) (*core.Placement, error) {
+	return core.PlaceSensors(p.chipTrainDataset(), core.Config{
+		Lambda:    lambda,
+		Threshold: p.threshold(),
+		Solver:    p.Cfg.Solver,
+	})
+}
+
+// PlaceChipReduced solves the same chip-joint placement in the rank-r POD
+// coefficient space of the standardized targets. bc picks the rank (exact
+// Rank, or the minimal rank reaching an Energy fraction).
+func (p *Pipeline) PlaceChipReduced(lambda float64, bc basis.Config) (*core.ReducedPlacement, error) {
+	return core.PlaceSensorsReduced(p.chipTrainDataset(), core.Config{
+		Lambda:    lambda,
+		Threshold: p.threshold(),
+		Solver:    p.Cfg.Solver,
+	}, bc)
+}
+
+// RankStudyRow is one point of the rank/accuracy trade-off: a placement +
+// refit at one basis configuration, scored on the held-out maps.
+type RankStudyRow struct {
+	Label   string        // "dense" for the baseline, "energy=…" for reduced rows
+	Rank    int           // basis rank used for the solve (K for dense)
+	Energy  float64       // energy fraction the basis captures (1 for dense)
+	Sensors int           // sensors selected
+	Solve   time.Duration // wall-clock of the placement solve
+	RelErr  float64       // relative prediction error on the held-out maps
+	TE      detect.Rates  // chip-level detection rates on the held-out maps
+	// RelErrDense/TEDense score the same selection refit dense (full-K
+	// OLS). They separate the two places truncation could cost accuracy:
+	// the selection (what the accelerated solver actually risks) and the
+	// rank-r refit. On chip data with a dominant common mode the energy
+	// knob can pick a tiny rank whose refit collapses while the selection
+	// — and hence the dense-refit columns — stays at dense quality.
+	RelErrDense float64
+	TEDense     detect.Rates
+}
+
+// RankStudyData is the dense baseline plus one row per requested energy
+// level, all at the same λ.
+type RankStudyData struct {
+	Lambda  float64
+	Targets int // K, the number of critical nodes
+	Rows    []RankStudyRow
+}
+
+// RankStudy measures the reduced-basis trade-off end to end: the chip-joint
+// placement is solved dense and then at each requested energy level, each
+// selection is refit (reduced rows via the rank-r coefficient refit) and
+// scored on the held-out maps. The Solve timings make the speedup visible;
+// RelErr and TE make its cost visible.
+func (p *Pipeline) RankStudy(lambda float64, energies []float64) (*RankStudyData, error) {
+	test := p.TestAll()
+	truth := detect.TruthFromVoltages(test.CritV, p.Cfg.Vth)
+	full := &core.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+	d := &RankStudyData{Lambda: lambda, Targets: p.Train.CritV.Rows()}
+
+	start := time.Now()
+	dense, err := p.PlaceChipDense(lambda)
+	solve := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dense chip placement: %w", err)
+	}
+	if len(dense.Selected) == 0 {
+		return nil, fmt.Errorf("experiments: dense chip placement selected no sensors at λ=%g", lambda)
+	}
+	pred, err := core.BuildPredictor(full, dense.Selected)
+	if err != nil {
+		return nil, err
+	}
+	denseErr := p.RelErrorOn(pred, test)
+	denseTE := detect.Score(truth, detect.AlarmsFromPredictions(p.PredictTest(pred, test), p.Cfg.Vth))
+	d.Rows = append(d.Rows, RankStudyRow{
+		Label:       "dense",
+		Rank:        d.Targets,
+		Energy:      1,
+		Sensors:     len(dense.Selected),
+		Solve:       solve,
+		RelErr:      denseErr,
+		TE:          denseTE,
+		RelErrDense: denseErr,
+		TEDense:     denseTE,
+	})
+
+	for _, e := range energies {
+		bc := basis.Config{Energy: e}
+		start = time.Now()
+		rp, err := p.PlaceChipReduced(lambda, bc)
+		solve = time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reduced chip placement (energy %g): %w", e, err)
+		}
+		if len(rp.Selected) == 0 {
+			return nil, fmt.Errorf("experiments: reduced placement (energy %g) selected no sensors at λ=%g", e, lambda)
+		}
+		rpred, b, err := core.BuildReducedPredictor(full, rp.Selected, bc)
+		if err != nil {
+			return nil, err
+		}
+		dpred, err := core.BuildPredictor(full, rp.Selected)
+		if err != nil {
+			return nil, err
+		}
+		d.Rows = append(d.Rows, RankStudyRow{
+			Label:       fmt.Sprintf("energy=%g", e),
+			Rank:        b.Rank(),
+			Energy:      b.EnergyCaptured(),
+			Sensors:     len(rp.Selected),
+			Solve:       solve,
+			RelErr:      p.RelErrorOn(rpred, test),
+			TE:          detect.Score(truth, detect.AlarmsFromPredictions(p.PredictTest(rpred, test), p.Cfg.Vth)),
+			RelErrDense: p.RelErrorOn(dpred, test),
+			TEDense:     detect.Score(truth, detect.AlarmsFromPredictions(p.PredictTest(dpred, test), p.Cfg.Vth)),
+		})
+	}
+	return d, nil
+}
+
+// Render formats the rank study as a fixed-width table. The "reduced
+// refit" columns score the rank-r coefficient-space refit; the "dense
+// refit" columns score the same selection refit against all K nodes.
+func (d *RankStudyData) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip-joint placement at λ=%g over %d critical nodes\n", d.Lambda, d.Targets)
+	fmt.Fprintf(&b, "%-44s %-20s %-20s\n", "", "reduced refit", "dense refit")
+	fmt.Fprintf(&b, "%-14s %6s %9s %8s %12s %11s %8s %11s %8s\n",
+		"basis", "rank", "energy", "sensors", "solve", "rel err(%)", "TE", "rel err(%)", "TE")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-14s %6d %9.5f %8d %12s %11.3f %8.4f %11.3f %8.4f\n",
+			r.Label, r.Rank, r.Energy, r.Sensors, r.Solve.Round(time.Millisecond),
+			100*r.RelErr, r.TE.TE, 100*r.RelErrDense, r.TEDense.TE)
+	}
+	return b.String()
+}
+
+// CSV emits the rank study as comma-separated rows.
+func (d *RankStudyData) CSV() string {
+	var b strings.Builder
+	b.WriteString("basis,rank,energy,sensors,solve_ms,rel_err_pct,me,wae,te,dense_rel_err_pct,dense_te\n")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.6f,%d,%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.Label, r.Rank, r.Energy, r.Sensors,
+			float64(r.Solve.Microseconds())/1000, 100*r.RelErr, r.TE.ME, r.TE.WAE, r.TE.TE,
+			100*r.RelErrDense, r.TEDense.TE)
+	}
+	return b.String()
+}

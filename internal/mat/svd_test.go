@@ -1,0 +1,214 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// reconstructSVD forms U diag(S) Vᵀ.
+func reconstructSVD(d *SVD) *Matrix {
+	r := len(d.S)
+	us := d.U.Clone()
+	for i := 0; i < us.Rows(); i++ {
+		row := us.Row(i)
+		for j := 0; j < r; j++ {
+			row[j] *= d.S[j]
+		}
+	}
+	return Mul(us, d.V.T())
+}
+
+func assertOrthonormalCols(t *testing.T, m *Matrix, tol float64) {
+	t.Helper()
+	g := MulT(m.T(), m.T()) // MᵀM
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > tol {
+				t.Fatalf("columns not orthonormal: gram[%d][%d] = %g", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestThinSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{8, 20}, {20, 8}, {13, 13}, {1, 9}, {9, 1}} {
+		a := randMatrix(rng, shape[0], shape[1])
+		d, err := ThinSVD(a)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		rec := reconstructSVD(d)
+		scale := a.FrobeniusNorm()
+		if dist := FrobeniusDistance(rec, a); dist > 1e-8*scale {
+			t.Fatalf("%v: reconstruction error %g (scale %g)", shape, dist, scale)
+		}
+		assertOrthonormalCols(t, d.U, 1e-8)
+		assertOrthonormalCols(t, d.V, 1e-8)
+		for i := 1; i < len(d.S); i++ {
+			if d.S[i] > d.S[i-1] {
+				t.Fatalf("%v: singular values not descending: %v", shape, d.S)
+			}
+		}
+	}
+}
+
+// TestThinSVDLowRank checks that rank-deficient input yields exactly the
+// numerical rank, with the dropped null space not polluting the factors.
+func TestThinSVDLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// A = B·C with inner dimension 3: rank 3 regardless of outer shape.
+	b := randMatrix(rng, 12, 3)
+	c := randMatrix(rng, 3, 30)
+	a := Mul(b, c)
+	d, err := ThinSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.S) != 3 {
+		t.Fatalf("rank-3 matrix decomposed with %d singular values: %v", len(d.S), d.S)
+	}
+	rec := reconstructSVD(d)
+	if dist := FrobeniusDistance(rec, a); dist > 1e-7*a.FrobeniusNorm() {
+		t.Fatalf("low-rank reconstruction error %g", dist)
+	}
+}
+
+// TestThinSVDEnergy checks Σσ² == ‖A‖_F² — the identity POD rank selection
+// relies on.
+func TestThinSVDEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 10, 40)
+	d, err := ThinSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range d.S {
+		sum += s * s
+	}
+	f := a.FrobeniusNorm()
+	if math.Abs(sum-f*f) > 1e-8*f*f {
+		t.Fatalf("Σσ² = %g, ‖A‖_F² = %g", sum, f*f)
+	}
+}
+
+func TestThinSVDEmpty(t *testing.T) {
+	d, err := ThinSVD(Zeros(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.S) != 0 || d.U.Rows() != 0 || d.V.Rows() != 5 || d.V.Cols() != 0 {
+		t.Fatalf("unexpected empty-input decomposition %+v", d)
+	}
+}
+
+// decayingMatrix builds an m×n matrix with a geometrically decaying
+// spectrum — the shape of a POD training matrix — so the truncated solver
+// has real structure to find.
+func decayingMatrix(rng *rand.Rand, m, n, modes int, ratio float64) *Matrix {
+	out := Zeros(m, n)
+	sigma := 1.0
+	for k := 0; k < modes; k++ {
+		u := make([]float64, m)
+		v := make([]float64, n)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			row := out.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += sigma * u[i] * v[j]
+			}
+		}
+		sigma *= ratio
+	}
+	return out
+}
+
+// TestTruncatedSVDMatchesExact: on a decaying-spectrum matrix the leading
+// truncated singular values must match the exact ThinSVD values tightly,
+// and the truncated basis must span the same subspace (checked through the
+// projector, which is sign- and rotation-invariant).
+func TestTruncatedSVDMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := decayingMatrix(rng, 120, 150, 40, 0.7)
+	exact, err := ThinSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 12
+	tr, err := TruncatedSVD(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.S) != k {
+		t.Fatalf("got %d singular values, want %d", len(tr.S), k)
+	}
+	assertOrthonormalCols(t, tr.U, 1e-10)
+	for i := 0; i < k; i++ {
+		if rel := math.Abs(tr.S[i]-exact.S[i]) / exact.S[i]; rel > 1e-6 {
+			t.Fatalf("σ[%d]: truncated %g vs exact %g (rel %g)", i, tr.S[i], exact.S[i], rel)
+		}
+	}
+	// Subspace agreement: ‖U_exactᵀ·U_trunc‖_F² = k when the spans match.
+	cross := Mul(firstCols(exact.U, k).T(), tr.U)
+	got := 0.0
+	for _, v := range cross.Data() {
+		got += v * v
+	}
+	if math.Abs(got-float64(k)) > 1e-6 {
+		t.Fatalf("subspace overlap %g, want %d", got, k)
+	}
+}
+
+// TestTruncatedSVDLowRank: when the matrix rank is below the request, the
+// whole spectrum comes back and reconstructs the matrix exactly.
+func TestTruncatedSVDLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := decayingMatrix(rng, 90, 110, 5, 1.0)
+	tr, err := TruncatedSVD(a, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.S) != 5 {
+		t.Fatalf("rank-5 matrix produced %d singular values", len(tr.S))
+	}
+	if d := MaxAbsDiff(reconstructSVD(tr), a); d > 1e-8 {
+		t.Fatalf("rank-5 reconstruction off by %g", d)
+	}
+}
+
+// TestTruncatedSVDSmallFallsBack: requests that leave no room for
+// oversampling must agree with ThinSVD exactly (same code path).
+func TestTruncatedSVDSmallFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := decayingMatrix(rng, 10, 14, 10, 0.9)
+	exact, err := ThinSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TruncatedSVD(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.S) != 8 {
+		t.Fatalf("got %d values, want 8", len(tr.S))
+	}
+	for i := range tr.S {
+		if tr.S[i] != exact.S[i] {
+			t.Fatalf("σ[%d] differs from exact fallback: %g vs %g", i, tr.S[i], exact.S[i])
+		}
+	}
+	if _, err := TruncatedSVD(a, 0); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package pdn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/floorplan"
+	"voltsense/internal/grid"
+)
+
+// TestSparseMatchesBandedTransient is the golden equivalence test: on a
+// bandwidth-friendly mesh where both backends run, the sparse IC-PCG path
+// must track the banded Cholesky within 1e-9 at every node of every step.
+func TestSparseMatchesBandedTransient(t *testing.T) {
+	g := smallGrid()
+	sb, err := NewSimulatorBackend(g, testDT, Banded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSimulatorBackend(g, testDT, Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(42))
+	loads := make([]float64, n)
+	const steps = 200
+	worst := 0.0
+	for step := 0; step < steps; step++ {
+		// Noisy block-style loading with a mid-run level shift, to move the
+		// warm start around rather than settling into a fixed point.
+		level := 0.05
+		if step >= steps/2 {
+			level = 0.25
+		}
+		for _, nodes := range g.BlockNodes {
+			cur := level * rng.Float64()
+			for _, nd := range nodes {
+				loads[nd] = cur / float64(len(nodes))
+			}
+		}
+		vb := sb.Step(loads)
+		vs := sp.Step(loads)
+		for i := range vb {
+			if d := math.Abs(vb[i] - vs[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("sparse and banded transients diverge: max |Δv| = %g > 1e-9", worst)
+	}
+	t.Logf("max |Δv| over %d steps: %g", steps, worst)
+}
+
+// TestBackendAutoSelection pins the Auto rule: narrow meshes stay on the
+// banded factor, wide ones switch to sparse.
+func TestBackendAutoSelection(t *testing.T) {
+	chip := floorplan.New(floorplan.DefaultConfig())
+
+	narrow := grid.DefaultConfig() // NX=78 ≤ sparseBandwidthLimit
+	s, err := NewSimulator(grid.Build(chip, narrow), testDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Backend() != Banded {
+		t.Fatalf("78-wide mesh picked %v, want banded", s.Backend())
+	}
+
+	wide := grid.DefaultConfig()
+	wide.NX, wide.NY = 300, 4 // bandwidth 300 > sparseBandwidthLimit
+	s, err = NewSimulator(grid.Build(chip, wide), testDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Backend() != Sparse {
+		t.Fatalf("300-wide mesh picked %v, want sparse", s.Backend())
+	}
+}
+
+// TestSparseSettlesOntoStaticSolve mirrors the banded settling cross-check
+// for the new backend: a constant-load sparse transient must converge onto
+// the independent DC solution.
+func TestSparseSettlesOntoStaticSolve(t *testing.T) {
+	g := smallGrid()
+	s, err := NewSimulatorBackend(g, testDT, Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	loads := make([]float64, n)
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.01
+		}
+	}
+	want, err := StaticSolve(g, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v []float64
+	for step := 0; step < 4000; step++ {
+		v = s.Step(loads)
+	}
+	worst := 0.0
+	for i := range v {
+		if d := math.Abs(v[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("sparse transient settled %g away from DC solution", worst)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+	}{{"", Auto}, {"auto", Auto}, {"banded", Banded}, {"sparse", Sparse}} {
+		got, err := ParseBackend(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseBackend("gpu"); err == nil {
+		t.Fatal("ParseBackend accepted unknown backend")
+	}
+}
+
+func TestNewSimulatorBackendRejectsUnknown(t *testing.T) {
+	if _, err := NewSimulatorBackend(smallGrid(), testDT, Backend(99)); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

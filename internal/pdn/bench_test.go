@@ -80,3 +80,89 @@ func TestStepZeroAllocs(t *testing.T) {
 		t.Fatalf("Step allocates %v times per run, want 0", a)
 	}
 }
+
+// TestStepZeroAllocsSparse mirrors the banded assertion for the sparse
+// backend: the warm-started IC-PCG step must also run allocation-free.
+func TestStepZeroAllocsSparse(t *testing.T) {
+	g := fullGrid()
+	s, err := NewSimulatorBackend(g, 5e-10, Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2
+		}
+	}
+	s.Step(loads)
+	if a := testing.AllocsPerRun(20, func() { s.Step(loads) }); a != 0 {
+		t.Fatalf("sparse Step allocates %v times per run, want 0", a)
+	}
+}
+
+// scaledGrid builds the default chip meshed at nx×ny.
+func scaledGrid(nx, ny int) *grid.Grid {
+	chip := floorplan.New(floorplan.DefaultConfig())
+	cfg := grid.DefaultConfig()
+	cfg.NX, cfg.NY = nx, ny
+	return grid.Build(chip, cfg)
+}
+
+func benchStepBackend(b *testing.B, g *grid.Grid, backend Backend) {
+	s, err := NewSimulatorBackend(g, 5e-10, backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2 / float64(len(nodes))
+		}
+	}
+	if err := s.Settle(loads); err != nil { // steady-state stepping regime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(loads)
+	}
+}
+
+// BenchmarkStepBanded256 vs BenchmarkStepSparse256: the same 256×128 mesh
+// (bandwidth 256, the crossover point of the Auto rule) stepped by both
+// backends. In-band the banded triangular sweeps win per step — this pair
+// documents why Auto keeps Banded below the bandwidth limit.
+func BenchmarkStepBanded256(b *testing.B) { benchStepBackend(b, scaledGrid(256, 128), Banded) }
+
+func BenchmarkStepSparse256(b *testing.B) { benchStepBackend(b, scaledGrid(256, 128), Sparse) }
+
+func benchCtorBackend(b *testing.B, g *grid.Grid, backend Backend) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSimulatorBackend(g, 5e-10, backend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewSimulator512Banded vs BenchmarkNewSimulator512Sparse: the
+// banded-vs-sparse speedup pair in BENCH_PR7.json. At 512×256 the banded
+// factor costs O(n·bw²) ≈ 1.7e10 flops and 538 MB; sparse assembly plus the
+// MIC factor is O(nnz) — three orders of magnitude cheaper, which is what
+// makes per-worker simulators at this scale viable at all.
+func BenchmarkNewSimulator512Banded(b *testing.B) {
+	benchCtorBackend(b, scaledGrid(512, 256), Banded)
+}
+
+func BenchmarkNewSimulator512Sparse(b *testing.B) {
+	benchCtorBackend(b, scaledGrid(512, 256), Sparse)
+}
+
+// BenchmarkStepSparse1024 steps a 1024×1024 mesh (1M nodes). The banded
+// factor at this size would need ~8.6 GB and ~5e11 flops (about ten
+// minutes) to build, so the sparse path is the only one that runs — the
+// scale-up the issue targets.
+func BenchmarkStepSparse1024(b *testing.B) { benchStepBackend(b, scaledGrid(1024, 1024), Sparse) }

@@ -9,11 +9,16 @@
 //	(G + C/h + G_pad) v[t+1] = (C/h) v[t] + pad history + VDD injection − i_load[t+1]
 //
 // The system matrix is constant, symmetric positive definite and banded
-// (half-bandwidth = mesh NX), so it is factored once with the banded
-// Cholesky and every step is a pair of triangular solves. Pad inductors use
-// the standard backward-Euler companion model: an effective conductance
-// 1/(R + L/h) plus a history current source tracking the previous branch
-// current.
+// (half-bandwidth = mesh NX). Two interchangeable step backends solve it:
+// the banded Cholesky (factored once, every step a pair of triangular
+// solves — the fast path for narrow meshes) and an IC(0)-preconditioned
+// conjugate-gradient path over the CSR matrix, warm-started from the
+// previous step's voltages, which scales to 1024×1024+ meshes where the
+// banded factor's O(n·bw²) time and O(n·bw) memory are prohibitive.
+// NewSimulator picks automatically by bandwidth and storage; use
+// NewSimulatorBackend to force a choice. Pad inductors use the standard
+// backward-Euler companion model: an effective conductance 1/(R + L/h)
+// plus a history current source tracking the previous branch current.
 package pdn
 
 import (
@@ -25,12 +30,105 @@ import (
 	"voltsense/internal/sparse"
 )
 
+// Backend selects the linear-solver path behind Step.
+type Backend int
+
+const (
+	// Auto picks Banded for narrow meshes and Sparse when the bandwidth or
+	// the factor's storage would make the banded path impractical.
+	Auto Backend = iota
+	// Banded is the dense banded Cholesky: one factorization, then two
+	// triangular sweeps per step.
+	Banded
+	// Sparse is IC(0)-preconditioned conjugate gradient on the CSR matrix,
+	// warm-started from the previous step's voltages.
+	Sparse
+)
+
+// String names the backend for logs and flags.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Banded:
+		return "banded"
+	case Sparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a flag value ("auto", "banded", "sparse") to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "banded":
+		return Banded, nil
+	case "sparse":
+		return Sparse, nil
+	}
+	return Auto, fmt.Errorf("pdn: unknown backend %q (want auto, banded or sparse)", s)
+}
+
+// stepSolver solves the constant backward-Euler system A·dst = rhs. dst
+// holds the previous step's voltages on entry, which iterative backends use
+// as the warm start. Implementations must not allocate.
+type stepSolver interface {
+	solveInto(dst, rhs []float64)
+}
+
+type bandedSolver struct{ chol *banded.CholFactor }
+
+func (b bandedSolver) solveInto(dst, rhs []float64) { b.chol.SolveInto(dst, rhs) }
+
+type sparseSolver struct{ cg *sparse.CGSolver }
+
+func (s sparseSolver) solveInto(dst, rhs []float64) {
+	if _, err := s.cg.Solve(dst, rhs); err != nil {
+		// The system matrix is constant and SPD with an IC(0)
+		// preconditioner built for it; failure here means the simulator
+		// was mis-assembled, which is a programming error like the shape
+		// panics elsewhere in this package.
+		panic(fmt.Sprintf("pdn: sparse step solve failed: %v", err))
+	}
+}
+
+// stepCGTol is the relative residual target of the sparse step solver,
+// chosen so that iterative error stays below the 1e-9 golden-equivalence
+// budget against the banded factor even after thousands of steps.
+const stepCGTol = 1e-13
+
+// micOmega is the relaxation of the modified-IC preconditioner: 1 would
+// preserve row sums exactly but risks breakdown, 0.95 is the standard
+// safe margin.
+const micOmega = 1.0
+
+// sparseBandwidthLimit and sparseStorageLimit are the Auto thresholds:
+// beyond either, the banded factor's O(n·bw²) time or O(n·bw) bytes lose
+// to IC(0)-PCG (a 1024×1024 mesh would need an 8.6 GB factor and ~10¹²
+// flops to factor it; the CSR holds ~5 nonzeros per node).
+const (
+	sparseBandwidthLimit = 256
+	sparseStorageLimit   = 256 << 20 // bytes of banded factor
+)
+
+func chooseBackend(g *grid.Grid) Backend {
+	bw := g.Cfg.NX
+	n := g.NumNodes()
+	if bw > sparseBandwidthLimit || int64(n)*int64(bw+1)*8 > sparseStorageLimit {
+		return Sparse
+	}
+	return Banded
+}
+
 // Simulator integrates one grid with a fixed time step.
 type Simulator struct {
 	g  *grid.Grid
 	dt float64
 
-	chol *banded.CholFactor
+	solver  stepSolver
+	backend Backend
 
 	cOverH  []float64 // C/h per node
 	padGeff []float64 // effective pad conductance 1/(R + L/h)
@@ -43,8 +141,13 @@ type Simulator struct {
 }
 
 // NewSimulator assembles and factors the backward-Euler system for the grid
-// at time step dt (seconds).
+// at time step dt (seconds), picking the solver backend automatically.
 func NewSimulator(g *grid.Grid, dt float64) (*Simulator, error) {
+	return NewSimulatorBackend(g, dt, Auto)
+}
+
+// NewSimulatorBackend is NewSimulator with an explicit solver backend.
+func NewSimulatorBackend(g *grid.Grid, dt float64, backend Backend) (*Simulator, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("pdn: non-positive time step %g", dt)
 	}
@@ -59,30 +162,122 @@ func NewSimulator(g *grid.Grid, dt float64) (*Simulator, error) {
 		padCur:  make([]float64, len(g.Pads)),
 		rhs:     make([]float64, n),
 	}
-	a := banded.NewSymBanded(n, g.Cfg.NX)
 	for i, c := range g.Caps {
 		s.cOverH[i] = c / dt
-		a.Add(i, i, s.cOverH[i])
-	}
-	for _, e := range g.Edges {
-		a.Add(e.A, e.A, e.G)
-		a.Add(e.B, e.B, e.G)
-		a.Add(e.A, e.B, -e.G)
 	}
 	for p, pad := range g.Pads {
 		lh := pad.L / dt
-		geff := 1 / (pad.R + lh)
-		s.padGeff[p] = geff
 		s.padLh[p] = lh
-		a.Add(pad.Node, pad.Node, geff)
+		s.padGeff[p] = 1 / (pad.R + lh)
 	}
-	chol, err := banded.Factor(a)
-	if err != nil {
-		return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+	if backend == Auto {
+		backend = chooseBackend(g)
 	}
-	s.chol = chol
+	s.backend = backend
+	switch backend {
+	case Banded:
+		a := banded.NewSymBanded(n, g.Cfg.NX)
+		for i := range s.cOverH {
+			a.Add(i, i, s.cOverH[i])
+		}
+		for _, e := range g.Edges {
+			a.Add(e.A, e.A, e.G)
+			a.Add(e.B, e.B, e.G)
+			a.Add(e.A, e.B, -e.G)
+		}
+		for p, pad := range g.Pads {
+			a.Add(pad.Node, pad.Node, s.padGeff[p])
+		}
+		chol, err := banded.Factor(a)
+		if err != nil {
+			return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+		}
+		s.solver = bandedSolver{chol: chol}
+	case Sparse:
+		diag := make([]float64, n)
+		copy(diag, s.cOverH)
+		for _, e := range g.Edges {
+			diag[e.A] += e.G
+			diag[e.B] += e.G
+		}
+		for p, pad := range g.Pads {
+			diag[pad.Node] += s.padGeff[p]
+		}
+		a := assembleSystemCSR(g, diag)
+		// Modified IC keeps the preconditioned condition number O(h⁻¹) on
+		// refined meshes; fall back to plain IC(0) on the rare breakdown.
+		ic, err := sparse.NewICModified(a, micOmega)
+		if err != nil {
+			if ic, err = sparse.NewIC(a); err != nil {
+				return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+			}
+		}
+		cg, err := sparse.NewCGSolver(a, sparse.CGOptions{Tol: stepCGTol, Precond: ic})
+		if err != nil {
+			return nil, fmt.Errorf("pdn: sparse solver: %w", err)
+		}
+		s.solver = sparseSolver{cg: cg}
+	default:
+		return nil, fmt.Errorf("pdn: unknown backend %v", backend)
+	}
 	s.Reset()
 	return s, nil
+}
+
+// Backend reports which solver path Step uses (never Auto: the automatic
+// choice is resolved at construction).
+func (s *Simulator) Backend() Backend { return s.backend }
+
+// assembleSystemCSR builds the symmetric system matrix directly in CSR
+// form: diag supplies the fully accumulated diagonal and every edge
+// contributes −G at (A,B) and (B,A). Direct assembly sidesteps the
+// map-based Triplet accumulator, which is far too slow for million-node
+// meshes.
+func assembleSystemCSR(g *grid.Grid, diag []float64) *sparse.CSR {
+	n := g.NumNodes()
+	rowPtr := make([]int, n+1)
+	for i := range diag {
+		rowPtr[i+1] = 1 // diagonal
+	}
+	for _, e := range g.Edges {
+		rowPtr[e.A+1]++
+		rowPtr[e.B+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, rowPtr[:n])
+	put := func(i, j int, v float64) {
+		colIdx[next[i]] = j
+		val[next[i]] = v
+		next[i]++
+	}
+	for i, d := range diag {
+		put(i, i, d)
+	}
+	for _, e := range g.Edges {
+		put(e.A, e.B, -e.G)
+		put(e.B, e.A, -e.G)
+	}
+	// Each row holds at most a diagonal plus four mesh neighbors; insertion
+	// sort restores the ascending column order NewCSR requires.
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		for a := lo + 1; a < hi; a++ {
+			c, v := colIdx[a], val[a]
+			b := a
+			for b > lo && colIdx[b-1] > c {
+				colIdx[b], val[b] = colIdx[b-1], val[b-1]
+				b--
+			}
+			colIdx[b], val[b] = c, v
+		}
+	}
+	return sparse.NewCSR(n, n, rowPtr, colIdx, val)
 }
 
 // DT returns the simulation time step in seconds.
@@ -119,7 +314,7 @@ func (s *Simulator) Step(loads []float64) []float64 {
 	for p, pad := range s.g.Pads {
 		s.rhs[pad.Node] += s.padGeff[p] * (vdd + s.padLh[p]*s.padCur[p])
 	}
-	s.chol.SolveInto(s.v, s.rhs)
+	s.solver.solveInto(s.v, s.rhs)
 	for p, pad := range s.g.Pads {
 		s.padCur[p] = s.padGeff[p] * (vdd - s.v[pad.Node] + s.padLh[p]*s.padCur[p])
 	}
@@ -206,12 +401,10 @@ func StaticSolve(g *grid.Grid, loads []float64) ([]float64, error) {
 	if len(loads) != n {
 		panic(fmt.Sprintf("pdn: loads length %d, want %d", len(loads), n))
 	}
-	tr := sparse.NewTriplet(n, n)
+	diag := make([]float64, n)
 	for _, e := range g.Edges {
-		tr.Add(e.A, e.A, e.G)
-		tr.Add(e.B, e.B, e.G)
-		tr.Add(e.A, e.B, -e.G)
-		tr.Add(e.B, e.A, -e.G)
+		diag[e.A] += e.G
+		diag[e.B] += e.G
 	}
 	b := make([]float64, n)
 	for i, ld := range loads {
@@ -219,10 +412,15 @@ func StaticSolve(g *grid.Grid, loads []float64) ([]float64, error) {
 	}
 	for _, pad := range g.Pads {
 		gdc := 1 / pad.R // inductor is a short at DC
-		tr.Add(pad.Node, pad.Node, gdc)
+		diag[pad.Node] += gdc
 		b[pad.Node] += gdc * g.Cfg.VDD
 	}
-	x, _, err := sparse.SolveCG(tr.ToCSR(), b, nil, sparse.CGOptions{Tol: 1e-12})
+	a := assembleSystemCSR(g, diag)
+	opt := sparse.CGOptions{Tol: 1e-12}
+	if ic, err := sparse.NewIC(a); err == nil {
+		opt.Precond = ic // IC(0) always exists for this M-matrix; Jacobi fallback just in case
+	}
+	x, _, err := sparse.SolveCG(a, b, nil, opt)
 	if err != nil {
 		return nil, fmt.Errorf("pdn: static solve: %w", err)
 	}

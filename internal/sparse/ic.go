@@ -1,0 +1,198 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IC is a zero-fill incomplete Cholesky preconditioner: A ≈ L·Lᵀ with L
+// restricted to the sparsity pattern of A's lower triangle. For M-matrices
+// — the power-grid conductance systems this package targets — the
+// factorization is guaranteed to exist (Meijerink–van der Vorst), and it
+// cuts PCG iteration counts well below Jacobi because it captures the
+// neighbor coupling, not just the diagonal.
+//
+// NewICModified builds the modified variant (MIC): fill that IC(0) would
+// discard is instead subtracted from the two affected diagonals, which
+// preserves row sums and improves the preconditioned condition number of
+// mesh Laplacians from O(h⁻²) to O(h⁻¹) — the difference between hundreds
+// and tens of CG iterations on fine power grids.
+type IC struct {
+	n  int
+	l  *CSR // lower triangle including diagonal; diagonal last in each row
+	lt *CSR // Lᵀ; diagonal first in each row
+}
+
+// NewIC factors the symmetric matrix a into a plain IC(0) preconditioner.
+// It fails if a row has no diagonal entry or a pivot comes out
+// non-positive, which signals the matrix is not an M-matrix-like SPD
+// system.
+func NewIC(a *CSR) (*IC, error) { return newIC(a, 0) }
+
+// NewICModified factors a into a relaxed modified incomplete Cholesky
+// preconditioner: dropped fill is subtracted from the diagonals scaled by
+// omega ∈ [0, 1]. omega = 0 is plain IC(0); omega = 1 preserves row sums
+// exactly but can break down, so ~0.95 is the usual production choice.
+func NewICModified(a *CSR, omega float64) (*IC, error) {
+	if omega < 0 || omega > 1 {
+		return nil, fmt.Errorf("sparse: NewICModified omega %g outside [0, 1]", omega)
+	}
+	return newIC(a, omega)
+}
+
+// newIC runs right-looking (submatrix) incomplete Cholesky on the lower
+// triangle of a, which must be structurally symmetric. After eliminating
+// column k, every update l_ij -= l_ik·l_jk with (i, j) inside the pattern
+// is applied; updates outside it are dropped (IC) or routed to the
+// diagonals of rows i and j (MIC, scaled by omega).
+func newIC(a *CSR, omega float64) (*IC, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("sparse: NewIC needs square matrix, got %dx%d", a.rows, a.cols))
+	}
+	// Extract the lower-triangular pattern (columns ≤ i) with a's values.
+	nnz := 0
+	for i := 0; i < n; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if a.colIdx[k] <= i {
+				nnz++
+			}
+		}
+	}
+	l := &CSR{
+		rows: n, cols: n,
+		rowPtr: make([]int, n+1),
+		colIdx: make([]int, 0, nnz),
+		val:    make([]float64, 0, nnz),
+	}
+	for i := 0; i < n; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if a.colIdx[k] <= i {
+				l.colIdx = append(l.colIdx, a.colIdx[k])
+				l.val = append(l.val, a.val[k])
+			}
+		}
+		l.rowPtr[i+1] = len(l.colIdx)
+		if end := l.rowPtr[i+1]; end == l.rowPtr[i] || l.colIdx[end-1] != i {
+			return nil, fmt.Errorf("sparse: NewIC: row %d has no diagonal entry", i)
+		}
+	}
+	diagIdx := func(i int) int { return l.rowPtr[i+1] - 1 }
+	// below[k] enumerates rows i > k with (i, k) in the pattern; by
+	// structural symmetry that is exactly the columns > k of a's row k.
+	var rows []int
+	var liks []float64
+	var idxs []int
+	for k := 0; k < n; k++ {
+		dk := l.val[diagIdx(k)]
+		if dk <= 0 {
+			return nil, fmt.Errorf("sparse: NewIC: non-positive pivot %g at row %d", dk, k)
+		}
+		dk = math.Sqrt(dk)
+		l.val[diagIdx(k)] = dk
+		rows, liks, idxs = rows[:0], liks[:0], idxs[:0]
+		for kk := a.rowPtr[k]; kk < a.rowPtr[k+1]; kk++ {
+			i := a.colIdx[kk]
+			if i <= k {
+				continue
+			}
+			idx := locate(l, i, k)
+			if idx < 0 {
+				return nil, fmt.Errorf("sparse: NewIC: pattern not symmetric at (%d,%d)", i, k)
+			}
+			l.val[idx] /= dk
+			rows = append(rows, i)
+			liks = append(liks, l.val[idx])
+			idxs = append(idxs, idx)
+		}
+		for ai, i := range rows {
+			lik := liks[ai]
+			for bi := 0; bi <= ai; bi++ {
+				j := rows[bi]
+				v := lik * liks[bi]
+				switch {
+				case j == i:
+					l.val[diagIdx(i)] -= v
+				default:
+					if idx := locate(l, i, j); idx >= 0 {
+						l.val[idx] -= v
+					} else if omega > 0 {
+						// MIC: the full-matrix update would also hit the
+						// symmetric entry (j, i), so both row sums lose v.
+						l.val[diagIdx(i)] -= omega * v
+						l.val[diagIdx(j)] -= omega * v
+					}
+				}
+			}
+		}
+	}
+	return &IC{n: n, l: l, lt: transposeCSR(l)}, nil
+}
+
+// locate returns the index of (i, j) inside l's storage, or -1.
+func locate(l *CSR, i, j int) int {
+	lo, hi := l.rowPtr[i], l.rowPtr[i+1]
+	k := lo + sort.SearchInts(l.colIdx[lo:hi], j)
+	if k < hi && l.colIdx[k] == j {
+		return k
+	}
+	return -1
+}
+
+// transposeCSR returns mᵀ with columns ascending in every row.
+func transposeCSR(m *CSR) *CSR {
+	t := &CSR{
+		rows: m.cols, cols: m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.val)),
+		val:    make([]float64, len(m.val)),
+	}
+	for _, j := range m.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for i := 0; i < t.rows; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	next := make([]int, t.rows)
+	copy(next, t.rowPtr[:t.rows])
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			t.colIdx[next[j]] = i
+			t.val[next[j]] = m.val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Apply solves L·Lᵀ·z = r by one forward and one backward triangular
+// sweep, using z as the only workspace. It allocates nothing.
+func (m *IC) Apply(z, r []float64) {
+	if len(z) != m.n || len(r) != m.n {
+		panic(fmt.Sprintf("sparse: IC.Apply lengths z=%d r=%d, want %d", len(z), len(r), m.n))
+	}
+	l := m.l
+	for i := 0; i < m.n; i++ {
+		s := r[i]
+		end := l.rowPtr[i+1] - 1 // diagonal is last
+		for k := l.rowPtr[i]; k < end; k++ {
+			s -= l.val[k] * z[l.colIdx[k]]
+		}
+		z[i] = s / l.val[end]
+	}
+	lt := m.lt
+	for i := m.n - 1; i >= 0; i-- {
+		s := z[i]
+		start := lt.rowPtr[i] // diagonal is first
+		for k := start + 1; k < lt.rowPtr[i+1]; k++ {
+			s -= lt.val[k] * z[lt.colIdx[k]]
+		}
+		z[i] = s / lt.val[start]
+	}
+}
+
+// L returns the incomplete Cholesky factor (lower triangular, diagonal
+// included), mainly for tests and diagnostics.
+func (m *IC) L() *CSR { return m.l }

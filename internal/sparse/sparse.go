@@ -90,6 +90,37 @@ type CSR struct {
 	val        []float64
 }
 
+// NewCSR wraps pre-built CSR arrays without copying. Column indices must be
+// strictly ascending within each row. This is the fast path for regular
+// stencils (million-node grids) where the map-based Triplet accumulator is
+// too slow; the structure is validated once and panics on malformed input
+// since that is a programming error, matching the package's style.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %dx%d", rows, cols))
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 {
+		panic(fmt.Sprintf("sparse: NewCSR rowPtr length %d, want %d starting at 0", len(rowPtr), rows+1))
+	}
+	if len(colIdx) != rowPtr[rows] || len(val) != rowPtr[rows] {
+		panic(fmt.Sprintf("sparse: NewCSR %d cols / %d vals, rowPtr ends at %d", len(colIdx), len(val), rowPtr[rows]))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			panic(fmt.Sprintf("sparse: NewCSR rowPtr decreases at row %d", i))
+		}
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if colIdx[k] < 0 || colIdx[k] >= cols {
+				panic(fmt.Sprintf("sparse: NewCSR column %d out of range at row %d", colIdx[k], i))
+			}
+			if k > rowPtr[i] && colIdx[k] <= colIdx[k-1] {
+				panic(fmt.Sprintf("sparse: NewCSR columns not strictly ascending in row %d", i))
+			}
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
 // Rows returns the number of rows.
 func (c *CSR) Rows() int { return c.rows }
 
@@ -146,22 +177,77 @@ func (c *CSR) Diag() []float64 {
 	return d
 }
 
-// CGOptions configures SolveCG.
+// Preconditioner approximates A⁻¹ for conjugate gradient: Apply writes
+// z = M⁻¹·r. Implementations must not alias z and r and must not allocate,
+// so solvers built on them stay allocation-free in steady state.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// Identity is the no-op preconditioner (plain CG).
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// Jacobi is the diagonal preconditioner M = diag(A).
+type Jacobi struct{ invD []float64 }
+
+// NewJacobi builds a Jacobi preconditioner, rejecting non-positive
+// diagonals since those contradict the SPD contract.
+func NewJacobi(a *CSR) (*Jacobi, error) {
+	invD := a.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return nil, fmt.Errorf("sparse: non-positive diagonal %g at %d; matrix not SPD", d, i)
+		}
+		invD[i] = 1 / d
+	}
+	return &Jacobi{invD: invD}, nil
+}
+
+// Apply computes z = diag(A)⁻¹ r.
+func (j *Jacobi) Apply(z, r []float64) {
+	for i, d := range j.invD {
+		z[i] = d * r[i]
+	}
+}
+
+// CGOptions configures SolveCG and NewCGSolver.
 type CGOptions struct {
 	Tol     float64 // relative residual target; default 1e-10
 	MaxIter int     // default 10 * n
+	// Precond overrides the default Jacobi preconditioner. Use Identity{}
+	// for unpreconditioned CG or NewIC(a) for incomplete Cholesky.
+	Precond Preconditioner
 }
 
-// SolveCG solves the symmetric positive definite system A x = b with
-// Jacobi-preconditioned conjugate gradient, starting from x0 (nil means
-// zero). It returns the solution and the iteration count.
-func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+// CGSolver is a reusable preconditioned conjugate-gradient solver: all
+// workspace is allocated once at construction so repeated Solve calls (the
+// transient-stepping hot loop) run with zero allocations.
+type CGSolver struct {
+	a       *CSR
+	pre     Preconditioner
+	tol     float64
+	maxIter int
+	r, z    []float64
+	p, ap   []float64
+}
+
+// NewCGSolver prepares a solver for the SPD matrix a. With opt.Precond nil
+// it builds a Jacobi preconditioner, which fails on non-positive diagonals.
+func NewCGSolver(a *CSR, opt CGOptions) (*CGSolver, error) {
 	n := a.rows
 	if a.cols != n {
-		panic(fmt.Sprintf("sparse: SolveCG needs square matrix, got %dx%d", a.rows, a.cols))
+		panic(fmt.Sprintf("sparse: CG needs square matrix, got %dx%d", a.rows, a.cols))
 	}
-	if len(b) != n {
-		panic(fmt.Sprintf("sparse: SolveCG rhs length %d, want %d", len(b), n))
+	pre := opt.Precond
+	if pre == nil {
+		j, err := NewJacobi(a)
+		if err != nil {
+			return nil, err
+		}
+		pre = j
 	}
 	tol := opt.Tol
 	if tol <= 0 {
@@ -171,62 +257,85 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	if maxIter <= 0 {
 		maxIter = 10 * n
 	}
+	return &CGSolver{
+		a: a, pre: pre, tol: tol, maxIter: maxIter,
+		r: make([]float64, n), z: make([]float64, n),
+		p: make([]float64, n), ap: make([]float64, n),
+	}, nil
+}
 
+// Solve solves A x = b in place: x holds the initial guess on entry (the
+// warm start) and the solution on return. It returns the iteration count
+// and allocates nothing.
+func (s *CGSolver) Solve(x, b []float64) (int, error) {
+	n := s.a.rows
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("sparse: Solve lengths x=%d b=%d, want %d", len(x), len(b), n))
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	s.a.MulVecTo(s.r, x)
+	for i := range s.r {
+		s.r[i] = b[i] - s.r[i]
+	}
+	if norm2(s.r) <= s.tol*bnorm {
+		return 0, nil // warm start already within tolerance
+	}
+	s.pre.Apply(s.z, s.r)
+	copy(s.p, s.z)
+	rz := dot(s.r, s.z)
+	for it := 1; it <= s.maxIter; it++ {
+		s.a.MulVecTo(s.ap, s.p)
+		pap := dot(s.p, s.ap)
+		if pap <= 0 {
+			return it, fmt.Errorf("sparse: pᵀAp = %g <= 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * s.p[i]
+			s.r[i] -= alpha * s.ap[i]
+		}
+		if norm2(s.r) <= s.tol*bnorm {
+			return it, nil
+		}
+		s.pre.Apply(s.z, s.r)
+		rzNew := dot(s.r, s.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range s.p {
+			s.p[i] = s.z[i] + beta*s.p[i]
+		}
+	}
+	return s.maxIter, ErrNoConvergence
+}
+
+// SolveCG solves the symmetric positive definite system A x = b with
+// preconditioned conjugate gradient (Jacobi unless opt.Precond says
+// otherwise), starting from x0 (nil means zero). It returns the solution
+// and the iteration count. One-shot convenience over CGSolver.
+func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	n := a.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: SolveCG rhs length %d, want %d", len(b), n))
+	}
+	s, err := NewCGSolver(a, opt)
+	if err != nil {
+		return nil, 0, err
+	}
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
 	}
-	r := make([]float64, n)
-	a.MulVecTo(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
+	it, err := s.Solve(x, b)
+	if err != nil {
+		return nil, it, err
 	}
-	// Jacobi preconditioner.
-	invD := a.Diag()
-	for i, d := range invD {
-		if d <= 0 {
-			return nil, 0, fmt.Errorf("sparse: non-positive diagonal %g at %d; matrix not SPD", d, i)
-		}
-		invD[i] = 1 / d
-	}
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = invD[i] * r[i]
-	}
-	p := make([]float64, n)
-	copy(p, z)
-	ap := make([]float64, n)
-
-	bnorm := norm2(b)
-	if bnorm == 0 {
-		return x, 0, nil // b = 0 → x = x0 already has residual ‖b‖ = 0 target
-	}
-	rz := dot(r, z)
-	for it := 1; it <= maxIter; it++ {
-		a.MulVecTo(ap, p)
-		pap := dot(p, ap)
-		if pap <= 0 {
-			return nil, it, fmt.Errorf("sparse: pᵀAp = %g <= 0; matrix not SPD", pap)
-		}
-		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		if norm2(r) <= tol*bnorm {
-			return x, it, nil
-		}
-		for i := range z {
-			z[i] = invD[i] * r[i]
-		}
-		rzNew := dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return nil, maxIter, ErrNoConvergence
+	return x, it, nil
 }
 
 func dot(x, y []float64) float64 {
