@@ -1,12 +1,12 @@
 // Command benchreport runs the repository's benchmark suite and writes a
 // machine-readable summary, including the speedup of each parallel or
 // warm-started implementation over its serial/cold baseline. `make bench`
-// invokes it to produce BENCH_PR7.json; CI runs the same benchmarks once per
+// invokes it to produce BENCH_PR8.json; CI runs the same benchmarks once per
 // commit and diffs them against the committed baseline.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR7.json] [-benchtime 100ms] [-bench .]
+//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-benchtime 100ms] [-bench .]
 //	go run ./cmd/benchreport -compare old.json new.json [-tolerance 0.25]
 //	go run ./cmd/benchreport -trajectory [dir]
 //
@@ -38,7 +38,8 @@ import (
 // benchPackages is the suite the report covers: the kernel layer, the solver
 // hot loops (cold and path), the banded factor, the transient engine, the
 // experiment pipeline (placement sweep + trace collection), the inference
-// server, and the online recalibration loop (rank-1 update + shadow scoring).
+// server, the online recalibration loop (rank-1 update + shadow scoring),
+// and the placement criteria (greedy optimal design).
 var benchPackages = []string{
 	"./internal/mat/",
 	"./internal/lasso/",
@@ -47,6 +48,7 @@ var benchPackages = []string{
 	"./internal/experiments/",
 	"./internal/serve/",
 	"./internal/online/",
+	"./internal/place/",
 }
 
 // speedupPairs maps each parallel/blocked/warm-started benchmark to the
@@ -63,6 +65,7 @@ var speedupPairs = []struct{ Kernel, Baseline string }{
 	{"BenchmarkNewSimulator512Sparse", "BenchmarkNewSimulator512Banded"},
 	{"BenchmarkPlaceChipReduced", "BenchmarkPlaceChipDense"},
 	{"BenchmarkPlaceChipPathReduced", "BenchmarkPlaceChipPathDense"},
+	{"BenchmarkDOptSherman", "BenchmarkDOptNaive"},
 }
 
 type benchResult struct {
@@ -92,7 +95,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	benchTime := flag.String("benchtime", "100ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
 	compareWith := flag.String("compare", "", "baseline report JSON; compare the report named by the positional argument against it instead of running benchmarks")

@@ -3,13 +3,19 @@
 //   - every Go package (including commands) carries a package comment, so
 //     `go doc` explains how each piece maps onto the DAC 2015 methodology;
 //   - every relative link in the repository's markdown files resolves to a
-//     file that actually exists, so the docs never rot as code moves.
+//     file that actually exists, so the docs never rot as code moves;
+//   - every exported identifier in internal/place — the user-facing criterion
+//     subsystem — carries a doc comment;
+//   - every `-criterion <value>` mentioned in the markdown docs parses via
+//     the real place.ParseCriterion, so README/OPERATIONS examples cannot
+//     drift from the registry.
 //
 // It prints one line per violation and exits non-zero if any were found.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -18,6 +24,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"voltsense/internal/place"
 )
 
 func main() {
@@ -33,7 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problems\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: all packages documented, all markdown links resolve")
+	fmt.Println("docscheck: packages documented, markdown links resolve, place exports documented, -criterion examples valid")
 }
 
 // check walks root and returns every violation, deterministically ordered.
@@ -93,6 +101,97 @@ func check(root string) ([]string, error) {
 			return nil, err
 		}
 		problems = append(problems, ps...)
+		ps, err = checkCriterionValues(md)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+
+	placeDir := filepath.Join(root, "internal", "place")
+	if _, err := os.Stat(placeDir); err == nil {
+		ps, err := checkGodoc(placeDir)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// checkGodoc parses every non-test Go file in dir and reports exported
+// top-level identifiers — types, functions, methods, consts and vars — that
+// carry no doc comment. A doc comment on a grouped declaration covers every
+// spec inside it.
+func checkGodoc(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					problems = append(problems, fmt.Sprintf("%s: exported %s %s has no doc comment", path, kind, d.Name.Name))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							problems = append(problems, fmt.Sprintf("%s: exported type %s has no doc comment", path, s.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil {
+								problems = append(problems, fmt.Sprintf("%s: exported value %s has no doc comment", path, n.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// criterionRe matches `-criterion value` and `-criterion=value` mentions in
+// prose and shell examples alike. The leading guard keeps hyphenated words
+// like "per-criterion" from matching as the flag.
+var criterionRe = regexp.MustCompile(`(?:^|[^[:alnum:]-])-criterion[ =]([A-Za-z0-9_-]+)`)
+
+// checkCriterionValues verifies that every -criterion value a markdown file
+// mentions parses through the real registry, fenced code blocks included —
+// command examples are exactly where stale names hide.
+func checkCriterionValues(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		for _, m := range criterionRe.FindAllStringSubmatch(line, -1) {
+			if _, err := place.ParseCriterion(m[1]); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: -criterion value %q is not a registered criterion", path, ln+1, m[1]))
+			}
+		}
 	}
 	return problems, nil
 }

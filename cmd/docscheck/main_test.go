@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckGodocFlagsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.go"), `// Package p.
+package p
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bare struct{}
+
+// Grouped doc covers both.
+const (
+	A = 1
+	B = 2
+)
+`)
+	problems, err := checkGodoc(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "Undocumented") || !strings.Contains(joined, "Bare") {
+		t.Errorf("missing expected problems in %q", joined)
+	}
+	if strings.Contains(joined, "Documented") || strings.Contains(joined, "exported value A") {
+		t.Errorf("false positives in %q", joined)
+	}
+}
+
+func TestCheckGodocCleanOnRealPlacePackage(t *testing.T) {
+	problems, err := checkGodoc(filepath.Join("..", "..", "internal", "place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("internal/place has undocumented exports:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestCheckCriterionValues(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	write(t, md, "Run `sensorplace -criterion qrpivot` or `-criterion=dopt`.\n\n```\nsensorplace -criterion nosuch\n```\n")
+	problems, err := checkCriterionValues(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"nosuch"`) {
+		t.Errorf("want exactly the nosuch violation, got %v", problems)
+	}
+}

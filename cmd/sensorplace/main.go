@@ -4,32 +4,49 @@
 //
 // Inputs are two CSV files with one header row and one row per simultaneous
 // sample (see internal/traceio): -x holds the candidate-site voltages, -f
-// the monitored-node voltages. The tool selects sensors by group lasso —
-// either at a fixed budget (-lambda) or targeting a sensor count (-count) —
-// refits the unbiased prediction model, reports held-out accuracy, and
-// optionally writes the runtime model as JSON (-model) for deployment.
+// the monitored-node voltages. The tool selects sensors — by the paper's
+// group lasso at a fixed budget (-lambda) or targeting a sensor count
+// (-count), or by any registered placement criterion (-criterion, see
+// DESIGN.md §13) at a sensor count — refits the unbiased prediction model,
+// reports held-out accuracy, and optionally writes the runtime model as
+// JSON (-model) for deployment.
+//
+// With -budget the tool instead spends a cost budget across heterogeneous
+// sensor classes (reference vs low-cost devices, priced and noise-rated by
+// -class-noise) and refits by GLS so each sensor is weighted by its
+// precision.
+//
 // With -fallback-budget the artifact additionally carries leave-k-out
 // fallback submodels so voltserved can survive up to that many sensor
 // failures at runtime (see internal/faults). With -rank or -energy the
-// selection (and, without fallbacks, the refit) runs in a POD compression
-// of the monitored nodes — same methodology at O(r/K) of the solver cost,
-// which is what makes many-node target sets tractable (see internal/basis).
+// group-lasso selection runs in a POD compression of the monitored nodes —
+// same methodology at O(r/K) of the solver cost (see internal/basis); for
+// criterion-driven placement the same flags size the candidate POD basis
+// instead. Flag precedence when combined: -fallback-budget always forces
+// the dense leave-k-out refit, so -rank/-energy then accelerate only the
+// selection, not the refit.
 //
 //	sensorplace -x candidates.csv -f blocks.csv -count 4 -fallback-budget 1 -model model.json
+//	sensorplace -x candidates.csv -f blocks.csv -count 8 -criterion qrpivot
+//	sensorplace -x candidates.csv -f blocks.csv -budget 24 -class-noise 0.0025,0.04
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"voltsense/internal/basis"
 	"voltsense/internal/core"
 	"voltsense/internal/lasso"
 	"voltsense/internal/mat"
 	"voltsense/internal/ols"
+	"voltsense/internal/place"
 	"voltsense/internal/profiling"
 	"voltsense/internal/traceio"
 )
@@ -47,7 +64,7 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sensorplace", flag.ContinueOnError)
 	xPath := fs.String("x", "", "CSV of candidate-site voltage samples (required)")
 	fPath := fs.String("f", "", "CSV of monitored-node voltage samples (required)")
@@ -56,9 +73,12 @@ func run(args []string, out *os.File) error {
 	threshold := fs.Float64("threshold", core.DefaultThreshold, "group-norm selection threshold T")
 	holdout := fs.Float64("holdout", 0.25, "fraction of samples reserved for accuracy reporting")
 	modelPath := fs.String("model", "", "write the fitted runtime model as JSON to this path")
-	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none)")
-	rank := fs.Int("rank", 0, "solve placement in a rank-r POD basis of the targets (0 = dense)")
-	energyFrac := fs.Float64("energy", 0, "solve placement in the smallest POD basis capturing this energy fraction, e.g. 0.99 (0 = dense)")
+	criterion := fs.String("criterion", "grouplasso", "placement criterion ("+strings.Join(place.Names(), ", ")+"); non-grouplasso criteria require -count and refuse -lambda (see DESIGN.md §13)")
+	budget := fs.Float64("budget", 0, "mixed-class cost budget: place reference and low-cost sensors until the budget runs out and refit by GLS (mutually exclusive with -lambda/-count/-criterion/-fallback-budget)")
+	classNoise := fs.String("class-noise", "", "per-class noise variances REFVAR,LOWVAR for -budget placement (default 0.0025,0.04)")
+	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none); takes precedence over -rank/-energy for the refit, which then stays dense")
+	rank := fs.Int("rank", 0, "rank-r POD basis: compresses the monitored nodes for group lasso, sizes the candidate basis for other criteria (0 = default)")
+	energyFrac := fs.Float64("energy", 0, "smallest POD basis capturing this energy fraction, e.g. 0.99; same role as -rank (0 = default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
@@ -77,8 +97,32 @@ func run(args []string, out *os.File) error {
 		fs.Usage()
 		return errors.New("both -x and -f are required")
 	}
-	if (*lambda > 0) == (*count > 0) {
-		return errors.New("specify exactly one of -lambda or -count")
+	crit, err := place.ParseCriterion(*criterion)
+	if err != nil {
+		return err
+	}
+	critDriven := crit.Name() != "grouplasso"
+	mixed := *budget > 0
+	if mixed {
+		if *lambda > 0 || *count > 0 {
+			return errors.New("-budget replaces -lambda/-count: the cost budget determines the sensor count")
+		}
+		if critDriven {
+			return errors.New("-budget runs its own mixed-class greedy; drop -criterion")
+		}
+		if *fallbackBudget > 0 {
+			return errors.New("-fallback-budget needs the dense homogeneous refit and cannot combine with the GLS refit of -budget")
+		}
+	} else {
+		if *classNoise != "" {
+			return errors.New("-class-noise only applies to -budget mixed placement")
+		}
+		if (*lambda > 0) == (*count > 0) {
+			return errors.New("specify exactly one of -lambda or -count (or a mixed-class -budget)")
+		}
+		if critDriven && *lambda > 0 {
+			return fmt.Errorf("-criterion %s selects by sensor count; use -count, not -lambda", crit.Name())
+		}
 	}
 	if *holdout < 0 || *holdout >= 1 {
 		return fmt.Errorf("-holdout %v out of [0, 1)", *holdout)
@@ -117,7 +161,36 @@ func run(args []string, out *os.File) error {
 	train, test := split(full, *holdout)
 
 	var selected []int
+	var pred *core.Predictor // set early by the mixed path, which refits by GLS
+	cc := core.CriterionConfig{Basis: bc, Threshold: *threshold, Solver: lasso.Options{MaxIter: 3000, Tol: 1e-7}}
 	switch {
+	case mixed:
+		spec := place.DefaultClassSpec
+		if *classNoise != "" {
+			if spec.RefVar, spec.LowCostVar, err = parseClassNoise(*classNoise); err != nil {
+				return err
+			}
+		}
+		mp, prob, err := core.PlaceMixedSensors(train, spec, *budget, cc)
+		if err != nil {
+			return err
+		}
+		selected = mp.Selected
+		ref, low := mp.CountByClass()
+		fmt.Fprintf(out, "budget %g placed %d sensors (%d reference, %d low-cost, cost %g)\n",
+			*budget, len(selected), ref, low, mp.Cost)
+		pred, err = core.BuildGLSPredictor(prob, mp.Selected, mp.NoiseVariances(spec))
+		if err != nil {
+			return err
+		}
+	case critDriven:
+		cp, err := core.PlaceWith(train, crit, *count, cc)
+		if err != nil {
+			return err
+		}
+		selected = cp.Selected
+		fmt.Fprintf(out, "%s selected %d sensors (candidate POD rank %d)\n",
+			crit.Name(), len(selected), cp.Problem.Rank())
 	case *lambda > 0 && reduced:
 		pl, err := core.PlaceSensorsReduced(train, core.Config{Lambda: *lambda, Threshold: *threshold}, bc)
 		if err != nil {
@@ -156,8 +229,9 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "selected candidate names:   %v\n", names)
 
-	var pred *core.Predictor
 	switch {
+	case pred != nil:
+		// Mixed placement already refit by GLS above.
 	case *fallbackBudget > 0:
 		// The fallback machinery refits dense leave-k-out submodels; the
 		// reduced basis (when requested) still accelerated the selection.
@@ -167,7 +241,7 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "fitted %d fallback submodels (budget %d failed sensors)\n",
 			len(pred.Fallbacks.Models), *fallbackBudget)
-	case reduced:
+	case reduced && !critDriven:
 		var rb *basis.Basis
 		pred, rb, err = core.BuildReducedPredictor(train, selected, bc)
 		if err != nil {
@@ -197,6 +271,21 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "runtime model written to %s\n", *modelPath)
 	}
 	return nil
+}
+
+// parseClassNoise parses "REFVAR,LOWVAR" into the two class noise variances.
+func parseClassNoise(s string) (refVar, lowVar float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-class-noise %q: want REFVAR,LOWVAR", s)
+	}
+	if refVar, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, fmt.Errorf("-class-noise reference variance: %w", err)
+	}
+	if lowVar, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, fmt.Errorf("-class-noise low-cost variance: %w", err)
+	}
+	return refVar, lowVar, nil
 }
 
 // split reserves the trailing holdout fraction for testing.

@@ -29,6 +29,7 @@
 //	faults       detection quality with failed sensors: naive vs fallback
 //	adapt        online recalibration under grid drift: static vs adapted
 //	rank         chip-joint placement, dense vs reduced-basis: rank/accuracy/time
+//	shootout     every placement criterion + mixed sensor classes, ranked on TE
 //
 // Flags select the pipeline scale (-full for the paper-scale run), CSV
 // output, sensor budgets and benchmark choice; see -help.
@@ -45,6 +46,7 @@ import (
 	"voltsense/internal/experiments"
 	"voltsense/internal/online"
 	"voltsense/internal/pdn"
+	"voltsense/internal/place"
 	"voltsense/internal/profiling"
 	"voltsense/internal/vmap"
 )
@@ -71,10 +73,13 @@ func run(args []string) error {
 	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
 	backend := fs.String("backend", "", "transient solver backend: auto (default), banded, or sparse")
 	rankLambda := fs.Float64("ranklambda", 12, "chip-joint λ for the rank experiment")
+	shootQ := fs.Int("shootq", 8, "chip-wide sensor count for the shootout experiment")
+	criteria := fs.String("criteria", "", "comma-separated criterion subset for shootout (default: all)")
+	shootBudget := fs.Float64("shootbudget", 0, "mixed-class cost budget for shootout (0 = shootq reference sensors' worth)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt|rank>\n")
+		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt|rank|shootout>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -156,6 +161,7 @@ func run(args []string) error {
 		"faults":      func() error { return doFaults(p, *sensors, *budget, *csv) },
 		"adapt":       func() error { return doAdapt(p, *sensors, *csv) },
 		"rank":        func() error { return doRank(p, *rankLambda, *csv) },
+		"shootout":    func() error { return doShootout(p, *shootQ, *criteria, *shootBudget, *csv) },
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig2", "fig3", "table2", "fig4", "map"} {
@@ -176,6 +182,7 @@ var knownExperiments = map[string]bool{
 	"fig4": true, "map": true, "all": true, "correlation": true,
 	"perblock": true, "ablations": true, "robustness": true, "variation": true,
 	"closedloop": true, "loo": true, "faults": true, "adapt": true, "rank": true,
+	"shootout": true,
 }
 
 func scaleName(full bool) string {
@@ -383,6 +390,29 @@ func doAdapt(p *experiments.Pipeline, sensors int, csv bool) error {
 
 func doRank(p *experiments.Pipeline, lambda float64, csv bool) error {
 	d, err := p.RankStudy(lambda, []float64{0.99, 0.999, 0.9999})
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(d.CSV())
+	} else {
+		fmt.Print(d.Render())
+	}
+	return nil
+}
+
+func doShootout(p *experiments.Pipeline, q int, criteriaCSV string, budget float64, csv bool) error {
+	var criteria []string
+	if criteriaCSV != "" {
+		for _, tok := range strings.Split(criteriaCSV, ",") {
+			criteria = append(criteria, strings.TrimSpace(tok))
+		}
+	}
+	spec := place.DefaultClassSpec
+	if budget <= 0 {
+		budget = float64(q) * spec.RefCost
+	}
+	d, err := p.CriteriaShootout(q, criteria, spec, budget)
 	if err != nil {
 		return err
 	}

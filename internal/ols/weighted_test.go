@@ -1,0 +1,189 @@
+package ols
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.Zeros(r, c)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestFitWeightedUniformMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randMatrix(rng, 4, 60)
+	f := randMatrix(rng, 6, 60)
+	plain, err := Fit(x, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wv := range []float64{1, 0.25, 13.5} {
+		w := make([]float64, x.Cols())
+		for j := range w {
+			w[j] = wv
+		}
+		wm, err := FitWeighted(x, f, w)
+		if err != nil {
+			t.Fatalf("weight %v: %v", wv, err)
+		}
+		if !mat.Equalish(plain.Alpha, wm.Alpha, 1e-9) {
+			t.Errorf("weight %v: alpha diverges from Fit by %g", wv, mat.MaxAbsDiff(plain.Alpha, wm.Alpha))
+		}
+		for i := range plain.C {
+			if math.Abs(plain.C[i]-wm.C[i]) > 1e-9 {
+				t.Errorf("weight %v: intercept %d: %g vs %g", wv, i, plain.C[i], wm.C[i])
+			}
+		}
+	}
+}
+
+func TestFitWeightedDownweightsCorruptedSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randMatrix(rng, 3, 80)
+	truth := randMatrix(rng, 2, 3) // true coefficients
+	f := mat.Mul(truth, x)
+	// Corrupt the last 10 samples of f badly; a weighted fit that zeroes
+	// them out must recover the clean coefficients.
+	for j := 70; j < 80; j++ {
+		for i := 0; i < f.Rows(); i++ {
+			f.Set(i, j, f.At(i, j)+25)
+		}
+	}
+	w := make([]float64, 80)
+	for j := range w {
+		if j < 70 {
+			w[j] = 1
+		}
+	}
+	m, err := FitWeighted(x, f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(truth, m.Alpha, 1e-8) {
+		t.Errorf("weighted fit did not ignore zero-weight samples: max diff %g",
+			mat.MaxAbsDiff(truth, m.Alpha))
+	}
+	// The unweighted fit, by contrast, must be pulled off the truth.
+	um, err := Fit(x, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Equalish(truth, um.Alpha, 1e-3) {
+		t.Error("unweighted fit unexpectedly immune to corrupted samples")
+	}
+}
+
+func TestFitWeightedRejectsBadWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMatrix(rng, 3, 20)
+	f := randMatrix(rng, 2, 20)
+	w := make([]float64, 20)
+	for j := range w {
+		w[j] = 1
+	}
+	w[4] = -0.5
+	if _, err := FitWeighted(x, f, w); err == nil {
+		t.Error("negative weight accepted")
+	}
+	w[4] = math.NaN()
+	if _, err := FitWeighted(x, f, w); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	// Too few positive weights.
+	for j := range w {
+		w[j] = 0
+	}
+	w[0], w[1] = 1, 1
+	if _, err := FitWeighted(x, f, w); err == nil {
+		t.Error("underdetermined weighted design accepted")
+	}
+}
+
+func TestGLSGainEqualVariancesIsPseudoInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randMatrix(rng, 8, 3)
+	ones := make([]float64, 8)
+	scaled := make([]float64, 8)
+	for i := range ones {
+		ones[i] = 1
+		scaled[i] = 0.037 // any common variance must cancel
+	}
+	p1, err := GLSGain(d, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GLSGain(d, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalish(p1, p2, 1e-9) {
+		t.Errorf("equal variances did not cancel: max diff %g", mat.MaxAbsDiff(p1, p2))
+	}
+	// P·D must be the identity (left inverse on a full-column-rank design).
+	pd := mat.Mul(p1, d)
+	if !mat.Equalish(pd, mat.Eye(3), 1e-9) {
+		t.Errorf("gain is not a left inverse: max diff %g", mat.MaxAbsDiff(pd, mat.Eye(3)))
+	}
+}
+
+func TestGLSGainRecoversHeteroscedasticTruth(t *testing.T) {
+	// With one precise and several noisy equations, the GLS estimate must
+	// sit closer to the truth than OLS on average.
+	rng := rand.New(rand.NewSource(9))
+	d := randMatrix(rng, 12, 2)
+	truth := []float64{1.5, -0.7}
+	vars := make([]float64, 12)
+	for i := range vars {
+		vars[i] = 1.0
+	}
+	vars[0], vars[1] = 1e-6, 1e-6 // two near-exact reference equations
+	pGLS, err := GLSGain(d, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, 12)
+	for i := range ones {
+		ones[i] = 1
+	}
+	pOLS, err := GLSGain(d, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var glsErr, olsErr float64
+	for trial := 0; trial < 200; trial++ {
+		y := make([]float64, 12)
+		for i := 0; i < 12; i++ {
+			y[i] = mat.Dot(d.Row(i), truth) + rng.NormFloat64()*math.Sqrt(vars[i])
+		}
+		ag := mat.MulVec(pGLS, y)
+		ao := mat.MulVec(pOLS, y)
+		for k := range truth {
+			glsErr += (ag[k] - truth[k]) * (ag[k] - truth[k])
+			olsErr += (ao[k] - truth[k]) * (ao[k] - truth[k])
+		}
+	}
+	if glsErr >= olsErr {
+		t.Errorf("GLS mean-square error %g not below OLS %g under heteroscedastic noise", glsErr, olsErr)
+	}
+}
+
+func TestGLSGainRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randMatrix(rng, 3, 5) // fewer equations than unknowns
+	v := []float64{1, 1, 1}
+	if _, err := GLSGain(d, v); err == nil {
+		t.Error("underdetermined design accepted")
+	}
+	d2 := randMatrix(rng, 5, 2)
+	if _, err := GLSGain(d2, []float64{1, 1, 0, 1, 1}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}

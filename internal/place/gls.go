@@ -1,0 +1,86 @@
+package place
+
+import (
+	"fmt"
+
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// GLSModel builds the heterogeneous-network refit for a selection: a linear
+// model from raw sensor readings to raw critical-node voltages that weighs
+// each sensor by its measurement precision. The estimate factors through the
+// rank-r candidate basis in two stages, both closed-form:
+//
+//  1. Coefficient recovery. With D = Ψ_S (the selected basis rows) and
+//     W = diag(1/σ²_i), the basis coefficients are â = P·z_S where
+//     P = (DᵀWD)⁻¹DᵀW is the GLS gain (ols.GLSGain) and z_S the
+//     standardized readings — the best linear unbiased estimate under
+//     per-sensor noise.
+//  2. Target regression. The coefficient→target map (B, c) is ordinary
+//     least squares of the raw targets on the training coefficients
+//     (ols.Fit on Problem.Coef), fitted once per problem.
+//
+// The two stages compose into a single K×q model on raw readings, folding
+// the candidate standardization into the weights, so the result is a drop-in
+// ols.Model for core.Predictor. noiseVar holds one variance per selected
+// sensor, aligned with selected ascending (a MixedPlacement's
+// NoiseVariances, or nil for unit variances — the homogeneous OLS refit in
+// basis space; TestGLSModelEqualVariancesMatchesUnweighted pins that the
+// common factor cancels).
+//
+// GLSModel needs len(selected) ≥ Problem.Rank() — fewer sensors than basis
+// modes cannot determine the coefficients.
+func GLSModel(p *Problem, selected []int, noiseVar []float64) (*ols.Model, error) {
+	q := len(selected)
+	if q == 0 {
+		return nil, fmt.Errorf("place: empty selection")
+	}
+	if q < p.Rank() {
+		return nil, fmt.Errorf("place: %d sensors cannot determine %d basis coefficients; lower the basis rank or add sensors", q, p.Rank())
+	}
+	for i, s := range selected {
+		if s < 0 || s >= p.Candidates() {
+			return nil, fmt.Errorf("place: selected index %d out of range 0..%d", s, p.Candidates()-1)
+		}
+		if i > 0 && selected[i-1] >= s {
+			return nil, fmt.Errorf("place: selection must be strictly ascending")
+		}
+	}
+	if noiseVar == nil {
+		noiseVar = make([]float64, q)
+		for i := range noiseVar {
+			noiseVar[i] = 1
+		}
+	}
+	if len(noiseVar) != q {
+		return nil, fmt.Errorf("place: %d noise variances for %d selected sensors", len(noiseVar), q)
+	}
+
+	d := p.Psi.SelectRows(selected)
+	gain, err := ols.GLSGain(d, noiseVar) // r×q on standardized readings
+	if err != nil {
+		return nil, err
+	}
+	// Coefficient→target regression on the training coefficients.
+	bm, err := ols.Fit(p.Coef, p.F)
+	if err != nil {
+		return nil, fmt.Errorf("place: coefficient regression: %w", err)
+	}
+	// Compose: f̂ = B·(P·z_S) + c with z_S,i = (x_i − μ_i)/s_i. Fold the
+	// standardization into the raw-reading model.
+	alphaStd := mat.Mul(bm.Alpha, gain) // K×q on standardized readings
+	std := p.XStd.Subset(selected)
+	k := alphaStd.Rows()
+	c := make([]float64, k)
+	for i := 0; i < k; i++ {
+		row := alphaStd.Row(i)
+		ci := bm.C[i]
+		for j := 0; j < q; j++ {
+			row[j] /= std.Std[j]
+			ci -= row[j] * std.Mean[j]
+		}
+		c[i] = ci
+	}
+	return &ols.Model{Alpha: alphaStd, C: c}, nil
+}

@@ -1,0 +1,179 @@
+package place
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SensorClass distinguishes the two device classes of a heterogeneous
+// monitoring network.
+type SensorClass int
+
+const (
+	// ClassReference is a high-precision, high-cost device (e.g. a full
+	// analog noise sensor with a calibrated front end).
+	ClassReference SensorClass = iota
+	// ClassLowCost is a cheap, noisier device (e.g. a digital droop
+	// detector reused as a coarse voltage sampler).
+	ClassLowCost
+)
+
+// String returns "reference" or "lowcost".
+func (c SensorClass) String() string {
+	if c == ClassReference {
+		return "reference"
+	}
+	return "lowcost"
+}
+
+// ClassSpec prices the two sensor classes: each class has a measurement
+// noise variance (volts², relative to the standardized basis formulation)
+// and a deployment cost in arbitrary budget units. A sensible spec has
+// RefVar < LowCostVar and RefCost > LowCostCost — otherwise one class
+// dominates and the mixed placement degenerates to a single class.
+type ClassSpec struct {
+	RefVar      float64 // reference-sensor noise variance, > 0
+	LowCostVar  float64 // low-cost-sensor noise variance, > 0
+	RefCost     float64 // reference-sensor deployment cost, > 0
+	LowCostCost float64 // low-cost-sensor deployment cost, > 0
+}
+
+// DefaultClassSpec is the shootout's mixed-network pricing: a reference
+// sensor is 16× quieter (4× in σ) and 4× the cost of a low-cost sensor.
+var DefaultClassSpec = ClassSpec{RefVar: 0.0025, LowCostVar: 0.04, RefCost: 4, LowCostCost: 1}
+
+func (s ClassSpec) check() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"RefVar", s.RefVar}, {"LowCostVar", s.LowCostVar},
+		{"RefCost", s.RefCost}, {"LowCostCost", s.LowCostCost},
+	} {
+		if v.v <= 0 || math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("place: class spec %s = %v outside (0, ∞)", v.name, v.v)
+		}
+	}
+	return nil
+}
+
+// MixedPlacement is a budget-constrained heterogeneous selection: Selected
+// holds candidate indices ascending, Classes[i] the device class installed
+// at Selected[i], Cost the total budget spent.
+type MixedPlacement struct {
+	Selected []int
+	Classes  []SensorClass
+	Cost     float64
+}
+
+// NoiseVariances returns the per-sensor noise variance vector aligned with
+// Selected — the weights for the GLS refit (see GLSModel).
+func (mp *MixedPlacement) NoiseVariances(spec ClassSpec) []float64 {
+	out := make([]float64, len(mp.Classes))
+	for i, c := range mp.Classes {
+		if c == ClassReference {
+			out[i] = spec.RefVar
+		} else {
+			out[i] = spec.LowCostVar
+		}
+	}
+	return out
+}
+
+// CountByClass returns (#reference, #lowcost).
+func (mp *MixedPlacement) CountByClass() (ref, low int) {
+	for _, c := range mp.Classes {
+		if c == ClassReference {
+			ref++
+		} else {
+			low++
+		}
+	}
+	return ref, low
+}
+
+// PlaceMixed runs budget-constrained heterogeneous placement: a greedy
+// weighted-D-optimal design where installing class c at site m adds
+// (1/σ²_c)·ψ_m ψ_mᵀ to the information matrix at price cost_c, and each step
+// takes the (site, class) pair with the best log-det gain per unit cost that
+// still fits the remaining budget. This is the classic cost-benefit greedy
+// for submodular maximization under a knapsack constraint; the precision
+// weighting is exactly what makes a quiet reference sensor worth a premium
+// over several noisy low-cost ones in ill-conditioned directions.
+//
+// The search stops when the budget cannot afford either class or every site
+// is instrumented. At least one sensor must be affordable.
+func PlaceMixed(p *Problem, spec ClassSpec, budget float64) (*MixedPlacement, error) {
+	if err := spec.check(); err != nil {
+		return nil, err
+	}
+	minCost := math.Min(spec.RefCost, spec.LowCostCost)
+	if budget < minCost {
+		return nil, fmt.Errorf("place: budget %g cannot afford any sensor (cheapest class costs %g)", budget, minCost)
+	}
+	if p.Candidates() == 0 {
+		return nil, errors.New("place: no candidate sites")
+	}
+	st := newInfoState(p.Psi)
+	chosen := make([]bool, p.Candidates())
+	classes := map[SensorClass]struct {
+		w, cost float64
+	}{
+		ClassReference: {1 / spec.RefVar, spec.RefCost},
+		ClassLowCost:   {1 / spec.LowCostVar, spec.LowCostCost},
+	}
+	mp := &MixedPlacement{}
+	remaining := budget
+	for {
+		bestSite, bestClass, bestRatio := -1, ClassReference, 0.0
+		for m := 0; m < p.Candidates(); m++ {
+			if chosen[m] {
+				continue
+			}
+			row := p.Psi.Row(m)
+			raw := st.gain(row, 1) // ψᵀM⁻¹ψ, class-independent
+			for c, cc := range classes {
+				if cc.cost > remaining {
+					continue
+				}
+				ratio := math.Log1p(cc.w*raw) / cc.cost
+				if ratio > bestRatio {
+					bestSite, bestClass, bestRatio = m, c, ratio
+				}
+			}
+		}
+		if bestSite < 0 {
+			break
+		}
+		cc := classes[bestClass]
+		chosen[bestSite] = true
+		st.add(p.Psi.Row(bestSite), cc.w)
+		mp.Selected = append(mp.Selected, bestSite)
+		mp.Classes = append(mp.Classes, bestClass)
+		mp.Cost += cc.cost
+		remaining -= cc.cost
+	}
+	if len(mp.Selected) == 0 {
+		return nil, errors.New("place: mixed placement selected no sensors")
+	}
+	sortMixed(mp)
+	return mp, nil
+}
+
+// sortMixed orders Selected ascending, keeping Classes aligned.
+func sortMixed(mp *MixedPlacement) {
+	idx := make([]int, len(mp.Selected))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return mp.Selected[idx[a]] < mp.Selected[idx[b]] })
+	sel := make([]int, len(idx))
+	cls := make([]SensorClass, len(idx))
+	for i, j := range idx {
+		sel[i] = mp.Selected[j]
+		cls[i] = mp.Classes[j]
+	}
+	mp.Selected, mp.Classes = sel, cls
+}

@@ -1,0 +1,417 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/basis"
+	"voltsense/internal/mat"
+)
+
+func randMat(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.Zeros(r, c)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// testProblem builds a synthetic low-rank placement problem: M candidate
+// traces and K target traces driven by the same rank-dimensional latent
+// process, so a rank-r basis of the candidates genuinely determines the
+// targets.
+func testProblem(t *testing.T, seed int64, m, k, n, rank int) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := randMat(rng, rank, n)
+	x := mat.Mul(randMat(rng, m, rank), h)
+	f := mat.Mul(randMat(rng, k, rank), h)
+	p, err := NewProblem(x, f, basis.Config{Rank: rank}, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rank() != rank {
+		t.Fatalf("candidate basis rank %d, want %d", p.Rank(), rank)
+	}
+	return p
+}
+
+func TestParseCriterionRoundTripsNames(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 registered criteria, got %v", names)
+	}
+	for _, name := range names {
+		c, err := ParseCriterion(name)
+		if err != nil {
+			t.Fatalf("ParseCriterion(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ParseCriterion(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ParseCriterion("  QRPivot "); err != nil {
+		t.Errorf("case/space-insensitive parse failed: %v", err)
+	}
+	if _, err := ParseCriterion("bogus"); err == nil {
+		t.Error("unknown criterion accepted")
+	}
+}
+
+func TestEveryCriterionReturnsAscendingUniqueSelection(t *testing.T) {
+	p := testProblem(t, 1, 14, 3, 160, 4)
+	const q = 5
+	for _, name := range Names() {
+		c, err := ParseCriterion(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := c.Select(p, q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sel) != q {
+			t.Fatalf("%s: got %d sensors, want %d", name, len(sel), q)
+		}
+		for i, s := range sel {
+			if s < 0 || s >= p.Candidates() {
+				t.Errorf("%s: index %d out of range", name, s)
+			}
+			if i > 0 && sel[i-1] >= s {
+				t.Errorf("%s: selection %v not strictly ascending", name, sel)
+			}
+		}
+		// Determinism: a second run on the same problem must agree.
+		again, err := c.Select(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sel {
+			if sel[i] != again[i] {
+				t.Errorf("%s: selection not deterministic: %v vs %v", name, sel, again)
+			}
+		}
+	}
+}
+
+func TestCriterionBudgetValidation(t *testing.T) {
+	p := testProblem(t, 2, 8, 2, 60, 3)
+	for _, q := range []int{0, -1, 9} {
+		if _, err := (DOpt{}).Select(p, q); err == nil {
+			t.Errorf("budget %d accepted", q)
+		}
+	}
+}
+
+// TestDOptGreedyMatchesBruteForce pins the Sherman–Morrison incremental
+// arithmetic against a naive greedy that recomputes the exact log-det
+// objective for every candidate at every step.
+func TestDOptGreedyMatchesBruteForce(t *testing.T) {
+	p := testProblem(t, 3, 12, 3, 90, 4)
+	const q = 6
+	fast, err := (DOpt{}).Select(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive []int
+	chosen := make([]bool, p.Candidates())
+	for len(naive) < q {
+		best, bestLD := -1, math.Inf(-1)
+		for i := 0; i < p.Candidates(); i++ {
+			if chosen[i] {
+				continue
+			}
+			ld, err := LogDetInfo(p.Psi, append(naive, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same lowest-index-wins tie margin as the production greedy:
+			// first-step gains are exactly tied on standardized data.
+			if best < 0 || ld > bestLD+1e-9*math.Abs(bestLD) {
+				best, bestLD = i, ld
+			}
+		}
+		chosen[best] = true
+		naive = append(naive, best)
+	}
+	naive = ascending(naive)
+	for i := range fast {
+		if fast[i] != naive[i] {
+			t.Fatalf("greedy selections diverge: fast %v vs brute force %v", fast, naive)
+		}
+	}
+	ldFast, err := LogDetInfo(p.Psi, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldNaive, err := LogDetInfo(p.Psi, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ldFast-ldNaive) / math.Abs(ldNaive); d > 1e-9 {
+		t.Errorf("objectives diverge by relative %g", d)
+	}
+}
+
+// TestQRPivotRotationInvariant: the pivot order depends only on inner
+// products between basis rows, so any orthogonal rotation of the basis must
+// leave the selection unchanged. The latent dimension deliberately exceeds
+// the fitted rank — a fully-covering basis would equalize every row norm
+// (ties), making the first pivot ill-defined and the test meaningless.
+func TestQRPivotRotationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	h := randMat(rng, 9, 120)
+	x := mat.Mul(randMat(rng, 16, 9), h)
+	f := mat.Mul(randMat(rng, 3, 9), h)
+	p, err := NewProblem(x, f, basis.Config{Rank: 5}, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 5
+	base, err := (QRPivot{}).Select(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		// An orthogonal r×r matrix: eigenvectors of a random symmetric matrix.
+		a := randMat(rng, p.Rank(), p.Rank())
+		sym := mat.Mul(a, a.T())
+		e, err := mat.FactorSymEigen(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rotated := *p
+		rotated.Psi = mat.Mul(p.Psi, e.Vectors)
+		got, err := (QRPivot{}).Select(&rotated, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("trial %d: rotation changed selection: %v vs %v", trial, base, got)
+			}
+		}
+	}
+}
+
+func TestFrameSenseBeatsRandomSubsets(t *testing.T) {
+	p := testProblem(t, 5, 18, 3, 140, 4)
+	const q = 6
+	sel, err := (FrameSense{}).Select(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FramePotential(p.Psi, sel)
+	rng := rand.New(rand.NewSource(51))
+	var worse int
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		if FramePotential(p.Psi, rng.Perm(p.Candidates())[:q]) >= fp {
+			worse++
+		}
+	}
+	if worse < trials*3/4 {
+		t.Errorf("frame potential %g beaten by %d/%d random subsets", fp, trials-worse, trials)
+	}
+}
+
+func TestEOptAndWorstCaseBeatRandomOnAverage(t *testing.T) {
+	p := testProblem(t, 6, 18, 3, 140, 4)
+	const q = 6
+	eSel, err := (EOpt{}).Select(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSel, err := (WorstCase{}).Select(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eObj, err := MinEigenInfo(p.Psi, eSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wObj := MaxPosteriorVariance(p.Psi, p.TargetLoad, wSel)
+	rng := rand.New(rand.NewSource(61))
+	var eRand, wRand float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		sub := rng.Perm(p.Candidates())[:q]
+		ev, err := MinEigenInfo(p.Psi, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eRand += ev
+		wRand += MaxPosteriorVariance(p.Psi, p.TargetLoad, sub)
+	}
+	eRand /= trials
+	wRand /= trials
+	if eObj < eRand {
+		t.Errorf("E-opt λ_min %g below random average %g", eObj, eRand)
+	}
+	if wObj > wRand {
+		t.Errorf("worst-case posterior variance %g above random average %g", wObj, wRand)
+	}
+}
+
+// TestGLSModelEqualVariancesMatchesUnweighted: when every sensor carries the
+// same noise variance the GLS weighting cancels, so the refit must agree
+// with the unweighted basis refit to machine precision.
+func TestGLSModelEqualVariancesMatchesUnweighted(t *testing.T) {
+	p := testProblem(t, 7, 15, 4, 130, 4)
+	sel, err := (DOpt{}).Select(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GLSModel(p, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 0.21, 7.5} {
+		vars := make([]float64, len(sel))
+		for i := range vars {
+			vars[i] = v
+		}
+		wm, err := GLSModel(p, sel, vars)
+		if err != nil {
+			t.Fatalf("variance %v: %v", v, err)
+		}
+		if !mat.Equalish(plain.Alpha, wm.Alpha, 1e-9) {
+			t.Errorf("variance %v: alpha diverges by %g", v, mat.MaxAbsDiff(plain.Alpha, wm.Alpha))
+		}
+		for i := range plain.C {
+			if math.Abs(plain.C[i]-wm.C[i]) > 1e-9 {
+				t.Errorf("variance %v: intercept %d: %g vs %g", v, i, plain.C[i], wm.C[i])
+			}
+		}
+	}
+}
+
+// TestGLSModelPredictsLowRankTargets: on noiseless low-rank data the basis
+// refit must reproduce the targets nearly exactly from raw readings.
+func TestGLSModelPredictsLowRankTargets(t *testing.T) {
+	p := testProblem(t, 8, 15, 4, 130, 4)
+	sel, err := (QRPivot{}).Select(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := GLSModel(p, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := p.X.SelectRows(sel)
+	var worst float64
+	for j := 0; j < p.X.Cols(); j++ {
+		got := m.Predict(xs.Col(j))
+		for i, v := range got {
+			if d := math.Abs(v - p.F.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("max reconstruction error %g on noiseless low-rank data", worst)
+	}
+}
+
+func TestGLSModelValidation(t *testing.T) {
+	p := testProblem(t, 9, 10, 2, 80, 4)
+	if _, err := GLSModel(p, nil, nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := GLSModel(p, []int{0, 1, 2}, nil); err == nil {
+		t.Error("selection below basis rank accepted")
+	}
+	if _, err := GLSModel(p, []int{0, 2, 1, 3}, nil); err == nil {
+		t.Error("non-ascending selection accepted")
+	}
+	if _, err := GLSModel(p, []int{0, 1, 2, 11}, nil); err == nil {
+		t.Error("out-of-range selection accepted")
+	}
+	if _, err := GLSModel(p, []int{0, 1, 2, 3}, []float64{1, 1}); err == nil {
+		t.Error("mismatched variance vector accepted")
+	}
+}
+
+func TestPlaceMixedRespectsBudgetAndClasses(t *testing.T) {
+	p := testProblem(t, 10, 20, 3, 150, 4)
+	spec := DefaultClassSpec
+	mp, err := PlaceMixed(p, spec, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Cost > 12 {
+		t.Errorf("cost %g exceeds budget", mp.Cost)
+	}
+	if len(mp.Selected) != len(mp.Classes) {
+		t.Fatalf("selected/classes misaligned: %d vs %d", len(mp.Selected), len(mp.Classes))
+	}
+	for i, s := range mp.Selected {
+		if i > 0 && mp.Selected[i-1] >= s {
+			t.Fatalf("selection %v not strictly ascending", mp.Selected)
+		}
+	}
+	vars := mp.NoiseVariances(spec)
+	for i, c := range mp.Classes {
+		want := spec.LowCostVar
+		if c == ClassReference {
+			want = spec.RefVar
+		}
+		if vars[i] != want {
+			t.Errorf("variance %d: %g, want %g", i, vars[i], want)
+		}
+	}
+	// A larger budget must buy at least as many sensors.
+	mpBig, err := PlaceMixed(p, spec, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mpBig.Selected) < len(mp.Selected) {
+		t.Errorf("budget 40 bought %d sensors, budget 12 bought %d", len(mpBig.Selected), len(mp.Selected))
+	}
+	// The mixed refit must go through once enough sensors cover the rank.
+	if len(mpBig.Selected) >= p.Rank() {
+		if _, err := GLSModel(p, mpBig.Selected, mpBig.NoiseVariances(spec)); err != nil {
+			t.Errorf("mixed GLS refit: %v", err)
+		}
+	}
+}
+
+func TestPlaceMixedEqualCostsPrefersReference(t *testing.T) {
+	p := testProblem(t, 11, 12, 2, 90, 3)
+	spec := ClassSpec{RefVar: 0.01, LowCostVar: 0.1, RefCost: 1, LowCostCost: 1}
+	mp, err := PlaceMixed(p, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, low := mp.CountByClass()
+	if low != 0 {
+		t.Errorf("equal costs picked %d low-cost sensors (%d reference); reference strictly dominates", low, ref)
+	}
+}
+
+func TestPlaceMixedValidation(t *testing.T) {
+	p := testProblem(t, 12, 8, 2, 60, 3)
+	if _, err := PlaceMixed(p, DefaultClassSpec, 0.5); err == nil {
+		t.Error("unaffordable budget accepted")
+	}
+	bad := DefaultClassSpec
+	bad.RefVar = -1
+	if _, err := PlaceMixed(p, bad, 10); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randMat(rng, 4, 30)
+	f := randMat(rng, 2, 20)
+	if _, err := NewProblem(x, f, basis.Config{Rank: 2}, 0.85); err == nil {
+		t.Error("sample-count mismatch accepted")
+	}
+	if _, err := NewProblem(nil, f, basis.Config{Rank: 2}, 0.85); err == nil {
+		t.Error("nil candidates accepted")
+	}
+}

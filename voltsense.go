@@ -44,6 +44,7 @@ import (
 	"voltsense/internal/monitor"
 	"voltsense/internal/online"
 	"voltsense/internal/pdn"
+	"voltsense/internal/place"
 	"voltsense/internal/power"
 	"voltsense/internal/sensor"
 	"voltsense/internal/thermal"
@@ -141,6 +142,65 @@ type EagleEyePlacement = eagleeye.Placement
 // PlaceEagleEye runs the baseline's greedy emergency-coverage placement.
 func PlaceEagleEye(x, f *Matrix, vth float64, q int) *EagleEyePlacement {
 	return eagleeye.Place(x, f, vth, q)
+}
+
+// --- Pluggable placement criteria and heterogeneous sensor classes ---
+
+// PlacementCriterion is one sensor-selection strategy: the paper's group
+// lasso, the Eagle-Eye baseline, or any of the basis-driven optimality
+// criteria (see DESIGN.md §13).
+type PlacementCriterion = place.Criterion
+
+// CriterionConfig parameterizes criterion-driven placement: candidate POD
+// basis sizing, emergency threshold, and group-lasso solver options.
+type CriterionConfig = core.CriterionConfig
+
+// CriterionPlacement is a solved criterion-driven selection, carrying the
+// shared placement problem for GLS refits or further criteria.
+type CriterionPlacement = core.CriterionPlacement
+
+// SensorClassSpec prices the two heterogeneous device classes (reference vs
+// low-cost): per-class noise variance and deployment cost.
+type SensorClassSpec = place.ClassSpec
+
+// MixedSensorPlacement is a budget-constrained heterogeneous selection:
+// sites, per-site device classes, and total cost.
+type MixedSensorPlacement = place.MixedPlacement
+
+// DefaultSensorClassSpec is the default mixed-network pricing: a reference
+// sensor is 16× quieter and 4× the cost of a low-cost sensor.
+var DefaultSensorClassSpec = place.DefaultClassSpec
+
+// PlacementCriteria lists every registered criterion name.
+func PlacementCriteria() []string { return place.Names() }
+
+// ParsePlacementCriterion resolves a criterion by name (see
+// PlacementCriteria), the same registry behind `sensorplace -criterion`.
+func ParsePlacementCriterion(name string) (PlacementCriterion, error) {
+	return place.ParseCriterion(name)
+}
+
+// PlaceWithCriterion selects q sensors with the named criterion — the
+// pluggable counterpart of PlaceSensors.
+func PlaceWithCriterion(ds *Dataset, name string, q int, cc CriterionConfig) (*CriterionPlacement, error) {
+	crit, err := place.ParseCriterion(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.PlaceWith(ds, crit, q, cc)
+}
+
+// PlaceMixedSensors spends a cost budget across reference and low-cost
+// sensor classes; refit the result with BuildGLSPredictor and the
+// placement's NoiseVariances.
+func PlaceMixedSensors(ds *Dataset, spec SensorClassSpec, budget float64, cc CriterionConfig) (*MixedSensorPlacement, *place.Problem, error) {
+	return core.PlaceMixedSensors(ds, spec, budget, cc)
+}
+
+// BuildGLSPredictor refits a selection with per-sensor noise weighting (GLS)
+// into a standard runtime Predictor.
+func BuildGLSPredictor(p *place.Problem, selected []int, noiseVar []float64) (*Predictor, error) {
+	return core.BuildGLSPredictor(p, selected, noiseVar)
 }
 
 // --- Full-chip voltage map generation (the title's second half) ---
