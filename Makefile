@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 100ms
 
-.PHONY: build test race vet lint bench bench-quick bench-compare bench-trajectory fleet-smoke fleet-compare fault-ablation adapt-ablation docs-check clean
+.PHONY: build test race vet lint bench bench-quick bench-compare bench-trajectory fleet-smoke fleet-compare fault-ablation adapt-ablation transfer-ablation docs-check clean
 
 build:
 	$(GO) build ./...
@@ -45,15 +45,17 @@ bench-trajectory:
 
 # fleet-smoke drives the multi-tenant server with the CI-sized fleet
 # workload — 8 tenants, 1000 concurrent NDJSON streams, mixed
-# predict/feedback traffic — in-process, and writes BENCH_PR6.json.
+# predict/feedback/calibrate traffic (every 50th unary request is a few-shot
+# /v1/calibrate alignment against the golden prior) — in-process, and writes
+# BENCH_PR9.json.
 fleet-smoke:
-	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -out BENCH_PR6.json
+	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -calibrate-every 50 -out BENCH_PR9.json
 
 # fleet-compare regenerates a fleet report and diffs it against the
-# committed BENCH_PR6.json baseline; warn-only (see cmd/benchreport).
+# committed BENCH_PR9.json baseline; warn-only (see cmd/benchreport).
 fleet-compare:
-	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -out BENCH_PR6.new.json
-	$(GO) run ./cmd/benchreport -compare BENCH_PR6.json -tolerance 0.5 BENCH_PR6.new.json
+	$(GO) run ./cmd/voltbench -tenants 8 -streams 1000 -cycles 3 -requests 2000 -calibrate-every 50 -out BENCH_PR9.new.json
+	$(GO) run ./cmd/benchreport -compare BENCH_PR9.json -tolerance 0.5 BENCH_PR9.new.json
 
 # fault-ablation regenerates the sensor-failure table (naive vs leave-k-out
 # fallback) that CI uploads as an artifact.
@@ -67,6 +69,12 @@ adapt-ablation:
 	$(GO) run ./cmd/voltmap adapt | tee ADAPT_ABLATION.txt
 	$(GO) run ./cmd/voltmap -csv adapt > ADAPT_ABLATION.csv
 
+# transfer-ablation regenerates the fleet few-shot calibration table (golden
+# prior vs aligned vs from-scratch) that CI uploads as an artifact.
+transfer-ablation:
+	$(GO) run ./cmd/voltmap transfer | tee TRANSFER_ABLATION.txt
+	$(GO) run ./cmd/voltmap -csv transfer > TRANSFER_ABLATION.csv
+
 # docs-check enforces the documentation bar: package comments everywhere,
 # intra-repo markdown links resolve, examples compile and pass.
 docs-check:
@@ -74,4 +82,4 @@ docs-check:
 	$(GO) test -run Example ./...
 
 clean:
-	rm -f BENCH_PR5.new.json BENCH_PR6.new.json BENCH_PR8.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv
+	rm -f BENCH_PR5.new.json BENCH_PR6.new.json BENCH_PR8.new.json BENCH_PR9.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv TRANSFER_ABLATION.txt TRANSFER_ABLATION.csv

@@ -58,6 +58,80 @@ func TestCheckGodocCleanOnRealPlacePackage(t *testing.T) {
 	}
 }
 
+func TestCheckFormatNames(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	write(t, md, "Artifacts use voltsense-predictor/v1 and voltsense-prior/v1.\n\n```json\n{\"format\": \"voltsense-deltas/v1\"}\n```\n")
+	problems, err := checkFormatNames(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"voltsense-deltas/v1"`) {
+		t.Errorf("want exactly the voltsense-deltas/v1 violation, got %v", problems)
+	}
+}
+
+func TestCommandFlagSetsFromRealRepo(t *testing.T) {
+	cmds, err := commandFlagSets(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cmd, flags := range map[string][]string{
+		"voltserved":  {"prior", "calibrate-shrinkage", "calibrate-min-samples", "store"},
+		"voltbench":   {"calibrate-every", "tenants", "streams"},
+		"sensorplace": {"criterion"},
+	} {
+		set := cmds[cmd]
+		if set == nil {
+			t.Fatalf("no flag set extracted for %s", cmd)
+		}
+		for _, f := range flags {
+			if !set[f] {
+				t.Errorf("%s: flag %q not extracted; got %v", cmd, f, set)
+			}
+		}
+	}
+}
+
+func TestCheckCommandFlags(t *testing.T) {
+	cmds := map[string]map[string]bool{
+		"voltserved":  {"store": true, "prior": true},
+		"benchreport": {"compare": true},
+	}
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	write(t, md, strings.Join([]string{
+		"Prose voltserved -nosuchprose mentions are not attributed.",
+		"Inline `voltserved -prior golden.json` is fine; `voltserved -bogus` is not.",
+		"",
+		"```sh",
+		"voltserved -store /var/lib/fleet \\",
+		"  -prior golden.prior.json \\",
+		"  -stale-flag 1",
+		"voltserved -store s | benchreport -compare a.json",
+		"benchreport -nope",
+		"```",
+	}, "\n")+"\n")
+	problems, err := checkCommandFlags(md, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"-bogus", "-stale-flag", "-nope"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s violation in %q", want, joined)
+		}
+	}
+	for _, miss := range []string{"-nosuchprose", "-prior", "-store", "-compare"} {
+		if strings.Contains(joined, "flag "+miss+"\n") || strings.HasSuffix(joined, "flag "+miss) {
+			t.Errorf("false positive %s in %q", miss, joined)
+		}
+	}
+	if len(problems) != 3 {
+		t.Errorf("want exactly 3 violations, got %v", problems)
+	}
+}
+
 func TestCheckCriterionValues(t *testing.T) {
 	dir := t.TempDir()
 	md := filepath.Join(dir, "doc.md")

@@ -1,25 +1,32 @@
 // Command voltbench offers a configurable fleet workload — predict,
-// feedback, and NDJSON streaming sessions across many tenants — to a
-// voltsense inference server and reports latency quantiles, throughput, and
-// shed rates.
+// feedback, calibrate, and NDJSON streaming sessions across many tenants —
+// to a voltsense inference server and reports latency quantiles, throughput,
+// and shed rates.
 //
 // By default it is self-contained: it synthesizes a tenant store, starts the
 // fleet server in-process over pipe connections (no sockets, so thousands of
 // concurrent streams fit in one process), and drives it. Point it at a live
 // deployment instead with -addr.
 //
+// -calibrate-every folds few-shot /v1/calibrate alignments into the unary
+// mix. In-process mode then pools the synthetic tenant artifacts into a
+// golden voltsense-prior/v1 and serves in fleet mode, so calibrations write
+// real thin delta artifacts under live traffic; against -addr, the remote
+// server must have been started with -prior.
+//
 // The output JSON is benchreport-compatible — `benchreport -compare
-// BENCH_PR6.json new.json` diffs the mean latencies like any other
+// BENCH_PR9.json new.json` diffs the mean latencies like any other
 // benchmark — with a "fleet" section carrying the full quantile and shed
 // breakdown.
 //
 // Usage:
 //
-//	go run ./cmd/voltbench -tenants 8 -streams 1000 -requests 2000 -out BENCH_PR6.json
+//	go run ./cmd/voltbench -tenants 8 -streams 1000 -requests 2000 -calibrate-every 50 -out BENCH_PR9.json
 //	go run ./cmd/voltbench -addr http://prod:8080 -tenants 4 -streams 64
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,14 +36,16 @@ import (
 	"runtime"
 	"time"
 
+	"voltsense/internal/core"
 	"voltsense/internal/loadgen"
 	"voltsense/internal/monitor"
 	"voltsense/internal/serve"
+	"voltsense/internal/transfer"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		out      = flag.String("out", "BENCH_PR9.json", "output JSON path")
 		addr     = flag.String("addr", "", "base URL of a live server; empty serves in-process")
 		store    = flag.String("store", "", "existing tenant store for in-process mode; empty synthesizes one")
 		tenants  = flag.Int("tenants", 8, "number of tenants to spread load across")
@@ -45,6 +54,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent unary clients")
 		requests = flag.Int("requests", 2000, "total unary requests (predict + feedback)")
 		fbEvery  = flag.Int("feedback-every", 8, "every Nth unary request is feedback; 0 disables")
+		calEvery = flag.Int("calibrate-every", 0, "every Nth unary request is a /v1/calibrate few-shot alignment; 0 disables")
 		streams  = flag.Int("streams", 1000, "concurrent NDJSON sessions to open and hold")
 		cycles   = flag.Int("cycles", 3, "cycles pumped per accepted session")
 
@@ -56,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	ids := tenantIDs(*tenants)
-	target, shutdown, err := buildTarget(*addr, *store, ids, *sensors, *blocks, serve.Overload{
+	target, shutdown, err := buildTarget(*addr, *store, ids, *sensors, *blocks, *calEvery > 0, serve.Overload{
 		MaxInflight:      *maxInflight,
 		MaxQueue:         *maxQueue,
 		MaxStreams:       *maxStreams,
@@ -69,14 +79,15 @@ func main() {
 	defer shutdown()
 
 	rep, err := loadgen.Run(target, loadgen.Options{
-		Tenants:       ids,
-		Sensors:       *sensors,
-		Blocks:        *blocks,
-		Workers:       *workers,
-		Requests:      *requests,
-		FeedbackEvery: *fbEvery,
-		Streams:       *streams,
-		StreamCycles:  *cycles,
+		Tenants:        ids,
+		Sensors:        *sensors,
+		Blocks:         *blocks,
+		Workers:        *workers,
+		Requests:       *requests,
+		FeedbackEvery:  *fbEvery,
+		CalibrateEvery: *calEvery,
+		Streams:        *streams,
+		StreamCycles:   *cycles,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "voltbench: %v\n", err)
@@ -104,8 +115,10 @@ func tenantIDs(n int) []string {
 }
 
 // buildTarget either points at a live server or synthesizes a store and
-// serves it in-process over pipe connections.
-func buildTarget(addr, store string, ids []string, sensors, blocks int, ov serve.Overload) (loadgen.Target, func(), error) {
+// serves it in-process over pipe connections. With calibrate set, the
+// in-process server also gets a golden prior pooled from the synthetic
+// artifact family, so /v1/calibrate is live (fleet mode).
+func buildTarget(addr, store string, ids []string, sensors, blocks int, calibrate bool, ov serve.Overload) (loadgen.Target, func(), error) {
 	if addr != "" {
 		return loadgen.Target{BaseURL: addr, Client: http.DefaultClient}, func() {}, nil
 	}
@@ -124,7 +137,15 @@ func buildTarget(addr, store string, ids []string, sensors, blocks int, ov serve
 		}
 		store = dir
 	}
-	s, err := newServer(store, ov)
+	var prior *transfer.SharedPrior
+	if calibrate {
+		var err error
+		if prior, err = syntheticPrior(sensors, blocks); err != nil {
+			cleanup()
+			return loadgen.Target{}, nil, err
+		}
+	}
+	s, err := newServer(store, prior, ov)
 	if err != nil {
 		cleanup()
 		return loadgen.Target{}, nil, err
@@ -133,14 +154,30 @@ func buildTarget(addr, store string, ids []string, sensors, blocks int, ov serve
 	return target, func() { stop(); cleanup() }, nil
 }
 
-func newServer(store string, ov serve.Overload) (*serve.Server, error) {
+func newServer(store string, prior *transfer.SharedPrior, ov serve.Overload) (*serve.Server, error) {
 	return serve.New(serve.Config{
 		StoreDir:   store,
 		MaxTenants: 4096, // the bench offers the fleet; don't evict under it
 		Monitor:    monitor.Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2},
 		Adapt:      true,
 		Overload:   ov,
+		Prior:      prior,
 	})
+}
+
+// syntheticPrior pools a few members of the synthetic artifact family into a
+// shared golden prior, the same distillation a real fleet runs over its
+// characterized golden chips.
+func syntheticPrior(q, k int) (*transfer.SharedPrior, error) {
+	goldens := make([]*core.Predictor, 0, 3)
+	for seed := 0; seed < 3; seed++ {
+		p, err := core.LoadPredictor(bytes.NewReader(syntheticArtifact(q, k, seed)))
+		if err != nil {
+			return nil, fmt.Errorf("synthetic golden %d: %w", seed, err)
+		}
+		goldens = append(goldens, p)
+	}
+	return transfer.FitPrior(goldens, transfer.PriorConfig{})
 }
 
 // syntheticArtifact emits a valid voltsense-predictor/v1 with Q sensors and
@@ -205,6 +242,7 @@ func writeReport(path string, rep *loadgen.Report) error {
 	}
 	add("BenchmarkFleetPredict", rep.Predict)
 	add("BenchmarkFleetFeedback", rep.Feedback)
+	add("BenchmarkFleetCalibrate", rep.Calibrate)
 	add("BenchmarkFleetStreamOpen", rep.StreamOpen)
 	add("BenchmarkFleetStreamCycle", rep.StreamCycle)
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -228,6 +266,7 @@ func printSummary(path string, rep *loadgen.Report) {
 	}
 	line("predict", rep.Predict)
 	line("feedback", rep.Feedback)
+	line("calibrate", rep.Calibrate)
 	line("stream_open", rep.StreamOpen)
 	line("stream_cycle", rep.StreamCycle)
 	fmt.Printf("  streams: requested %d, peak concurrent %d\n", rep.Streams, rep.PeakStreams)

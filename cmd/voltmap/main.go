@@ -30,6 +30,7 @@
 //	adapt        online recalibration under grid drift: static vs adapted
 //	rank         chip-joint placement, dense vs reduced-basis: rank/accuracy/time
 //	shootout     every placement criterion + mixed sensor classes, ranked on TE
+//	transfer     fleet few-shot calibration: golden prior vs aligned vs scratch
 //
 // Flags select the pipeline scale (-full for the paper-scale run), CSV
 // output, sensor budgets and benchmark choice; see -help.
@@ -48,6 +49,7 @@ import (
 	"voltsense/internal/pdn"
 	"voltsense/internal/place"
 	"voltsense/internal/profiling"
+	"voltsense/internal/transfer"
 	"voltsense/internal/vmap"
 )
 
@@ -79,7 +81,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt|rank|shootout>\n")
+		fmt.Fprintf(fs.Output(), "usage: voltmap [flags] <table1|table2|fig1|fig2|fig3|fig4|map|all|correlation|perblock|ablations|robustness|variation|closedloop|loo|faults|adapt|rank|shootout|transfer>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -162,6 +164,7 @@ func run(args []string) error {
 		"adapt":       func() error { return doAdapt(p, *sensors, *csv) },
 		"rank":        func() error { return doRank(p, *rankLambda, *csv) },
 		"shootout":    func() error { return doShootout(p, *shootQ, *criteria, *shootBudget, *csv) },
+		"transfer":    func() error { return doTransfer(p, *sensors, *csv) },
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig2", "fig3", "table2", "fig4", "map"} {
@@ -182,7 +185,7 @@ var knownExperiments = map[string]bool{
 	"fig4": true, "map": true, "all": true, "correlation": true,
 	"perblock": true, "ablations": true, "robustness": true, "variation": true,
 	"closedloop": true, "loo": true, "faults": true, "adapt": true, "rank": true,
-	"shootout": true,
+	"shootout": true, "transfer": true,
 }
 
 func scaleName(full bool) string {
@@ -377,6 +380,19 @@ func doFaults(p *experiments.Pipeline, sensors, budget int, csv bool) error {
 
 func doAdapt(p *experiments.Pipeline, sensors int, csv bool) error {
 	d, err := p.AblationOnlineAdaptation(sensors, 0.15, online.Config{})
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(d.CSV())
+	} else {
+		fmt.Print(d.Render())
+	}
+	return nil
+}
+
+func doTransfer(p *experiments.Pipeline, sensors int, csv bool) error {
+	d, err := p.AblationTransfer(sensors, 0.15, 3, nil, transfer.AlignConfig{})
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,19 @@
 //
 //	voltserved -store /var/lib/voltsense/fleet -max-tenants 64 -tenant-idle 30m \
 //	  -max-inflight 256 -max-streams 2000 -max-tenant-streams 200
+//
+// -prior pins a shared golden-chip prior (voltsense-prior/v1, written by
+// transfer.FitPrior + Save over the fleet's golden artifacts) over the fleet
+// store. With it,
+// POST /v1/calibrate aligns a tenant's few labeled samples against the prior
+// and persists the result as a thin voltsense-delta/v1 artifact — a new chip
+// joins the fleet with a handful of samples instead of a full training
+// campaign — and delta artifacts already in the store resolve against the
+// prior at load time. Legacy full artifacts in the same store serve
+// unchanged:
+//
+//	voltserved -store /var/lib/voltsense/fleet -prior golden.prior.json \
+//	  -calibrate-shrinkage 1 -calibrate-min-samples 4
 package main
 
 import (
@@ -61,6 +74,7 @@ import (
 	"voltsense/internal/monitor"
 	"voltsense/internal/online"
 	"voltsense/internal/serve"
+	"voltsense/internal/transfer"
 )
 
 func main() {
@@ -96,6 +110,9 @@ func run(args []string) error {
 	promoteMin := fs.Int("promote-min-samples", 0, "scored samples required before a shadow may be promoted (0 = default 256)")
 	promoteMargin := fs.Float64("promote-margin", 0, "TE improvement the shadow must show over the live model (0 = default 0.002)")
 	feedbackLog := fs.String("feedback-log", "", "append accepted /v1/feedback samples to this CSV file (audit trail)")
+	priorPath := fs.String("prior", "", "shared golden-chip prior artifact (voltsense-prior/v1); enables POST /v1/calibrate and thin delta artifacts in the store (fleet mode only)")
+	calibShrinkage := fs.Float64("calibrate-shrinkage", 0, "prior trust τ for /v1/calibrate refits; larger stays closer to the golden prior (0 = default 1)")
+	calibMinSamples := fs.Int("calibrate-min-samples", 0, "labeled samples below which /v1/calibrate enrolls at the pure prior mean (0 = default 4)")
 	version := fs.String("version", "", "build version reported by the voltsense_build_info metric")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keep it off the service port and firewalled")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +128,21 @@ func run(args []string) error {
 	injected, err := loadFaultSpec(*faultSpec)
 	if err != nil {
 		return err
+	}
+	var prior *transfer.SharedPrior
+	if *priorPath != "" {
+		if *storeDir == "" {
+			return errors.New("-prior requires -store (fleet mode)")
+		}
+		f, err := os.Open(*priorPath)
+		if err != nil {
+			return fmt.Errorf("-prior: %w", err)
+		}
+		prior, err = transfer.LoadPrior(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-prior: %w", err)
+		}
 	}
 
 	var loader func() (*core.Predictor, error)
@@ -162,8 +194,11 @@ func run(args []string) error {
 			MinSamples: *promoteMin,
 			Margin:     *promoteMargin,
 		},
-		FeedbackLog: fbLog,
-		Version:     *version,
+		FeedbackLog:         fbLog,
+		Version:             *version,
+		Prior:               prior,
+		CalibrateShrinkage:  *calibShrinkage,
+		CalibrateMinSamples: *calibMinSamples,
 	})
 	if err != nil {
 		return err
@@ -178,6 +213,9 @@ func run(args []string) error {
 	}
 	if *adapt {
 		log.Printf("voltserved: online recalibration enabled (POST /v1/feedback); rollback via POST /v1/rollback")
+	}
+	if prior != nil {
+		log.Printf("voltserved: fleet transfer calibration enabled (POST /v1/calibrate); prior %s fingerprint %s", *priorPath, prior.Fingerprint())
 	}
 
 	hup := make(chan os.Signal, 1)

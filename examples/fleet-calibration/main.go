@@ -1,0 +1,206 @@
+// Fleet transfer calibration: enroll a fielded chip from a handful of
+// labeled samples instead of a full characterization campaign. A golden
+// chip's full fit is distilled into a shared prior; a fielded chip whose
+// silicon drifted from golden is enrolled through POST /v1/calibrate with
+// 16 labeled (readings, voltages) pairs, and the server stores only a thin
+// delta over the prior for it.
+//
+// This is the library form of:
+//
+//	voltserved -store ./fleet -prior golden.prior.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"voltsense"
+	"voltsense/internal/monitor"
+	"voltsense/internal/serve"
+)
+
+func main() {
+	fmt.Println("building pipeline...")
+	p, err := voltsense.NewPipeline(voltsense.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := &voltsense.Dataset{X: p.Train.CandV, F: p.Train.CritV}
+
+	// The golden chip: the full training campaign buys one well-fitted
+	// model, whose residual statistics feed the prior's noise variance.
+	_, union, err := p.ChipPlacementCount(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := voltsense.BuildPredictor(train, union)
+	if err != nil {
+		log.Fatal(err)
+	}
+	residMean, residStd := golden.FitResidualStats(train)
+	golden.Lineage = &voltsense.Lineage{
+		Version: 1, Source: voltsense.LineageSourceTrain,
+		Samples: train.X.Cols(), ResidMean: residMean, ResidStd: residStd,
+	}
+	prior, err := voltsense.FitSharedPrior([]*voltsense.Predictor{golden}, voltsense.SharedPriorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fleet store holding the golden's full artifact as the default
+	// tenant — legacy artifacts and thin deltas coexist in one store.
+	store, err := os.MkdirTemp("", "fleet-calib-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(store)
+	f, err := os.Create(filepath.Join(store, "default.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := voltsense.SavePredictor(f, golden); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	srv, err := serve.New(serve.Config{
+		StoreDir: store,
+		Prior:    prior,
+		Monitor:  monitor.Config{Vth: 0.85},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("fleet server on %s (prior %s)\n\n", base, prior.Fingerprint())
+
+	// The fielded chip: same design, drifted silicon. Its true model is the
+	// golden's coefficients scaled a few percent — what process variation
+	// and aging do to the Eq. 20 map.
+	fielded := perturb(golden)
+
+	// Its calibration rig collects 16 labeled pairs: sensor readings from
+	// held-out operating points, block voltages from the chip's own silicon.
+	q, k := len(union), train.F.Rows()
+	held := p.TestByBench[0]
+	n := held.CandV.Cols()
+	var samples []map[string]any
+	for j := 0; j < 16; j++ {
+		col := j * n / 16
+		readings := make([]float64, q)
+		for i, g := range union {
+			readings[i] = held.CandV.At(g, col)
+		}
+		samples = append(samples, map[string]any{
+			"readings": readings,
+			"voltages": fielded.Predict(readings),
+		})
+	}
+
+	// Enroll it. The server aligns the prior to the 16 samples, writes a
+	// thin voltsense-delta/v1 artifact, and serves the aligned model.
+	body, _ := json.Marshal(map[string]any{"samples": samples})
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/calibrate", bytes.NewReader(body))
+	req.Header.Set(serve.TenantHeader, "chip-042")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("calibrate: %s: %s", resp.Status, raw)
+	}
+	var cal struct {
+		Accepted          int    `json:"accepted"`
+		ModelVersion      int    `json:"model_version"`
+		DeltaCoefficients int    `json:"delta_coefficients"`
+		PriorFingerprint  string `json:"prior_fingerprint"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cal)
+	resp.Body.Close()
+	fmt.Printf("calibrated chip-042: %d samples accepted, model version %d\n", cal.Accepted, cal.ModelVersion)
+	fmt.Printf("stored delta: %d coefficients pinned to prior %s\n", cal.DeltaCoefficients, cal.PriorFingerprint)
+	fmt.Printf("(a full artifact would store %d coefficients plus metadata)\n\n", k*(q+1))
+
+	// How much did 16 samples buy? Score the served model against the
+	// fielded chip's truth on a fresh operating point, next to the
+	// zero-shot prior mean the chip would be served without calibration.
+	probe := make([]float64, q)
+	for i, g := range union {
+		probe[i] = held.CandV.At(g, n-1)
+	}
+	truth := fielded.Predict(probe)
+	aligned := predictAs(base, "chip-042", probe)
+	priorOnly := prior.Predictor().Predict(probe)
+	fmt.Printf("max |error| vs the fielded chip's truth on a fresh operating point:\n")
+	fmt.Printf("  prior only (0 samples): %.5f V\n", maxAbsDiff(priorOnly, truth))
+	fmt.Printf("  aligned   (16 samples): %.5f V\n", maxAbsDiff(aligned, truth))
+}
+
+// perturb returns a copy of pred whose coefficients are scaled by a few
+// percent, deterministically — the fielded chip's "true" drifted model.
+func perturb(pred *voltsense.Predictor) *voltsense.Predictor {
+	k, q := pred.Model.Alpha.Rows(), pred.Model.Alpha.Cols()
+	alpha := voltsense.ZeroMatrix(k, q)
+	c := make([]float64, k)
+	for i := 0; i < k; i++ {
+		scale := 1 + 0.03*math.Sin(float64(3*i+1))
+		for j := 0; j < q; j++ {
+			alpha.Set(i, j, pred.Model.Alpha.At(i, j)*scale)
+		}
+		c[i] = pred.Model.C[i] + 0.002*math.Cos(float64(i))
+	}
+	out := *pred
+	m := *pred.Model
+	m.Alpha, m.C = alpha, c
+	out.Model = &m
+	out.Lineage = nil
+	return &out
+}
+
+// predictAs posts one reading vector as the given tenant and returns the
+// served voltages.
+func predictAs(base, tenant string, readings []float64) []float64 {
+	body, _ := json.Marshal(map[string]any{"readings": [][]float64{readings}})
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/predict", bytes.NewReader(body))
+	req.Header.Set(serve.TenantHeader, tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("predict as %q: %s: %s", tenant, resp.Status, raw)
+	}
+	var out struct {
+		Voltages [][]float64 `json:"voltages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out.Voltages[0]
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

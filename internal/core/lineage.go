@@ -13,6 +13,9 @@ const (
 	// LineageSourceOnline marks a predictor promoted by the online
 	// recalibration loop (internal/online).
 	LineageSourceOnline = "online"
+	// LineageSourcePrior marks a predictor aligned from a shared
+	// golden-chip prior with few-shot labeled samples (internal/transfer).
+	LineageSourcePrior = "prior"
 )
 
 // Lineage is the versioned provenance of a predictor's coefficients: which
@@ -22,8 +25,13 @@ const (
 type Lineage struct {
 	Version int    // monotonically increasing generation, ≥ 1
 	Parent  int    // version this generation was derived from; 0 for roots
-	Source  string // LineageSourceTrain or LineageSourceOnline
+	Source  string // LineageSourceTrain, LineageSourceOnline or LineageSourcePrior
 	Samples int    // labeled samples behind the fit
+
+	// Prior is the content fingerprint of the shared golden-chip prior
+	// this generation was aligned against. Set for Source "prior"; empty
+	// otherwise.
+	Prior string
 
 	// LiveTE/ShadowTE record the paper's total-error rates of the
 	// incumbent and this model over the promotion evaluation window.
@@ -47,7 +55,7 @@ func (l *Lineage) validate() error {
 	if l.Parent < 0 || l.Parent >= l.Version {
 		return fmt.Errorf("core: lineage parent %d not below version %d", l.Parent, l.Version)
 	}
-	if l.Source != LineageSourceTrain && l.Source != LineageSourceOnline {
+	if l.Source != LineageSourceTrain && l.Source != LineageSourceOnline && l.Source != LineageSourcePrior {
 		return fmt.Errorf("core: unknown lineage source %q", l.Source)
 	}
 	if l.Samples < 0 {

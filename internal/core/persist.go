@@ -30,6 +30,7 @@ type lineageJSON struct {
 	Parent    int     `json:"parent"`
 	Source    string  `json:"source"`
 	Samples   int     `json:"samples"`
+	Prior     string  `json:"prior,omitempty"`
 	LiveTE    float64 `json:"live_te,omitempty"`
 	ShadowTE  float64 `json:"shadow_te,omitempty"`
 	ResidMean float64 `json:"resid_mean,omitempty"`
@@ -57,7 +58,10 @@ type fallbackModelJSON struct {
 	RelError float64     `json:"rel_error"`
 }
 
-const predictorFormat = "voltsense-predictor/v1"
+// PredictorFormat is the versioned format tag of full predictor artifacts.
+// Thin per-chip delta artifacts and golden-chip priors carry their own tags
+// (see internal/transfer).
+const PredictorFormat = "voltsense-predictor/v1"
 
 // marshalAlpha copies a coefficient matrix into row slices.
 func marshalAlpha(a *mat.Matrix) [][]float64 {
@@ -74,7 +78,7 @@ func marshalAlpha(a *mat.Matrix) [][]float64 {
 // the predictor carries one.
 func (p *Predictor) Save(w io.Writer) error {
 	pj := predictorJSON{
-		Format:   predictorFormat,
+		Format:   PredictorFormat,
 		Selected: p.Selected,
 		Alpha:    marshalAlpha(p.Model.Alpha),
 		C:        p.Model.C,
@@ -101,6 +105,7 @@ func (p *Predictor) Save(w io.Writer) error {
 			Parent:    p.Lineage.Parent,
 			Source:    p.Lineage.Source,
 			Samples:   p.Lineage.Samples,
+			Prior:     p.Lineage.Prior,
 			LiveTE:    p.Lineage.LiveTE,
 			ShadowTE:  p.Lineage.ShadowTE,
 			ResidMean: p.Lineage.ResidMean,
@@ -160,7 +165,7 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
 		return nil, fmt.Errorf("core: loading predictor: %w", err)
 	}
-	if pj.Format != predictorFormat {
+	if pj.Format != PredictorFormat {
 		return nil, fmt.Errorf("core: unknown predictor format %q", pj.Format)
 	}
 	k := len(pj.Alpha)
@@ -205,6 +210,7 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 			Parent:    pj.Lineage.Parent,
 			Source:    pj.Lineage.Source,
 			Samples:   pj.Lineage.Samples,
+			Prior:     pj.Lineage.Prior,
 			LiveTE:    pj.Lineage.LiveTE,
 			ShadowTE:  pj.Lineage.ShadowTE,
 			ResidMean: pj.Lineage.ResidMean,

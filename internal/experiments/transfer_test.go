@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"voltsense/internal/transfer"
+)
+
+// TestAblationTransfer is the fleet-calibration acceptance experiment: with
+// a handful of labeled samples (≤32), alignment against the golden prior
+// must beat fitting from scratch AND recover most of the TE gap between
+// prior-only serving and a full per-chip training campaign.
+func TestAblationTransfer(t *testing.T) {
+	p := quick(t)
+	r, err := p.AblationTransfer(2, 0.15, 2, []int{4, 8, 16, 32}, transfer.AlignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("prior only: rel err %.5f, %v", r.PriorRelErr, r.Prior)
+	t.Logf("full (%d) : rel err %.5f, %v", r.FeedSamples, r.FullRelErr, r.Full)
+	for i := range r.Points {
+		pt := &r.Points[i]
+		t.Logf("n=%2d aligned: rel %.5f TE %.5f | scratch: rel %.5f TE %.5f | recovered %.2f nnz %d",
+			pt.Samples, pt.AlignedRelErr, pt.Aligned.TE, pt.ScratchRelErr, pt.Scratch.TE,
+			r.Recovered(pt), pt.DeltaNNZ)
+	}
+
+	if len(r.Points) == 0 {
+		t.Fatal("sweep produced no points")
+	}
+	// Drift must make prior-only serving worse than the fielded chip's own
+	// full fit, or the experiment measures nothing.
+	if r.Prior.TE <= r.Full.TE {
+		t.Fatalf("prior-only TE %.5f not above full-campaign TE %.5f", r.Prior.TE, r.Full.TE)
+	}
+	// The headline claims, at every sampled budget up to 32:
+	// aligned beats scratch, and by 32 samples ≥80%% of the gap is closed.
+	var at32 *TransferPoint
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if pt.Samples <= 32 && pt.Aligned.TE > pt.Scratch.TE {
+			t.Errorf("n=%d: aligned TE %.5f worse than scratch TE %.5f", pt.Samples, pt.Aligned.TE, pt.Scratch.TE)
+		}
+		if pt.Samples == 32 || (at32 == nil && pt.Samples > 32) {
+			at32 = pt
+		}
+		if pt.DeltaNNZ == 0 && !isPriorOnlyBudget(pt.Samples) {
+			t.Errorf("n=%d: alignment moved but stored an empty delta", pt.Samples)
+		}
+	}
+	if at32 == nil {
+		at32 = &r.Points[len(r.Points)-1]
+	}
+	if rec := r.Recovered(at32); rec < 0.80 {
+		t.Errorf("n=%d recovered only %.1f%% of the prior→full TE gap, want ≥80%%", at32.Samples, 100*rec)
+	}
+
+	rendered := r.Render()
+	for _, want := range []string{"prior only", "aligned (", "scratch (", "full campaign"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+	csv := r.CSV()
+	if lines := strings.Split(strings.TrimSpace(csv), "\n"); len(lines) != 1+len(r.Points) {
+		t.Errorf("CSV should have header + %d points:\n%s", len(r.Points), csv)
+	}
+}
+
+// isPriorOnlyBudget mirrors the default transfer.AlignConfig evidence gate.
+func isPriorOnlyBudget(n int) bool { return n < 4 }
+
+func TestAblationTransferBadSigma(t *testing.T) {
+	p := quick(t)
+	if _, err := p.AblationTransfer(2, 0, 2, nil, transfer.AlignConfig{}); err == nil {
+		t.Fatal("expected error for zero sigma")
+	}
+}

@@ -1,6 +1,6 @@
 // Package loadgen drives a voltsense inference server with a configurable
-// mix of predict, feedback, and NDJSON streaming load across many tenants,
-// and reports latency quantiles, throughput, and shed rates.
+// mix of predict, feedback, calibrate, and NDJSON streaming load across many
+// tenants, and reports latency quantiles, throughput, and shed rates.
 //
 // It is the engine behind cmd/voltbench. The generator speaks the public
 // HTTP API only — it can point at a live voltserved over TCP or at an
@@ -43,6 +43,16 @@ type Options struct {
 	// FeedbackEvery makes every Nth unary request a /v1/feedback call
 	// instead of /v1/predict. 0 sends only predicts.
 	FeedbackEvery int
+	// CalibrateEvery makes every Nth unary request a /v1/calibrate call
+	// carrying a small labeled batch (CalibrateSamples readings/voltages
+	// pairs), exercising the fleet transfer-calibration path: MAP alignment,
+	// thin delta artifact write, and registry refresh. 0 sends none. The
+	// target must run in fleet mode with a shared prior or every calibrate
+	// counts as an error. Takes precedence over FeedbackEvery on collisions.
+	CalibrateEvery int
+	// CalibrateSamples is the labeled batch size per calibrate call.
+	// Default 8 — comfortably past the default evidence gate of 4.
+	CalibrateSamples int
 
 	// Streams is the number of NDJSON sessions opened concurrently. All
 	// accepted sessions are held open until every open has resolved, so the
@@ -77,6 +87,7 @@ type Report struct {
 
 	Predict     OpStats `json:"predict"`
 	Feedback    OpStats `json:"feedback"`
+	Calibrate   OpStats `json:"calibrate"`
 	StreamOpen  OpStats `json:"stream_open"`
 	StreamCycle OpStats `json:"stream_cycle"`
 }
@@ -152,13 +163,16 @@ func Run(t Target, o Options) (*Report, error) {
 	if o.StreamCycles <= 0 {
 		o.StreamCycles = 4
 	}
+	if o.CalibrateSamples <= 0 {
+		o.CalibrateSamples = 8
+	}
 
 	rep := &Report{Tenants: len(o.Tenants), Streams: o.Streams}
 	start := time.Now()
 
-	var predict, feedback, open, cycle recorder
+	var predict, feedback, calibrate, open, cycle recorder
 	if o.Requests > 0 {
-		unaryPhase(t, o, &predict, &feedback)
+		unaryPhase(t, o, &predict, &feedback, &calibrate)
 	}
 	if o.Streams > 0 {
 		rep.PeakStreams = streamPhase(t, o, &open, &cycle)
@@ -168,10 +182,11 @@ func Run(t Target, o Options) (*Report, error) {
 	rep.WallNs = wall.Nanoseconds()
 	rep.Predict = predict.stats(wall)
 	rep.Feedback = feedback.stats(wall)
+	rep.Calibrate = calibrate.stats(wall)
 	rep.StreamOpen = open.stats(wall)
 	rep.StreamCycle = cycle.stats(wall)
-	rep.ShedTotal = rep.Predict.Shed + rep.Feedback.Shed + rep.StreamOpen.Shed
-	if n := rep.Predict.Count + rep.Feedback.Count + rep.StreamOpen.Count + rep.ShedTotal; n > 0 {
+	rep.ShedTotal = rep.Predict.Shed + rep.Feedback.Shed + rep.Calibrate.Shed + rep.StreamOpen.Shed
+	if n := rep.Predict.Count + rep.Feedback.Count + rep.Calibrate.Count + rep.StreamOpen.Count + rep.ShedTotal; n > 0 {
 		rep.ShedRate = float64(rep.ShedTotal) / float64(n)
 	}
 	return rep, nil
@@ -187,9 +202,9 @@ func readings(q, seed int) []float64 {
 	return v
 }
 
-// unaryPhase fires o.Requests predict/feedback calls from o.Workers
-// goroutines, round-robining tenants.
-func unaryPhase(t Target, o Options, predict, feedback *recorder) {
+// unaryPhase fires o.Requests predict/feedback/calibrate calls from
+// o.Workers goroutines, round-robining tenants.
+func unaryPhase(t Target, o Options, predict, feedback, calibrate *recorder) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < o.Workers; w++ {
@@ -202,9 +217,12 @@ func unaryPhase(t Target, o Options, predict, feedback *recorder) {
 					return
 				}
 				tenant := o.Tenants[i%len(o.Tenants)]
-				if o.FeedbackEvery > 0 && i%o.FeedbackEvery == o.FeedbackEvery-1 {
+				switch {
+				case o.CalibrateEvery > 0 && i%o.CalibrateEvery == o.CalibrateEvery-1:
+					unaryCall(t, tenant, "/v1/calibrate", calibrateBody(o, i), calibrate)
+				case o.FeedbackEvery > 0 && i%o.FeedbackEvery == o.FeedbackEvery-1:
 					unaryCall(t, tenant, "/v1/feedback", feedbackBody(o, i), feedback)
-				} else {
+				default:
 					unaryCall(t, tenant, "/v1/predict", predictBody(o, i), predict)
 				}
 			}
@@ -227,6 +245,25 @@ func feedbackBody(o Options, seed int) []byte {
 		"readings": readings(o.Sensors, seed),
 		"voltages": truth,
 	}}})
+	return b
+}
+
+// calibrateBody builds one few-shot labeled batch: CalibrateSamples
+// deterministic readings/voltages pairs, varied by seed so repeated
+// calibrations of the same tenant are not byte-identical.
+func calibrateBody(o Options, seed int) []byte {
+	samples := make([]map[string]any, o.CalibrateSamples)
+	for s := range samples {
+		truth := make([]float64, o.Blocks)
+		for i := range truth {
+			truth[i] = 0.94 + 0.004*float64((seed+s+i)%5)
+		}
+		samples[s] = map[string]any{
+			"readings": readings(o.Sensors, seed+s),
+			"voltages": truth,
+		}
+	}
+	b, _ := json.Marshal(map[string]any{"samples": samples})
 	return b
 }
 

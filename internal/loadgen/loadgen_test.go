@@ -3,10 +3,13 @@ package loadgen
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"voltsense/internal/core"
 	"voltsense/internal/monitor"
 	"voltsense/internal/serve"
+	"voltsense/internal/transfer"
 )
 
 const testArtifact = `{
@@ -17,6 +20,10 @@ const testArtifact = `{
 }`
 
 func newTarget(t *testing.T, tenants []string, overload serve.Overload) (Target, func()) {
+	return newTargetWithPrior(t, tenants, overload, nil)
+}
+
+func newTargetWithPrior(t *testing.T, tenants []string, overload serve.Overload, prior *transfer.SharedPrior) (Target, func()) {
 	t.Helper()
 	dir := t.TempDir()
 	for _, id := range tenants {
@@ -29,6 +36,7 @@ func newTarget(t *testing.T, tenants []string, overload serve.Overload) (Target,
 		Monitor:  monitor.Config{Vth: 0.85, ClearMargin: 0.02, ClearCycles: 2},
 		Adapt:    true,
 		Overload: overload,
+		Prior:    prior,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +80,46 @@ func TestRunMixedLoad(t *testing.T) {
 	}
 	if rep.ShedTotal != 0 {
 		t.Errorf("unexpected shedding: %d", rep.ShedTotal)
+	}
+}
+
+// TestRunCalibrateMix exercises the /v1/calibrate slice of the unary mix
+// against a fleet server carrying a shared prior: every calibrate must land
+// (no errors) and take precedence over feedback on colliding indices.
+func TestRunCalibrateMix(t *testing.T) {
+	golden, err := core.LoadPredictor(strings.NewReader(testArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := transfer.FitPrior([]*core.Predictor{golden}, transfer.PriorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := []string{"default", "chipA"}
+	target, shutdown := newTargetWithPrior(t, tenants, serve.Overload{}, prior)
+	defer shutdown()
+
+	rep, err := Run(target, Options{
+		Tenants:        tenants,
+		Workers:        4,
+		Requests:       40,
+		FeedbackEvery:  4,
+		CalibrateEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Of 40 requests: i%8==7 → 5 calibrates (every one collides with the
+	// feedback stride and must win), i%4==3 otherwise → 5 feedbacks, 30
+	// predicts.
+	if rep.Calibrate.Count != 5 || rep.Calibrate.Errors != 0 {
+		t.Errorf("calibrate count=%d errors=%d, want 5/0", rep.Calibrate.Count, rep.Calibrate.Errors)
+	}
+	if rep.Feedback.Count != 5 || rep.Feedback.Errors != 0 {
+		t.Errorf("feedback count=%d errors=%d, want 5/0", rep.Feedback.Count, rep.Feedback.Errors)
+	}
+	if rep.Predict.Count != 30 || rep.Predict.Errors != 0 {
+		t.Errorf("predict count=%d errors=%d, want 30/0", rep.Predict.Count, rep.Predict.Errors)
 	}
 }
 

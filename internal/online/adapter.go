@@ -148,12 +148,12 @@ type Adapter struct {
 
 	// Rolling residual RMS of the live model (ring with running moments,
 	// the internal/faults detector idiom).
-	resid              []float64
-	residN, residHead  int
+	resid               []float64
+	residN, residHead   int
 	residSum, residSum2 float64
-	baseMean, baseStd  float64
-	baseSet            bool
-	driftScore         float64
+	baseMean, baseStd   float64
+	baseSet             bool
+	driftScore          float64
 
 	ingested, promotions, rollbacks, blocked int
 

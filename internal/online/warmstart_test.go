@@ -1,0 +1,103 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voltsense/internal/mat"
+)
+
+// TestWarmStartMatchesColdIngest seeds an estimator from batch normal
+// equations and checks it is algebraically identical to a cold estimator
+// that ingested the same samples, both immediately and after further
+// updates.
+func TestWarmStartMatchesColdIngest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q, k := 3, 2
+	d := q + 1
+	n := 9
+	xs := make([][]float64, n)
+	fs := make([][]float64, n)
+	for s := range xs {
+		x := make([]float64, q)
+		f := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		xs[s], fs[s] = x, f
+	}
+
+	cold := NewRecursiveOLS(q, k, 1.0)
+	for s := range xs {
+		if err := cold.Ingest(xs[s], fs[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Assemble the unshifted normal equations directly.
+	a := mat.Zeros(d, d)
+	b := mat.Zeros(d, k)
+	z := make([]float64, d)
+	for s := range xs {
+		copy(z, xs[s])
+		z[q] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a.Set(i, j, a.At(i, j)+z[i]*z[j])
+			}
+			for j := 0; j < k; j++ {
+				b.Set(i, j, b.At(i, j)+z[i]*fs[s][j])
+			}
+		}
+	}
+	warm, err := NewRecursiveOLSFromNormal(q, k, 1.0, a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Ready() || warm.Samples() != n {
+		t.Fatalf("warm: ready=%v samples=%d", warm.Ready(), warm.Samples())
+	}
+
+	compare := func(stage string) {
+		mw, mc := warm.Model(), cold.Model()
+		if diff := mat.MaxAbsDiff(mw.Alpha, mc.Alpha); diff > 1e-8 {
+			t.Fatalf("%s: warm alpha diverges from cold by %v", stage, diff)
+		}
+		for i := range mw.C {
+			if diff := math.Abs(mw.C[i] - mc.C[i]); diff > 1e-8 {
+				t.Fatalf("%s: warm intercept %d diverges by %v", stage, i, diff)
+			}
+		}
+	}
+	compare("after seed")
+
+	for s := 0; s < 20; s++ {
+		x := make([]float64, q)
+		f := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		if err := warm.Ingest(x, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.Ingest(x, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("after further ingest")
+
+	// Shape and rank errors must be rejected.
+	if _, err := NewRecursiveOLSFromNormal(q, k, 1.0, mat.Zeros(d, d), b, n); err == nil {
+		t.Fatal("singular normal matrix accepted")
+	}
+	if _, err := NewRecursiveOLSFromNormal(q, k, 1.0, mat.Zeros(d+1, d+1), b, n); err == nil {
+		t.Fatal("wrong-shape normal matrix accepted")
+	}
+}

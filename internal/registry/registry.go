@@ -315,7 +315,6 @@ func (r *Registry) Rescan() RescanResult {
 				r.mu.Unlock()
 				if e != nil {
 					res.Removed = append(res.Removed, id)
-					r.evictions.Add(1)
 					r.retire([]retiredEntry{{id, e.value}}, false)
 				}
 				continue
@@ -345,6 +344,41 @@ func (r *Registry) Rescan() RescanResult {
 	return res
 }
 
+// Refresh force-reloads one tenant from the store regardless of its
+// fingerprint: a resident value is atomically swapped (the old value retires
+// as replaced), an absent one is loaded as by Get. Unlike Rescan it targets
+// a single id, so a calibration write does not pay a full-store stat sweep.
+// When the artifact has vanished, a resident entry is evicted — matching
+// Rescan's removal semantics — and the load error is returned.
+func (r *Registry) Refresh(id string) error {
+	v, fp, err := r.cfg.Source.Load(id)
+	r.loads.Add(1)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			r.mu.Lock()
+			e := r.entries[id]
+			delete(r.entries, id)
+			r.mu.Unlock()
+			if e != nil {
+				r.retire([]retiredEntry{{id, e.value}}, false)
+			}
+		}
+		return err
+	}
+	var retired []retiredEntry
+	r.mu.Lock()
+	old := r.entries[id]
+	r.seq++
+	r.entries[id] = &entry{value: v, fp: fp, seq: r.seq, last: time.Now()}
+	retired = r.evictOverCapacityLocked()
+	r.mu.Unlock()
+	if old != nil {
+		r.retire([]retiredEntry{{id, old.value}}, true)
+	}
+	r.retire(retired, false)
+	return nil
+}
+
 // ValidID reports whether id is acceptable as a tenant id: 1-64 characters
 // from [A-Za-z0-9._-], not starting with a dot or dash (which also rules
 // out path traversal through the Dir layout).
@@ -367,9 +401,10 @@ func ValidID(id string) bool {
 	return true
 }
 
-// Dir is the standard filesystem artifact layout: one
-// voltsense-predictor/v1 JSON file per tenant, named <id>.json, flat in
-// one directory.
+// Dir is the standard filesystem artifact layout: one JSON artifact per
+// tenant — a full voltsense-predictor/v1 model, or a thin voltsense-delta/v1
+// that the serve layer resolves against its pinned prior — named <id>.json,
+// flat in one directory.
 type Dir struct{ Path string }
 
 // File maps a tenant id to its artifact path, rejecting invalid ids before

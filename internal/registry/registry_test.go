@@ -320,3 +320,104 @@ func TestDirLayout(t *testing.T) {
 		t.Fatalf("traversal id accepted: %v", err)
 	}
 }
+
+func TestRescanEvictsDeletedArtifactsExactlyOnce(t *testing.T) {
+	st := newFakeStore("default", "gone")
+	var dropped []string
+	r, err := New(Config{
+		Source: st.source(),
+		Pinned: "default",
+		OnRetire: func(id string, v any, wasReplaced bool) {
+			if !wasReplaced {
+				dropped = append(dropped, id)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, r, "default")
+	mustGet(t, r, "gone")
+
+	st.remove("gone")
+	res := r.Rescan()
+	if fmt.Sprint(res.Removed) != "[gone]" {
+		t.Fatalf("rescan after delete = %+v", res)
+	}
+	if _, ok := r.Peek("gone"); ok {
+		t.Fatal("deleted tenant still resident after rescan")
+	}
+	if fmt.Sprint(dropped) != "[gone]" {
+		t.Fatalf("retire callbacks for deleted tenant: %v", dropped)
+	}
+	// Exactly one eviction per removed tenant — the retire path counts it;
+	// a second count would make the metric lie about cache churn.
+	if got := r.Evictions(); got != 1 {
+		t.Fatalf("Evictions() = %d after one removal, want 1", got)
+	}
+	// The retired tenant must not serve stale: a fresh Get sees the store.
+	if _, err := r.Get("gone"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get after removal = %v, want fs.ErrNotExist", err)
+	}
+	// A second rescan is a no-op: the tenant is no longer resident.
+	res = r.Rescan()
+	if len(res.Removed) != 0 || r.Evictions() != 1 {
+		t.Fatalf("second rescan = %+v, evictions = %d", res, r.Evictions())
+	}
+}
+
+func TestRefreshForceReloadsSingleTenant(t *testing.T) {
+	st := newFakeStore("default", "a", "b")
+	var replaced, dropped []string
+	r, err := New(Config{
+		Source: st.source(),
+		Pinned: "default",
+		OnRetire: func(id string, v any, wasReplaced bool) {
+			if wasReplaced {
+				replaced = append(replaced, id)
+			} else {
+				dropped = append(dropped, id)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, r, "a")
+	mustGet(t, r, "b")
+
+	// Refresh swaps the resident value even though Get would have cached it.
+	st.bump("a")
+	if err := r.Refresh("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGet(t, r, "a"); got != "a@v2" {
+		t.Fatalf("a after refresh = %q", got)
+	}
+	if fmt.Sprint(replaced) != "[a]" {
+		t.Fatalf("refresh retire callbacks: %v", replaced)
+	}
+	if _, ok := r.Peek("b"); !ok {
+		t.Fatal("refresh of a rebuilt unrelated tenant b")
+	}
+
+	// Refreshing a cold tenant loads it like Get.
+	if err := r.Refresh("default"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Peek("default"); !ok || v.(string) != "default@v1" {
+		t.Fatalf("cold refresh: %v %v", v, ok)
+	}
+
+	// Refreshing a vanished tenant evicts the resident entry.
+	st.remove("b")
+	if err := r.Refresh("b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("refresh of deleted tenant = %v", err)
+	}
+	if _, ok := r.Peek("b"); ok {
+		t.Fatal("deleted tenant still resident after refresh")
+	}
+	if fmt.Sprint(dropped) != "[b]" {
+		t.Fatalf("dropped callbacks: %v", dropped)
+	}
+}

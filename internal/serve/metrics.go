@@ -197,7 +197,7 @@ type Metrics struct {
 
 	// snapshotFn supplies the scrape-time per-tenant gauges; admissionFn
 	// supplies the admission-queue gauges. Both are set by the server.
-	snapshotFn func() []TenantSnapshot
+	snapshotFn  func() []TenantSnapshot
 	admissionFn func() (inflight, queued int64)
 
 	ActiveStreams Gauge   // streaming sessions currently open
@@ -224,6 +224,11 @@ type Metrics struct {
 	Shed            Counter // requests/streams shed by overload control, all tenants
 	TenantLoads     Counter // tenant runtimes built (cold loads and rescan swaps)
 	TenantEvictions Counter // tenants retired by LRU capacity, idle TTL, or removal
+
+	TransferCalibrations Counter // /v1/calibrate alignments completed
+	TransferPriorOnly    Counter // calibrations held at the prior mean by the evidence gate
+	TransferSamples      Counter // labeled samples consumed by calibrations
+	TransferDeltaLoads   Counter // thin delta artifacts resolved against the pinned prior
 }
 
 // NewMetrics builds an empty registry.
@@ -475,6 +480,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeFloatGauge("voltserved_drift_score", "Live-model residual sigmas above the drift baseline.", m.DriftScore.Value())
 	writeFloatGauge("voltserved_live_te", "Live-model total error over the shadow evaluation window.", m.LiveTE.Value())
 	writeFloatGauge("voltserved_shadow_te", "Shadow-model total error over the shadow evaluation window.", m.ShadowTE.Value())
+
+	// Transfer-calibration families (/v1/calibrate and delta artifact loads).
+	writeCounter("voltserved_transfer_calibrations_total", "Fleet transfer calibrations completed via /v1/calibrate.", m.TransferCalibrations.Value())
+	writeCounter("voltserved_transfer_prior_only_total", "Calibrations held at the shared prior mean by the evidence gate.", m.TransferPriorOnly.Value())
+	writeCounter("voltserved_transfer_samples_total", "Labeled samples consumed by fleet transfer calibrations.", m.TransferSamples.Value())
+	writeCounter("voltserved_transfer_delta_loads_total", "Thin voltsense-delta/v1 artifacts resolved against the pinned prior.", m.TransferDeltaLoads.Value())
 
 	// Fleet families. Counter series carry the tenant label only while the
 	// tenant holds counters; retired tenants fold into one _retired series,

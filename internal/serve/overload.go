@@ -40,10 +40,10 @@ type Overload struct {
 
 // shed reasons, the bounded label set for voltserved_shed_total.
 const (
-	shedQueueFull        = "queue_full"
-	shedQueueTimeout     = "queue_timeout"
-	shedStreamCap        = "stream_cap"
-	shedTenantStreamCap  = "tenant_stream_cap"
+	shedQueueFull       = "queue_full"
+	shedQueueTimeout    = "queue_timeout"
+	shedStreamCap       = "stream_cap"
+	shedTenantStreamCap = "tenant_stream_cap"
 )
 
 // shedReasons enumerates every reason in exposition order.

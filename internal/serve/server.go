@@ -14,6 +14,9 @@
 //	GET  /healthz     liveness + loaded-model summary
 //	GET  /metrics     Prometheus text exposition (dependency-free)
 //	POST /v1/reload   atomic rescan of the model registry
+//	POST /v1/calibrate  few-shot transfer calibration: labeled samples in,
+//	                  a thin per-tenant delta over the shared golden-chip
+//	                  prior persisted and hot-loaded (fleet mode + Prior)
 //
 // # Fleet serving
 //
@@ -78,6 +81,7 @@ import (
 	"voltsense/internal/online"
 	"voltsense/internal/registry"
 	"voltsense/internal/traceio"
+	"voltsense/internal/transfer"
 )
 
 // Config parameterizes a Server.
@@ -133,6 +137,23 @@ type Config struct {
 	// via traceio.NewSampleWriter — an offline-replayable audit trail of
 	// what the adaptation loop learned from.
 	FeedbackLog io.Writer
+	// Prior, when non-nil, pins the fleet's shared golden-chip prior
+	// (internal/transfer): POST /v1/calibrate aligns a tenant's few labeled
+	// samples against it and persists the result as a thin
+	// voltsense-delta/v1 artifact, and the store loader resolves such delta
+	// artifacts back into full predictors at load time. Requires StoreDir.
+	Prior *transfer.SharedPrior
+	// CalibrateShrinkage is the prior trust τ in /v1/calibrate MAP refits:
+	// larger values hold the fit closer to the golden prior. 0 means the
+	// transfer package default (1).
+	CalibrateShrinkage float64
+	// CalibrateMinSamples is the calibration evidence gate: below this many
+	// labeled samples /v1/calibrate enrolls the tenant at the pure prior
+	// mean instead of refitting. 0 means the transfer package default (4).
+	CalibrateMinSamples int
+	// CalibrateDeltaTol bounds the lossy sparsification of stored deltas
+	// (see transfer.MakeDelta). 0 means the transfer package default (1e-4).
+	CalibrateDeltaTol float64
 	// Version is the build version exposed by the voltsense_build_info
 	// metric. Empty means "dev".
 	Version string
@@ -151,6 +172,11 @@ type Server struct {
 
 	adm         *admission
 	streamCount atomic.Int64 // open NDJSON sessions, all tenants
+
+	// calibMu serializes /v1/calibrate refits: each calibration reads the
+	// incumbent lineage, writes an artifact, and refreshes the registry —
+	// interleaving two of those for one store is never useful.
+	calibMu sync.Mutex
 
 	// fbMu serializes the optional feedback CSV log; the writer is created
 	// on the default tenant's first adapter build and dropped if a reload
@@ -193,6 +219,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Adaptation.Vth == 0 {
 		cfg.Adaptation.Vth = cfg.Monitor.Vth
 	}
+	if cfg.Prior != nil && cfg.StoreDir == "" {
+		return nil, errors.New("serve: Config.Prior requires Config.StoreDir (fleet mode)")
+	}
 	s := &Server{cfg: cfg, metrics: NewMetrics(), defaultID: cfg.DefaultTenant, start: time.Now()}
 	s.metrics.SetVersion(cfg.Version)
 	s.adm = newAdmission(cfg.Overload)
@@ -230,6 +259,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/stream", s.instrument("/v1/stream", s.handleStream))
 	s.mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
 	s.mux.HandleFunc("/v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
+	s.mux.HandleFunc("/v1/calibrate", s.instrument("/v1/calibrate", s.handleCalibrate))
 	s.mux.HandleFunc("/v1/rollback", s.instrument("/v1/rollback", s.handleRollback))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
@@ -285,12 +315,11 @@ func (s *Server) dirSource(dir registry.Dir) registry.Source {
 			if err != nil {
 				return nil, "", err
 			}
-			f, err := os.Open(path)
+			data, err := os.ReadFile(path)
 			if err != nil {
 				return nil, "", err
 			}
-			defer f.Close()
-			pred, err := core.LoadPredictor(f)
+			pred, err := s.loadArtifact(data)
 			if err != nil {
 				return nil, "", err
 			}

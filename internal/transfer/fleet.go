@@ -1,0 +1,142 @@
+package transfer
+
+import (
+	"fmt"
+	"math"
+
+	"voltsense/internal/core"
+	"voltsense/internal/mat"
+	"voltsense/internal/ols"
+)
+
+// Delta is the sparse difference of one fielded chip's aligned coefficients
+// over the shared prior mean. A fleet store persists deltas instead of full
+// K×Q coefficient matrices: a chip whose alignment barely moved off the
+// golden prior costs a few dozen floats, and a million-chip store stays
+// proportional to how much the fleet actually deviates.
+type Delta struct {
+	// PriorFingerprint pins the exact prior the delta was computed
+	// against; Resolve refuses a mismatched prior rather than silently
+	// composing coefficients from two different goldens.
+	PriorFingerprint string
+
+	// Rows holds the per-node updates, strictly ascending by Node. Nodes
+	// absent here serve the prior mean unchanged.
+	Rows []DeltaRow
+}
+
+// DeltaRow is one node's sparse coefficient update.
+type DeltaRow struct {
+	// Node is the critical-node (output row) index, 0 ≤ Node < K.
+	Node int
+	// Cols holds the updated column positions, strictly ascending over
+	// 0..Q where position Q is the intercept.
+	Cols []int
+	// Vals holds the additive updates, len(Vals) == len(Cols), finite.
+	Vals []float64
+}
+
+// NNZ returns the number of stored coefficient updates.
+func (d *Delta) NNZ() int {
+	n := 0
+	for i := range d.Rows {
+		n += len(d.Rows[i].Cols)
+	}
+	return n
+}
+
+// MakeDelta sparsifies aligned − prior: per node, coefficients that moved by
+// no more than tol times the node's prior coefficient scale are dropped.
+// Resolve therefore reconstructs the aligned model to within tol·scale per
+// coefficient — a bounded, documented loss, not an approximation drift.
+func MakeDelta(prior *SharedPrior, aligned *core.Predictor, tol float64) *Delta {
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	q, k := prior.Q(), prior.K()
+	d := &Delta{PriorFingerprint: prior.Fingerprint()}
+	for i := 0; i < k; i++ {
+		mrow := prior.Mean.Row(i)
+		scale := 0.0
+		for _, v := range mrow {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		thresh := tol * scale
+		var row DeltaRow
+		arow := aligned.Model.Alpha.Row(i)
+		for j := 0; j <= q; j++ {
+			v := aligned.Model.C[i]
+			if j < q {
+				v = arow[j]
+			}
+			dv := v - mrow[j]
+			if math.Abs(dv) > thresh {
+				row.Cols = append(row.Cols, j)
+				row.Vals = append(row.Vals, dv)
+			}
+		}
+		if len(row.Cols) > 0 {
+			row.Node = i
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	return d
+}
+
+// Resolve reconstructs a servable predictor by applying the delta to the
+// prior mean. lin, when non-nil, becomes the predictor's lineage (the delta
+// artifact carries it). The prior's fingerprint must match the one the delta
+// was computed against.
+func (d *Delta) Resolve(prior *SharedPrior, lin *core.Lineage) (*core.Predictor, error) {
+	if err := prior.validate(); err != nil {
+		return nil, err
+	}
+	if fp := prior.Fingerprint(); d.PriorFingerprint != fp {
+		return nil, fmt.Errorf("transfer: delta was computed against prior %s, pinned prior is %s", d.PriorFingerprint, fp)
+	}
+	q, k := prior.Q(), prior.K()
+	alpha := mat.Zeros(k, q)
+	c := make([]float64, k)
+	for i := 0; i < k; i++ {
+		row := prior.Mean.Row(i)
+		copy(alpha.Row(i), row[:q])
+		c[i] = row[q]
+	}
+	prevNode := -1
+	for ri := range d.Rows {
+		row := &d.Rows[ri]
+		if row.Node <= prevNode || row.Node >= k {
+			return nil, fmt.Errorf("transfer: delta row %d has node %d (want ascending in 0..%d)", ri, row.Node, k-1)
+		}
+		prevNode = row.Node
+		if len(row.Cols) != len(row.Vals) || len(row.Cols) == 0 {
+			return nil, fmt.Errorf("transfer: delta row %d has %d columns but %d values", ri, len(row.Cols), len(row.Vals))
+		}
+		prevCol := -1
+		for ci, col := range row.Cols {
+			if col <= prevCol || col > q {
+				return nil, fmt.Errorf("transfer: delta row %d column %d out of order or out of 0..%d", ri, col, q)
+			}
+			prevCol = col
+			v := row.Vals[ci]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("transfer: non-finite delta value at node %d column %d", row.Node, col)
+			}
+			if col == q {
+				c[row.Node] += v
+			} else {
+				alpha.Row(row.Node)[col] += v
+			}
+		}
+	}
+	return &core.Predictor{
+		Selected: append([]int(nil), prior.Selected...),
+		Model:    &ols.Model{Alpha: alpha, C: c},
+		Lineage:  lin,
+	}, nil
+}

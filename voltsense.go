@@ -49,6 +49,7 @@ import (
 	"voltsense/internal/sensor"
 	"voltsense/internal/thermal"
 	"voltsense/internal/traceio"
+	"voltsense/internal/transfer"
 	"voltsense/internal/uarch"
 	"voltsense/internal/vmap"
 	"voltsense/internal/workload"
@@ -422,6 +423,50 @@ type RecursiveOLS = online.RecursiveOLS
 func NewRecursiveOLS(q, k int, forgetting float64) *RecursiveOLS {
 	return online.NewRecursiveOLS(q, k, forgetting)
 }
+
+// --- Fleet transfer calibration: golden-chip prior + few-shot alignment ---
+
+// SharedPrior is the fleet's distilled golden-chip knowledge: a Gaussian
+// prior over the Eq. 20 coefficients, fit once from one or more fully
+// characterized chips and shared by every fielded chip.
+type SharedPrior = transfer.SharedPrior
+
+// SharedPriorConfig tunes how golden predictors pool into a prior.
+type SharedPriorConfig = transfer.PriorConfig
+
+// AlignConfig tunes few-shot alignment: prior shrinkage, the minimum-sample
+// evidence gate, and the delta sparsification tolerance.
+type AlignConfig = transfer.AlignConfig
+
+// ChipAlignment is one fielded chip's MAP refit against the shared prior:
+// the aligned predictor, its sparse delta over the prior mean, and the
+// normal-equation state for warm-starting online adaptation.
+type ChipAlignment = transfer.Alignment
+
+// PredictorDelta is the thin per-chip artifact a fleet store keeps instead
+// of a full predictor: sparse coefficient deviations pinned to a prior
+// fingerprint. Serialized as voltsense-delta/v1.
+type PredictorDelta = transfer.Delta
+
+// FitSharedPrior pools golden-chip predictors (same sensor selection) into
+// the fleet's shared prior.
+func FitSharedPrior(goldens []*Predictor, cfg SharedPriorConfig) (*SharedPrior, error) {
+	return transfer.FitPrior(goldens, cfg)
+}
+
+// AlignChip refits one fielded chip against the shared prior from a few
+// labeled samples (readings x, Q-by-N; voltages f, K-by-N) — the library
+// counterpart of voltserved's POST /v1/calibrate.
+func AlignChip(prior *SharedPrior, x, f *Matrix, cfg AlignConfig) (*ChipAlignment, error) {
+	return transfer.AlignChip(prior, x, f, cfg)
+}
+
+// SaveSharedPrior writes a prior as versioned JSON (voltsense-prior/v1,
+// the format voltserved's -prior flag loads); LoadSharedPrior reads it back.
+func SaveSharedPrior(w io.Writer, p *SharedPrior) error { return p.Save(w) }
+
+// LoadSharedPrior reads a prior written by SaveSharedPrior.
+func LoadSharedPrior(r io.Reader) (*SharedPrior, error) { return transfer.LoadPrior(r) }
 
 // --- Dataset persistence ---
 
