@@ -22,21 +22,21 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi
 
 # bench runs the kernel/solver/pipeline/engine/server/online benchmark suite
-# and writes BENCH_PR8.json with ns/op, allocs/op, and the speedup of each
-# parallel, warm-started, sparse, or reduced-basis implementation over its
-# serial/cold/banded/dense baseline.
+# and writes BENCH_PR10.json with ns/op, allocs/op, and the speedup of each
+# parallel, warm-started, sparse, batched, or reduced-basis implementation
+# over its serial/cold/banded/looped/dense baseline.
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR8.json -benchtime $(BENCHTIME)
+	$(GO) run ./cmd/benchreport -out BENCH_PR10.json -benchtime $(BENCHTIME)
 
 # bench-quick runs every benchmark exactly once — the CI smoke configuration.
 bench-quick:
-	$(GO) run ./cmd/benchreport -out BENCH_PR8.json -benchtime 1x
+	$(GO) run ./cmd/benchreport -out BENCH_PR10.json -benchtime 1x
 
 # bench-compare regenerates a quick report and diffs it against the
-# committed BENCH_PR8.json baseline; warn-only (see cmd/benchreport).
+# committed BENCH_PR10.json baseline; warn-only (see cmd/benchreport).
 bench-compare:
-	$(GO) run ./cmd/benchreport -out BENCH_PR8.new.json -benchtime 1x
-	$(GO) run ./cmd/benchreport -compare BENCH_PR8.json -tolerance 0.25 BENCH_PR8.new.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR10.new.json -benchtime 1x
+	$(GO) run ./cmd/benchreport -compare BENCH_PR10.json -tolerance 0.25 BENCH_PR10.new.json
 
 # bench-trajectory prints the cross-PR performance history from every
 # committed BENCH_*.json baseline.
@@ -82,4 +82,4 @@ docs-check:
 	$(GO) test -run Example ./...
 
 clean:
-	rm -f BENCH_PR5.new.json BENCH_PR6.new.json BENCH_PR8.new.json BENCH_PR9.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv TRANSFER_ABLATION.txt TRANSFER_ABLATION.csv
+	rm -f BENCH_PR5.new.json BENCH_PR6.new.json BENCH_PR8.new.json BENCH_PR9.new.json BENCH_PR10.new.json FAULT_ABLATION.txt FAULT_ABLATION.csv ADAPT_ABLATION.txt ADAPT_ABLATION.csv TRANSFER_ABLATION.txt TRANSFER_ABLATION.csv

@@ -1,12 +1,12 @@
 // Command benchreport runs the repository's benchmark suite and writes a
 // machine-readable summary, including the speedup of each parallel or
 // warm-started implementation over its serial/cold baseline. `make bench`
-// invokes it to produce BENCH_PR8.json; CI runs the same benchmarks once per
+// invokes it to produce BENCH_PR10.json; CI runs the same benchmarks once per
 // commit and diffs them against the committed baseline.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-benchtime 100ms] [-bench .]
+//	go run ./cmd/benchreport [-out BENCH_PR10.json] [-benchtime 100ms] [-bench .]
 //	go run ./cmd/benchreport -compare old.json new.json [-tolerance 0.25]
 //	go run ./cmd/benchreport -trajectory [dir]
 //
@@ -44,6 +44,7 @@ var benchPackages = []string{
 	"./internal/mat/",
 	"./internal/lasso/",
 	"./internal/banded/",
+	"./internal/sparse/",
 	"./internal/pdn/",
 	"./internal/experiments/",
 	"./internal/serve/",
@@ -63,6 +64,11 @@ var speedupPairs = []struct{ Kernel, Baseline string }{
 	{"BenchmarkPlacementPathWarm", "BenchmarkPlacementColdPerPoint"},
 	{"BenchmarkCollectParallel", "BenchmarkCollectSerial"},
 	{"BenchmarkNewSimulator512Sparse", "BenchmarkNewSimulator512Banded"},
+	{"BenchmarkSpMVParallel", "BenchmarkSpMVSerial"},
+	{"BenchmarkICApplyParallel", "BenchmarkICApplySerial"},
+	{"BenchmarkSolveBatch", "BenchmarkSolveLooped"},
+	{"BenchmarkStepSparse1024Parallel", "BenchmarkStepSparse1024Serial"},
+	{"BenchmarkStepBatch512", "BenchmarkStepLooped512"},
 	{"BenchmarkPlaceChipReduced", "BenchmarkPlaceChipDense"},
 	{"BenchmarkPlaceChipPathReduced", "BenchmarkPlaceChipPathDense"},
 	{"BenchmarkDOptSherman", "BenchmarkDOptNaive"},
@@ -95,7 +101,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	benchTime := flag.String("benchtime", "100ms", "go test -benchtime value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
 	compareWith := flag.String("compare", "", "baseline report JSON; compare the report named by the positional argument against it instead of running benchmarks")
@@ -350,7 +356,10 @@ func loadReport(path string) (*report, error) {
 
 // runPackage runs one package's benchmarks and parses the textual results.
 func runPackage(pkg, pattern, benchTime string) ([]benchResult, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
+	// -timeout 0: the suite's cost is bounded by -benchtime per benchmark,
+	// and the 10⁶-node transient fixtures alone exceed go test's default
+	// 10-minute package budget.
+	cmd := exec.Command("go", "test", "-run", "^$", "-timeout", "0",
 		"-bench", pattern, "-benchmem", "-benchtime", benchTime, pkg)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()

@@ -79,10 +79,17 @@ func run(args []string, out io.Writer) error {
 	fallbackBudget := fs.Int("fallback-budget", 0, "fit leave-k-out fallback submodels tolerating up to this many failed sensors (0 = none); takes precedence over -rank/-energy for the refit, which then stays dense")
 	rank := fs.Int("rank", 0, "rank-r POD basis: compresses the monitored nodes for group lasso, sizes the candidate basis for other criteria (0 = default)")
 	energyFrac := fs.Float64("energy", 0, "smallest POD basis capturing this energy fraction, e.g. 0.99; same role as -rank (0 = default)")
+	sparseWorkers := fs.Int("sparse-workers", 0, "bound the shared worker pool of the matrix and solver kernels (0 = all cores, 1 = serial); results are identical either way")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sparseWorkers < 0 {
+		return fmt.Errorf("-sparse-workers must be >= 0, got %d", *sparseWorkers)
+	}
+	if *sparseWorkers > 0 {
+		mat.SetParallelism(*sparseWorkers)
 	}
 	stopProf, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -49,6 +49,7 @@ import (
 	"voltsense/internal/pdn"
 	"voltsense/internal/place"
 	"voltsense/internal/profiling"
+	"voltsense/internal/sparse"
 	"voltsense/internal/transfer"
 	"voltsense/internal/vmap"
 )
@@ -74,6 +75,9 @@ func run(args []string) error {
 	useThermal := fs.Bool("thermal", false, "couple average power to temperature and scale leakage (hotter blocks leak more)")
 	budget := fs.Int("budget", 2, "fallback budget (max simultaneous failed sensors) for faults")
 	backend := fs.String("backend", "", "transient solver backend: auto (default), banded, or sparse")
+	precond := fs.String("precond", "", "sparse-backend preconditioner: auto (default), ic, jacobi, or cheby")
+	sparseWorkers := fs.Int("sparse-workers", 0, "worker shares per sparse solve (0 = pool default, 1 = serial); results are bitwise identical either way")
+	batch := fs.String("batch", "auto", "multi-RHS trace collection: auto (batch when sparse), on, or off")
 	rankLambda := fs.Float64("ranklambda", 12, "chip-joint λ for the rank experiment")
 	shootQ := fs.Int("shootq", 8, "chip-wide sensor count for the shootout experiment")
 	criteria := fs.String("criteria", "", "comma-separated criterion subset for shootout (default: all)")
@@ -120,6 +124,25 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Backend = be
+	pc, err := sparse.ParsePrecond(*precond)
+	if err != nil {
+		return err
+	}
+	cfg.Precond = pc
+	if *sparseWorkers < 0 {
+		return fmt.Errorf("-sparse-workers must be >= 0, got %d", *sparseWorkers)
+	}
+	cfg.SparseWorkers = *sparseWorkers
+	switch *batch {
+	case "auto":
+		cfg.BatchTraces = experiments.BatchAuto
+	case "on":
+		cfg.BatchTraces = experiments.BatchOn
+	case "off":
+		cfg.BatchTraces = experiments.BatchOff
+	default:
+		return fmt.Errorf("unknown -batch mode %q (want auto, on, or off)", *batch)
+	}
 
 	fmt.Fprintf(os.Stderr, "building pipeline (%s scale)...\n", scaleName(*full))
 	p, err := experiments.New(cfg)

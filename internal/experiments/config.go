@@ -21,7 +21,37 @@ import (
 	"voltsense/internal/grid"
 	"voltsense/internal/lasso"
 	"voltsense/internal/pdn"
+	"voltsense/internal/sparse"
 )
+
+// BatchMode controls whether the pipeline steps every benchmark's transient
+// through one blocked multi-RHS solve (pdn.BatchSimulator) instead of
+// fanning independent simulators across workers.
+type BatchMode int
+
+const (
+	// BatchAuto batches exactly when the resolved backend is Sparse — there
+	// the multi-RHS solve amortizes the dominant matrix/factor memory
+	// streams; the banded backend gains nothing over the simulator pool.
+	BatchAuto BatchMode = iota
+	// BatchOn forces lock-stepped batched collection on either backend.
+	BatchOn
+	// BatchOff forces the per-benchmark simulator fan-out.
+	BatchOff
+)
+
+// String names the mode.
+func (m BatchMode) String() string {
+	switch m {
+	case BatchAuto:
+		return "auto"
+	case BatchOn:
+		return "on"
+	case BatchOff:
+		return "off"
+	}
+	return fmt.Sprintf("BatchMode(%d)", int(m))
+}
 
 // TraceSource selects which GEM5 substitute drives the pipeline.
 type TraceSource int
@@ -70,6 +100,18 @@ type Config struct {
 	// narrow meshes and IC-preconditioned CG for wide ones; see
 	// pdn.NewSimulatorBackend). Leave zero for Auto.
 	Backend pdn.Backend
+	// Precond selects the sparse-backend preconditioner (auto/ic/jacobi/
+	// cheby). Ignored by the banded backend. Leave zero for Auto (MIC(0)).
+	Precond sparse.Precond
+	// SparseWorkers bounds the worker shares each sparse solver's
+	// row-partitioned kernels use (0 = the mat pool default, 1 = serial).
+	// Results are bitwise identical across settings.
+	SparseWorkers int
+	// BatchTraces controls blocked multi-RHS trace collection: when active,
+	// the calibration, training and test runs step all benchmarks through
+	// one pdn.BatchSimulator instead of per-benchmark simulators. Collected
+	// voltages are bitwise identical either way.
+	BatchTraces BatchMode
 	// ThermalFeedback couples per-run average power to a steady-state
 	// temperature map and scales block leakage accordingly (hotter blocks
 	// leak more), deepening droops on hot benchmarks.

@@ -188,6 +188,29 @@ func (p *Pipeline) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// simOpts maps the Config's solver knobs onto pdn.SimOptions.
+func (p *Pipeline) simOpts() pdn.SimOptions {
+	return pdn.SimOptions{
+		Backend: p.Cfg.Backend,
+		Precond: p.Cfg.Precond,
+		Workers: p.Cfg.SparseWorkers,
+	}
+}
+
+// useBatch resolves Config.BatchTraces: batch on explicit request, and under
+// BatchAuto exactly when the backend resolves to Sparse — the multi-RHS PCG
+// amortizes matrix and factor streaming there, while banded triangular
+// sweeps gain nothing over the per-benchmark simulator pool.
+func (p *Pipeline) useBatch() bool {
+	switch p.Cfg.BatchTraces {
+	case BatchOn:
+		return true
+	case BatchOff:
+		return false
+	}
+	return pdn.ResolveBackend(p.Grid, p.Cfg.Backend) == pdn.Sparse
+}
+
 // acquireSim takes a transient simulator from the pool, building (and
 // factoring) a fresh one only when the pool is empty. Return it with
 // simPool.Put when the run completes.
@@ -195,7 +218,68 @@ func (p *Pipeline) acquireSim() (*pdn.Simulator, error) {
 	if s, ok := p.simPool.Get().(*pdn.Simulator); ok {
 		return s, nil
 	}
-	return pdn.NewSimulatorBackend(p.Grid, p.Cfg.DT, p.Cfg.Backend)
+	return pdn.NewSimulatorOpts(p.Grid, p.Cfg.DT, p.simOpts())
+}
+
+// simulateAll advances every benchmark's run in lock step through one shared
+// multi-RHS BatchSimulator, invoking onStep(bi, t, v) for each post-warmup
+// step of benchmark bi. Voltages are bitwise identical to per-benchmark
+// simulate calls with the same options; callbacks arrive interleaved across
+// benchmarks (ascending bi within each step).
+func (p *Pipeline) simulateAll(run, steps int, onStep func(bi, t int, v []float64)) error {
+	total := p.Cfg.Warmup + steps
+	cts := make([]*power.CurrentTrace, len(p.Bench))
+	err := p.forEachBenchmark(func(bi int, b workload.Benchmark) error {
+		tr := p.generateTrace(b, total, run)
+		scale, err := p.leakScaleFor(tr)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		cts[bi] = p.Power.CurrentsScaledLeakage(tr, scale)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	bs, err := pdn.NewBatchSimulator(p.Grid, p.Cfg.DT, len(p.Bench), p.simOpts())
+	if err != nil {
+		return fmt.Errorf("experiments: batch simulator: %w", err)
+	}
+	cur := make([][]float64, len(p.Bench))
+	for c := range cur {
+		cur[c] = make([]float64, p.Chip.NumBlocks())
+	}
+	err = bs.RunAll(total, func(c, t int) []float64 {
+		buf := cur[c]
+		for b := range buf {
+			buf[b] = cts[c].Currents[b][t]
+		}
+		return buf
+	}, func(c, t int, v []float64) {
+		if t >= p.Cfg.Warmup {
+			onStep(c, t-p.Cfg.Warmup, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: batch run: %w", err)
+	}
+	return nil
+}
+
+// runBenchmarks delivers every benchmark's run-`run` post-warmup voltages to
+// onStep(bi, t, v), either batched through one lock-stepped multi-RHS
+// simulator or fanned across pooled per-benchmark simulators, per
+// Config.BatchTraces. Callbacks for different benchmarks may arrive
+// interleaved (batched) or concurrently (fan-out), so collectors must write
+// only to benchmark-indexed slots; within one benchmark, t is ascending
+// either way.
+func (p *Pipeline) runBenchmarks(run, steps int, onStep func(bi, t int, v []float64)) error {
+	if p.useBatch() {
+		return p.simulateAll(run, steps, onStep)
+	}
+	return p.forEachBenchmark(func(bi int, b workload.Benchmark) error {
+		return p.simulate(b, run, steps, func(t int, v []float64) { onStep(bi, t, v) })
+	})
 }
 
 // forEachBenchmark runs fn(bi, bench) for every benchmark concurrently on
@@ -224,12 +308,11 @@ func (p *Pipeline) forEachBenchmark(fn func(bi int, b workload.Benchmark) error)
 // during a sampling simulation period").
 func (p *Pipeline) calibrateCriticalNodes() error {
 	droops := make([]*pdn.WorstDroop, len(p.Bench))
-	err := p.forEachBenchmark(func(bi int, b workload.Benchmark) error {
-		d := pdn.NewWorstDroop(p.Grid.NumNodes())
-		droops[bi] = d
-		return p.simulate(b, runCalib, p.Cfg.CalibSteps, func(_ int, v []float64) {
-			d.Observe(v)
-		})
+	for bi := range droops {
+		droops[bi] = pdn.NewWorstDroop(p.Grid.NumNodes())
+	}
+	err := p.runBenchmarks(runCalib, p.Cfg.CalibSteps, func(bi, _ int, v []float64) {
+		droops[bi].Observe(v)
 	})
 	if err != nil {
 		return err
@@ -280,15 +363,12 @@ func (p *Pipeline) collectTraining() error {
 		}
 		picks[bi] = pick
 	}
-	err := p.forEachBenchmark(func(bi int, b workload.Benchmark) error {
-		pick := picks[bi]
-		return p.simulate(b, runTrain, p.Cfg.TrainSteps, func(t int, v []float64) {
-			c, ok := pick[t]
-			if !ok {
-				return
-			}
-			p.recordColumn(cand, crit, c, v)
-		})
+	err := p.runBenchmarks(runTrain, p.Cfg.TrainSteps, func(bi, t int, v []float64) {
+		c, ok := picks[bi][t]
+		if !ok {
+			return
+		}
+		p.recordColumn(cand, crit, c, v)
 	})
 	if err != nil {
 		return err
@@ -303,26 +383,26 @@ func (p *Pipeline) collectTest() error {
 	m := len(p.Grid.Candidates)
 	k := p.Chip.NumBlocks()
 	p.TestByBench = make([]*SampleSet, len(p.Bench))
-	return p.forEachBenchmark(func(bi int, b workload.Benchmark) error {
-		cand := mat.Zeros(m, p.Cfg.TestSteps)
-		crit := mat.Zeros(k, p.Cfg.TestSteps)
+	cols := make([]int, len(p.Bench))
+	for bi := range p.Bench {
 		benchIdx := make([]int, p.Cfg.TestSteps)
 		for i := range benchIdx {
 			benchIdx[i] = bi
 		}
-		col := 0
-		steps := p.Cfg.TestSteps * p.Cfg.TestStride
-		if err := p.simulate(b, runTest, steps, func(t int, v []float64) {
-			if t%p.Cfg.TestStride != 0 || col >= p.Cfg.TestSteps {
-				return
-			}
-			p.recordColumn(cand, crit, col, v)
-			col++
-		}); err != nil {
-			return err
+		p.TestByBench[bi] = &SampleSet{
+			CandV: mat.Zeros(m, p.Cfg.TestSteps),
+			CritV: mat.Zeros(k, p.Cfg.TestSteps),
+			Bench: benchIdx,
 		}
-		p.TestByBench[bi] = &SampleSet{CandV: cand, CritV: crit, Bench: benchIdx}
-		return nil
+	}
+	steps := p.Cfg.TestSteps * p.Cfg.TestStride
+	return p.runBenchmarks(runTest, steps, func(bi, t int, v []float64) {
+		if t%p.Cfg.TestStride != 0 || cols[bi] >= p.Cfg.TestSteps {
+			return
+		}
+		s := p.TestByBench[bi]
+		p.recordColumn(s.CandV, s.CritV, cols[bi], v)
+		cols[bi]++
 	})
 }
 

@@ -3,7 +3,10 @@ package experiments
 import (
 	"testing"
 
+	"voltsense/internal/floorplan"
+	"voltsense/internal/grid"
 	"voltsense/internal/mat"
+	"voltsense/internal/pdn"
 )
 
 // tinyConfig is the smallest pipeline that exercises every stage.
@@ -249,5 +252,72 @@ func TestConfigValidationErrors(t *testing.T) {
 	cfg.TrainMaps = 100000 // more than steps available
 	if _, err := New(cfg); err == nil {
 		t.Error("expected error for more maps than steps")
+	}
+}
+
+// TestBatchedCollectionBitwiseMatchesFanout pins the pipeline-level batching
+// contract: with the sparse backend forced, collecting calibration, training
+// and test traces through one lock-stepped multi-RHS BatchSimulator yields
+// exactly the samples the per-benchmark simulator fan-out produces.
+func TestBatchedCollectionBitwiseMatchesFanout(t *testing.T) {
+	base := tinyConfig()
+	base.Backend = pdn.Sparse
+	base.CalibSteps = 40
+	base.TrainSteps = 80
+	base.TrainMaps = 190
+	base.TestSteps = 15
+
+	cfgOff := base
+	cfgOff.BatchTraces = BatchOff
+	cfgOn := base
+	cfgOn.BatchTraces = BatchOn
+
+	pOff, err := New(cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOn, err := New(cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range pOff.CritNodes {
+		if pOff.CritNodes[b] != pOn.CritNodes[b] {
+			t.Fatalf("critical node %d differs: fan-out %d, batched %d", b, pOff.CritNodes[b], pOn.CritNodes[b])
+		}
+	}
+	if !mat.Equalish(pOff.Train.CandV, pOn.Train.CandV, 0) {
+		t.Fatal("training candidate maps differ between batched and fan-out collection")
+	}
+	if !mat.Equalish(pOff.Train.CritV, pOn.Train.CritV, 0) {
+		t.Fatal("training critical maps differ between batched and fan-out collection")
+	}
+	for bi := range pOff.TestByBench {
+		if !mat.Equalish(pOff.TestByBench[bi].CandV, pOn.TestByBench[bi].CandV, 0) ||
+			!mat.Equalish(pOff.TestByBench[bi].CritV, pOn.TestByBench[bi].CritV, 0) {
+			t.Fatalf("test set %d differs between batched and fan-out collection", bi)
+		}
+	}
+}
+
+// TestUseBatchResolution pins the BatchAuto rule: batch exactly when the
+// backend resolves to Sparse.
+func TestUseBatchResolution(t *testing.T) {
+	cfg := tinyConfig() // 26x12 mesh resolves to Banded under Auto
+	p := &Pipeline{Cfg: cfg, Grid: grid.Build(floorplan.New(cfg.Chip), cfg.Grid)}
+	if p.useBatch() {
+		t.Fatal("BatchAuto batched on a banded-resolved mesh")
+	}
+	p.Cfg.Backend = pdn.Sparse
+	if !p.useBatch() {
+		t.Fatal("BatchAuto did not batch with the sparse backend forced")
+	}
+	p.Cfg.BatchTraces = BatchOff
+	if p.useBatch() {
+		t.Fatal("BatchOff ignored")
+	}
+	p.Cfg.Backend = pdn.Auto
+	p.Cfg.BatchTraces = BatchOn
+	if !p.useBatch() {
+		t.Fatal("BatchOn ignored")
 	}
 }

@@ -89,6 +89,27 @@ func ParallelFor(n, minChunk, maxShares int, fn func(lo, hi int)) {
 	parallelForShares(n, minChunk, maxShares, fn)
 }
 
+// Submit hands f to the package worker pool without blocking and reports
+// whether a worker accepted it. When it returns false — a single-proc
+// machine, a saturated pool, or a nested parallel section — the caller must
+// run f itself; that inline fallback is the same degradation rule the
+// kernels use, so submission never queues or deadlocks. Unlike ParallelFor,
+// Submit takes a caller-owned func value, which lets hot loops dispatch
+// preallocated jobs with zero allocations per call (the pattern the sparse
+// solver's step kernels rely on).
+func Submit(f func()) bool {
+	poolOnce.Do(startPool)
+	if poolJobs == nil {
+		return false
+	}
+	select {
+	case poolJobs <- f:
+		return true
+	default:
+		return false
+	}
+}
+
 func parallelForShares(n, minChunk, maxShares int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return

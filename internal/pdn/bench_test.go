@@ -166,3 +166,127 @@ func BenchmarkNewSimulator512Sparse(b *testing.B) {
 // minutes) to build, so the sparse path is the only one that runs — the
 // scale-up the issue targets.
 func BenchmarkStepSparse1024(b *testing.B) { benchStepBackend(b, scaledGrid(1024, 1024), Sparse) }
+
+func benchStepSparseWorkers(b *testing.B, g *grid.Grid, workers int) {
+	s, err := NewSimulatorOpts(g, 5e-10, SimOptions{Backend: Sparse, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := make([]float64, g.NumNodes())
+	for _, nodes := range g.BlockNodes {
+		for _, nd := range nodes {
+			loads[nd] = 0.2 / float64(len(nodes))
+		}
+	}
+	if err := s.Settle(loads); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(loads)
+	}
+}
+
+// BenchmarkStepSparse1024Serial vs BenchmarkStepSparse1024Parallel: the
+// serial-vs-parallel speedup pair at the 1M-node scale. Serial pins
+// Workers=1 (every kernel inline); Parallel uses the pool default, so the
+// reported ratio is the machine's actual core win — parity on one core,
+// scaling with the row-partitioned kernels as cores are added. Outputs are
+// bitwise identical either way.
+func BenchmarkStepSparse1024Serial(b *testing.B) {
+	benchStepSparseWorkers(b, scaledGrid(1024, 1024), 1)
+}
+
+func BenchmarkStepSparse1024Parallel(b *testing.B) {
+	benchStepSparseWorkers(b, scaledGrid(1024, 1024), 0)
+}
+
+// stepBatchNRHS is the column count of the batched step pair — the size of
+// the benchmark suite the experiments pipeline steps in lock step.
+const stepBatchNRHS = 8
+
+func batchBenchFixture(b *testing.B, g *grid.Grid) ([][]float64, [][]float64) {
+	n := g.NumNodes()
+	loadCols := make([][]float64, stepBatchNRHS)
+	for c := range loadCols {
+		loads := make([]float64, n)
+		for _, nodes := range g.BlockNodes {
+			for _, nd := range nodes {
+				loads[nd] = 0.2 * float64(c+1) / float64(stepBatchNRHS) / float64(len(nodes))
+			}
+		}
+		loadCols[c] = loads
+	}
+	return loadCols, nil
+}
+
+// BenchmarkStepBatch512 vs BenchmarkStepLooped512: the batched-vs-looped
+// speedup pair. Both advance 8 independent transients one step on a 512×256
+// mesh; the batch steps them through one matrix traversal per PCG
+// iteration, the loop streams the matrix and factor once per transient.
+func BenchmarkStepBatch512(b *testing.B) {
+	g := scaledGrid(512, 256)
+	loadCols, _ := batchBenchFixture(b, g)
+	bs, err := NewBatchSimulator(g, 5e-10, stepBatchNRHS, SimOptions{Backend: Sparse})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < stepBatchNRHS; c++ {
+		if err := bs.SettleColumn(c, loadCols[c]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs.Step(loadCols)
+	}
+}
+
+func BenchmarkStepLooped512(b *testing.B) {
+	g := scaledGrid(512, 256)
+	loadCols, _ := batchBenchFixture(b, g)
+	sims := make([]*Simulator, stepBatchNRHS)
+	for c := range sims {
+		s, err := NewSimulatorBackend(g, 5e-10, Sparse)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Settle(loadCols[c]); err != nil {
+			b.Fatal(err)
+		}
+		sims[c] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c, s := range sims {
+			s.Step(loadCols[c])
+		}
+	}
+}
+
+// TestStepBatchZeroAllocs extends the zero-alloc invariant to the batched
+// sparse step.
+func TestStepBatchZeroAllocs(t *testing.T) {
+	g := smallGrid()
+	bs, err := NewBatchSimulator(g, testDT, 4, SimOptions{Backend: Sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadCols := make([][]float64, 4)
+	for c := range loadCols {
+		loads := make([]float64, g.NumNodes())
+		for _, nodes := range g.BlockNodes {
+			for _, nd := range nodes {
+				loads[nd] = 0.1 * float64(c+1)
+			}
+		}
+		loadCols[c] = loads
+	}
+	bs.Step(loadCols)
+	if a := testing.AllocsPerRun(20, func() { bs.Step(loadCols) }); a != 0 {
+		t.Fatalf("batch Step allocates %v times per run, want 0", a)
+	}
+}

@@ -11,12 +11,19 @@
 // The system matrix is constant, symmetric positive definite and banded
 // (half-bandwidth = mesh NX). Two interchangeable step backends solve it:
 // the banded Cholesky (factored once, every step a pair of triangular
-// solves — the fast path for narrow meshes) and an IC(0)-preconditioned
-// conjugate-gradient path over the CSR matrix, warm-started from the
-// previous step's voltages, which scales to 1024×1024+ meshes where the
-// banded factor's O(n·bw²) time and O(n·bw) memory are prohibitive.
-// NewSimulator picks automatically by bandwidth and storage; use
-// NewSimulatorBackend to force a choice. Pad inductors use the standard
+// solves — the fast path for narrow meshes) and a preconditioned
+// conjugate-gradient path over the RCM-reordered CSR matrix, warm-started
+// from the previous step's voltages, which scales to 1024×1024+ meshes
+// where the banded factor's O(n·bw²) time and O(n·bw) memory are
+// prohibitive. The sparse path runs its kernels in parallel on the mat
+// worker pool with bitwise-deterministic results at any worker count;
+// SimOptions selects the preconditioner family (modified IC(0) with
+// level-scheduled sweeps by default, Chebyshev or Jacobi for fully parallel
+// applications) and bounds the workers. BatchSimulator steps many
+// independent transients on the same grid through one matrix traversal per
+// step. NewSimulator picks the backend automatically by bandwidth and
+// storage; use NewSimulatorBackend or NewSimulatorOpts to force a choice.
+// Pad inductors use the standard
 // backward-Euler companion model: an effective conductance 1/(R + L/h)
 // plus a history current source tracking the previous branch current.
 package pdn
@@ -71,6 +78,19 @@ func ParseBackend(s string) (Backend, error) {
 	return Auto, fmt.Errorf("pdn: unknown backend %q (want auto, banded or sparse)", s)
 }
 
+// SimOptions configures simulator construction beyond the time step.
+type SimOptions struct {
+	// Backend forces a solver path; Auto resolves by bandwidth and storage.
+	Backend Backend
+	// Precond selects the sparse backend's preconditioner family
+	// (sparse.ParsePrecond names). Auto uses modified IC(0) with a plain
+	// IC(0) fallback — the strongest option. Ignored by the banded backend.
+	Precond sparse.Precond
+	// Workers bounds the sparse backend's parallel kernel shares; 0 tracks
+	// the mat pool default. Results are bitwise identical for any setting.
+	Workers int
+}
+
 // stepSolver solves the constant backward-Euler system A·dst = rhs. dst
 // holds the previous step's voltages on entry, which iterative backends use
 // as the warm start. Implementations must not allocate.
@@ -82,15 +102,98 @@ type bandedSolver struct{ chol *banded.CholFactor }
 
 func (b bandedSolver) solveInto(dst, rhs []float64) { b.chol.SolveInto(dst, rhs) }
 
-type sparseSolver struct{ cg *sparse.CGSolver }
+// sparseSystem is the RCM-permuted CSR step system shared by the single and
+// batch sparse solvers: the matrix P·A·Pᵀ, the permutation that built it,
+// and the preconditioner factored for the permuted matrix. Reordering is
+// transparent — callers stay in original node order and the solvers map
+// through perm at the boundary.
+type sparseSystem struct {
+	a    *sparse.CSR
+	perm []int // perm[newI] = oldI
+	pre  sparse.Preconditioner
+}
 
-func (s sparseSolver) solveInto(dst, rhs []float64) {
-	if _, err := s.cg.Solve(dst, rhs); err != nil {
-		// The system matrix is constant and SPD with an IC(0)
-		// preconditioner built for it; failure here means the simulator
-		// was mis-assembled, which is a programming error like the shape
-		// panics elsewhere in this package.
+// newSparseSystem assembles the step matrix, applies reverse Cuthill–McKee
+// (tight bands mean cache-local SpMV gathers and short IC level schedules,
+// whatever order the mesh was numbered in), and builds the preconditioner.
+func newSparseSystem(g *grid.Grid, diag []float64, precond sparse.Precond) (*sparseSystem, error) {
+	a := assembleSystemCSR(g, diag)
+	perm := sparse.RCM(a)
+	pa := sparse.PermuteSym(a, perm)
+	pre, err := buildPrecond(pa, precond)
+	if err != nil {
+		return nil, err
+	}
+	return &sparseSystem{a: pa, perm: perm, pre: pre}, nil
+}
+
+// buildPrecond constructs the selected preconditioner family for the
+// (already permuted) SPD step matrix.
+func buildPrecond(a *sparse.CSR, p sparse.Precond) (sparse.Preconditioner, error) {
+	switch p {
+	case sparse.PrecondAuto, sparse.PrecondIC:
+		// Modified IC keeps the preconditioned condition number O(h⁻¹) on
+		// refined meshes; fall back to plain IC(0) on the rare breakdown.
+		ic, err := sparse.NewICModified(a, micOmega)
+		if err != nil {
+			if ic, err = sparse.NewIC(a); err != nil {
+				return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+			}
+		}
+		return ic, nil
+	case sparse.PrecondJacobi:
+		j, err := sparse.NewJacobi(a)
+		if err != nil {
+			return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+		}
+		return j, nil
+	case sparse.PrecondCheby:
+		c, err := sparse.NewCheby(a, 0)
+		if err != nil {
+			return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("pdn: unknown preconditioner %v", p)
+}
+
+// sparseSolver runs warm-started PCG on the RCM-permuted system: the warm
+// start and rhs are permuted in, the solution permuted back out, so callers
+// never see the reordering.
+type sparseSolver struct {
+	cg     *sparse.CGSolver
+	perm   []int
+	xp, bp []float64
+}
+
+func newSparseSolver(sys *sparseSystem, opts SimOptions) (*sparseSolver, error) {
+	cg, err := sparse.NewCGSolver(sys.a, sparse.CGOptions{
+		Tol: stepCGTol, Precond: sys.pre, Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pdn: sparse solver: %w", err)
+	}
+	n := sys.a.Rows()
+	return &sparseSolver{
+		cg: cg, perm: sys.perm,
+		xp: make([]float64, n), bp: make([]float64, n),
+	}, nil
+}
+
+func (s *sparseSolver) solveInto(dst, rhs []float64) {
+	for newI, oldI := range s.perm {
+		s.xp[newI] = dst[oldI]
+		s.bp[newI] = rhs[oldI]
+	}
+	if _, err := s.cg.Solve(s.xp, s.bp); err != nil {
+		// The system matrix is constant and SPD with a preconditioner built
+		// for it; failure here means the simulator was mis-assembled, which
+		// is a programming error like the shape panics elsewhere in this
+		// package.
 		panic(fmt.Sprintf("pdn: sparse step solve failed: %v", err))
+	}
+	for newI, oldI := range s.perm {
+		dst[oldI] = s.xp[newI]
 	}
 }
 
@@ -122,6 +225,17 @@ func chooseBackend(g *grid.Grid) Backend {
 	return Banded
 }
 
+// ResolveBackend reports the concrete backend a simulator built with b on g
+// would use: b itself, or the automatic bandwidth/storage choice when b is
+// Auto. Callers (batched trace collection) use it to decide strategy before
+// paying for construction.
+func ResolveBackend(g *grid.Grid, b Backend) Backend {
+	if b == Auto {
+		return chooseBackend(g)
+	}
+	return b
+}
+
 // Simulator integrates one grid with a fixed time step.
 type Simulator struct {
 	g  *grid.Grid
@@ -148,6 +262,13 @@ func NewSimulator(g *grid.Grid, dt float64) (*Simulator, error) {
 
 // NewSimulatorBackend is NewSimulator with an explicit solver backend.
 func NewSimulatorBackend(g *grid.Grid, dt float64, backend Backend) (*Simulator, error) {
+	return NewSimulatorOpts(g, dt, SimOptions{Backend: backend})
+}
+
+// NewSimulatorOpts is NewSimulator with full backend, preconditioner and
+// worker control.
+func NewSimulatorOpts(g *grid.Grid, dt float64, opts SimOptions) (*Simulator, error) {
+	backend := opts.Backend
 	if dt <= 0 {
 		return nil, fmt.Errorf("pdn: non-positive time step %g", dt)
 	}
@@ -194,29 +315,15 @@ func NewSimulatorBackend(g *grid.Grid, dt float64, backend Backend) (*Simulator,
 		}
 		s.solver = bandedSolver{chol: chol}
 	case Sparse:
-		diag := make([]float64, n)
-		copy(diag, s.cOverH)
-		for _, e := range g.Edges {
-			diag[e.A] += e.G
-			diag[e.B] += e.G
-		}
-		for p, pad := range g.Pads {
-			diag[pad.Node] += s.padGeff[p]
-		}
-		a := assembleSystemCSR(g, diag)
-		// Modified IC keeps the preconditioned condition number O(h⁻¹) on
-		// refined meshes; fall back to plain IC(0) on the rare breakdown.
-		ic, err := sparse.NewICModified(a, micOmega)
+		sys, err := newSparseSystem(g, s.stepDiag(), opts.Precond)
 		if err != nil {
-			if ic, err = sparse.NewIC(a); err != nil {
-				return nil, fmt.Errorf("pdn: system matrix not SPD: %w", err)
-			}
+			return nil, err
 		}
-		cg, err := sparse.NewCGSolver(a, sparse.CGOptions{Tol: stepCGTol, Precond: ic})
+		solver, err := newSparseSolver(sys, opts)
 		if err != nil {
-			return nil, fmt.Errorf("pdn: sparse solver: %w", err)
+			return nil, err
 		}
-		s.solver = sparseSolver{cg: cg}
+		s.solver = solver
 	default:
 		return nil, fmt.Errorf("pdn: unknown backend %v", backend)
 	}
@@ -227,6 +334,21 @@ func NewSimulatorBackend(g *grid.Grid, dt float64, backend Backend) (*Simulator,
 // Backend reports which solver path Step uses (never Auto: the automatic
 // choice is resolved at construction).
 func (s *Simulator) Backend() Backend { return s.backend }
+
+// stepDiag accumulates the fully summed diagonal of the backward-Euler
+// system matrix: C/h + mesh conductance degree + effective pad conductance.
+func (s *Simulator) stepDiag() []float64 {
+	diag := make([]float64, len(s.cOverH))
+	copy(diag, s.cOverH)
+	for _, e := range s.g.Edges {
+		diag[e.A] += e.G
+		diag[e.B] += e.G
+	}
+	for p, pad := range s.g.Pads {
+		diag[pad.Node] += s.padGeff[p]
+	}
+	return diag
+}
 
 // assembleSystemCSR builds the symmetric system matrix directly in CSR
 // form: diag supplies the fully accumulated diagonal and every edge

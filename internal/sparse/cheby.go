@@ -1,0 +1,199 @@
+package sparse
+
+import "fmt"
+
+// Cheby is a Chebyshev polynomial preconditioner over Jacobi scaling:
+// Apply(z, r) runs a fixed number of Chebyshev semi-iterations on the
+// diagonally scaled system, which makes z = p(D⁻¹A) D⁻¹ r for a fixed
+// polynomial p that approximates the inverse on the estimated spectrum
+// [λmin, λmax] of D⁻¹A. Because p is fixed and D is SPD, the operator is a
+// symmetric positive definite preconditioner — legal inside plain PCG.
+//
+// Unlike the IC triangular sweeps, every flop here is an SpMV or an
+// elementwise update, so the application parallelizes perfectly: this is
+// the preconditioner of choice when cores are plentiful and the sequential
+// depth of level-scheduled sweeps (the mesh wavefront count) would bound
+// the speedup.
+type Cheby struct {
+	a      *CSR
+	invD   []float64
+	degree int
+	lmin   float64
+	lmax   float64
+
+	// workspace + staged operands for the prebuilt stages; Apply and
+	// applyTeam allocate nothing.
+	res, w, d []float64
+	z, r      []float64
+	s1, s2    float64
+	stScaleW  func(lo, hi int) // w = invD ⊙ res
+	stFirst   func(lo, hi int) // z = s1 · invD ⊙ r; d = z
+	stUpdate  func(lo, hi int) // d = s1·d + s2·w; z += d
+	stResid   func(lo, hi int) // res = r - res   (after res = A z)
+}
+
+// DefaultChebyDegree is the SpMV count per application: enough that
+// Chebyshev-PCG iteration counts land near IC-PCG on mesh Laplacians while
+// every flop stays parallel.
+const DefaultChebyDegree = 8
+
+// NewCheby builds a degree-deg Chebyshev preconditioner for the SPD matrix
+// a (deg <= 0 uses DefaultChebyDegree). The spectrum bound of D⁻¹A is
+// estimated with a deterministic power iteration; λmin is taken as a fixed
+// fraction of λmax, the standard smoother heuristic — eigenvalues below the
+// interval are handled by the outer CG, not the polynomial.
+func NewCheby(a *CSR, deg int) (*Cheby, error) {
+	n := a.rows
+	if a.cols != n {
+		panic(fmt.Sprintf("sparse: NewCheby needs square matrix, got %dx%d", a.rows, a.cols))
+	}
+	if deg <= 0 {
+		deg = DefaultChebyDegree
+	}
+	j, err := NewJacobi(a) // rejects non-positive diagonals
+	if err != nil {
+		return nil, err
+	}
+	c := &Cheby{
+		a: a, invD: j.invD, degree: deg,
+		res: make([]float64, n), w: make([]float64, n), d: make([]float64, n),
+	}
+	c.lmax = c.estimateLambdaMax()
+	// λmax/30 brackets the smooth end tightly enough that the polynomial
+	// stays positive and effective on mesh Laplacians; the exact lower
+	// bound only tunes the iteration count, never correctness.
+	c.lmin = c.lmax / 30
+	c.stScaleW = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.w[i] = c.invD[i] * c.res[i]
+		}
+	}
+	c.stFirst = func(lo, hi int) {
+		s := c.s1
+		for i := lo; i < hi; i++ {
+			v := s * c.invD[i] * c.r[i]
+			c.z[i] = v
+			c.d[i] = v
+		}
+	}
+	c.stUpdate = func(lo, hi int) {
+		a1, a2 := c.s1, c.s2
+		for i := lo; i < hi; i++ {
+			c.d[i] = a1*c.d[i] + a2*c.w[i]
+			c.z[i] += c.d[i]
+		}
+	}
+	c.stResid = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.res[i] = c.r[i] - c.res[i]
+		}
+	}
+	return c, nil
+}
+
+// estimateLambdaMax runs a deterministic power iteration on D⁻¹A (similarity
+// transform of the symmetric D^{-1/2}AD^{-1/2}, so the eigenvalues are real
+// and positive) and pads the estimate by 5% so the Chebyshev interval covers
+// the true spectrum edge.
+func (c *Cheby) estimateLambdaMax() float64 {
+	n := c.a.rows
+	v := make([]float64, n)
+	av := make([]float64, n)
+	for i := range v {
+		// Fixed sign-alternating start vector: deterministic, rich in the
+		// high-frequency modes that carry λmax on mesh Laplacians.
+		if i%2 == 0 {
+			v[i] = 1
+		} else {
+			v[i] = -1
+		}
+	}
+	lambda := 1.0
+	for it := 0; it < 20; it++ {
+		c.a.MulVecTo(av, v)
+		for i := range av {
+			av[i] *= c.invD[i]
+		}
+		nrm := norm2(av)
+		if nrm == 0 {
+			break
+		}
+		lambda = nrm / norm2(v)
+		for i := range v {
+			v[i] = av[i] / nrm
+		}
+	}
+	// One Rayleigh-quotient-style refinement via the iterate norm ratio has
+	// already converged to a couple of digits after 20 iterations; the 5%
+	// headroom absorbs the rest.
+	return 1.05 * lambda
+}
+
+// Degree returns the SpMV count per application.
+func (c *Cheby) Degree() int { return c.degree }
+
+// Bounds returns the Chebyshev interval [λmin, λmax] used for D⁻¹A.
+func (c *Cheby) Bounds() (lmin, lmax float64) { return c.lmin, c.lmax }
+
+// Apply runs the serial Chebyshev semi-iteration: z := p(D⁻¹A) D⁻¹ r.
+func (c *Cheby) Apply(z, r []float64) {
+	c.applyStages(z, r, nil)
+}
+
+// applyTeam is the parallel application: identical operation order per
+// element, every stage on the worker team.
+func (c *Cheby) applyTeam(o *ops, z, r []float64) {
+	c.applyStages(z, r, o)
+}
+
+// applyStages runs the semi-iteration with each stage either inline (o nil)
+// or on the team. The recurrence is the standard two-term Chebyshev
+// acceleration: with θ = (λmax+λmin)/2, δ = (λmax−λmin)/2, σ = θ/δ,
+//
+//	z₁ = (1/θ) D⁻¹ r,      d₀ = z₁,      ρ₀ = 1/σ
+//	ρ_k = 1/(2σ − ρ_{k−1})
+//	d_k = ρ_k ρ_{k−1} d_{k−1} + (2ρ_k/δ) D⁻¹ (r − A z_k)
+//	z_{k+1} = z_k + d_k
+func (c *Cheby) applyStages(z, r []float64, o *ops) {
+	n := c.a.rows
+	if len(z) != n || len(r) != n {
+		panic(fmt.Sprintf("sparse: Cheby.Apply lengths z=%d r=%d, want %d", len(z), len(r), n))
+	}
+	theta := (c.lmax + c.lmin) / 2
+	delta := (c.lmax - c.lmin) / 2
+	sigma := theta / delta
+	c.z, c.r = z, r
+	c.s1 = 1 / theta
+	c.runStage(o, n, c.stFirst)
+	rho := 1 / sigma
+	for k := 1; k < c.degree; k++ {
+		// res = r - A z, then w = D⁻¹ res.
+		if o != nil {
+			o.mulVec(c.a, c.res, z)
+		} else {
+			c.a.MulVecTo(c.res, z)
+		}
+		c.runStage(o, n, c.stResid)
+		c.runStage(o, n, c.stScaleW)
+		rhoNew := 1 / (2*sigma - rho)
+		c.s1 = rhoNew * rho
+		c.s2 = 2 * rhoNew / delta
+		c.runStage(o, n, c.stUpdate)
+		rho = rhoNew
+	}
+	c.z, c.r = nil, nil
+}
+
+func (c *Cheby) runStage(o *ops, n int, fn func(lo, hi int)) {
+	if o != nil {
+		o.t.run(n, vecChunk, fn)
+	} else {
+		fn(0, n)
+	}
+}
+
+// SPD note: the applied polynomial is positive on [λmin, λmax], so the
+// preconditioner stays symmetric positive definite as long as the padded
+// power-iteration bound covers the true λmax. The invariant is exercised by
+// the PCG-equivalence property tests rather than enforced at runtime.
+var _ Preconditioner = (*Cheby)(nil)

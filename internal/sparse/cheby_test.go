@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestChebyIsSymmetricOperator: PCG requires a symmetric preconditioner.
+// Cheby.Apply is a fixed polynomial in D⁻¹A applied after D⁻¹, which is
+// self-adjoint in the A-free inner product: ⟨M⁻¹r₁, r₂⟩ = ⟨r₁, M⁻¹r₂⟩.
+// Verified numerically on random vectors.
+func TestChebyIsSymmetricOperator(t *testing.T) {
+	a := gridLaplacianCSR(23, 17, 0.3)
+	n := a.Rows()
+	c, err := NewCheby(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	for i := range r1 {
+		r1[i], r2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	c.Apply(z1, r1)
+	c.Apply(z2, r2)
+	lhs := dot(z1, r2)
+	rhs := dot(r1, z2)
+	scale := math.Abs(lhs) + math.Abs(rhs) + 1
+	if math.Abs(lhs-rhs)/scale > 1e-12 {
+		t.Fatalf("asymmetric: ⟨Mr₁,r₂⟩=%v vs ⟨r₁,Mr₂⟩=%v", lhs, rhs)
+	}
+}
+
+// TestChebyIsPositiveOperator: ⟨M⁻¹r, r⟩ > 0 for random r — the SPD half
+// of the preconditioner contract (the polynomial stays positive on the
+// estimated spectrum interval).
+func TestChebyIsPositiveOperator(t *testing.T) {
+	a := gridLaplacianCSR(19, 21, 0.2)
+	n := a.Rows()
+	c, err := NewCheby(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for trial := 0; trial < 20; trial++ {
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		c.Apply(z, r)
+		if q := dot(z, r); q <= 0 {
+			t.Fatalf("trial %d: ⟨M⁻¹r, r⟩ = %v, want > 0", trial, q)
+		}
+	}
+}
+
+// TestChebyPCGMatchesDirectSolve: CG preconditioned with Cheby converges to
+// the same solution as IC-preconditioned CG (tight tolerance), on grids
+// with varying anisotropy.
+func TestChebyPCGMatchesDirectSolve(t *testing.T) {
+	for _, dims := range [][2]int{{31, 31}, {64, 24}, {17, 53}} {
+		a := gridLaplacianCSR(dims[0], dims[1], 0.3)
+		n := a.Rows()
+		rng := rand.New(rand.NewSource(4))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ch, err := NewCheby(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xc, itc, err := SolveCG(a, b, nil, CGOptions{Tol: 1e-12, Precond: ch})
+		if err != nil {
+			t.Fatalf("%v: cheby CG: %v", dims, err)
+		}
+		ic, err := NewICModified(a, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi, _, err := SolveCG(a, b, nil, CGOptions{Tol: 1e-12, Precond: ic})
+		if err != nil {
+			t.Fatalf("%v: ic CG: %v", dims, err)
+		}
+		maxDiff := 0.0
+		for i := range xc {
+			if d := math.Abs(xc[i] - xi[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-8 {
+			t.Fatalf("%v: cheby vs ic solutions differ by %v", dims, maxDiff)
+		}
+		if itc <= 0 {
+			t.Fatalf("%v: cheby CG reported %d iterations", dims, itc)
+		}
+	}
+}
+
+// TestChebyCutsIterationsVsJacobi: the whole point of the polynomial — an
+// application costs degree SpMVs but the outer iteration count must drop by
+// well more than that factor's worth of Jacobi iterations would suggest on
+// a stiff grid. We assert a strict iteration-count reduction.
+func TestChebyCutsIterationsVsJacobi(t *testing.T) {
+	a := gridLaplacianCSR(96, 96, 0.05)
+	n := a.Rows()
+	b := make([]float64, n)
+	rng := rand.New(rand.NewSource(6))
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, itJac, err := SolveCG(a, b, nil, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewCheby(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, itCh, err := SolveCG(a, b, nil, CGOptions{Tol: 1e-10, Precond: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itCh*2 >= itJac {
+		t.Fatalf("cheby took %d iterations vs jacobi %d; want < half", itCh, itJac)
+	}
+}
+
+// TestChebyBounds: the power-iteration estimate brackets the true extreme
+// eigenvalue of D⁻¹A from above (it is padded 5%), and λmin is positive.
+func TestChebyBounds(t *testing.T) {
+	a := gridLaplacianCSR(25, 25, 0.5)
+	c, err := NewCheby(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, lmax := c.Bounds()
+	if lmin <= 0 || lmax <= lmin {
+		t.Fatalf("bounds [%v, %v] not a positive interval", lmin, lmax)
+	}
+	// For the 5-point Laplacian with shift s, eigenvalues of D⁻¹A lie in
+	// (0, 2): Gershgorin on the scaled matrix. λmax estimate must not exceed
+	// the padded Gershgorin bound.
+	if lmax > 2.1 {
+		t.Fatalf("λmax estimate %v exceeds Gershgorin bound 2 (+5%% pad)", lmax)
+	}
+	if lmax < 1.0 {
+		t.Fatalf("λmax estimate %v implausibly small for a mesh Laplacian", lmax)
+	}
+}
+
+// TestParsePrecond covers the flag surface.
+func TestParsePrecond(t *testing.T) {
+	cases := map[string]Precond{
+		"": PrecondAuto, "auto": PrecondAuto,
+		"ic": PrecondIC, "jacobi": PrecondJacobi, "cheby": PrecondCheby,
+	}
+	for in, want := range cases {
+		got, err := ParsePrecond(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecond(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePrecond("ilu"); err == nil {
+		t.Fatal("ParsePrecond(\"ilu\") succeeded, want error")
+	}
+	for _, p := range []Precond{PrecondAuto, PrecondIC, PrecondJacobi, PrecondCheby} {
+		rt, err := ParsePrecond(p.String())
+		if err != nil || rt != p {
+			t.Fatalf("round trip %v → %q → %v, %v", p, p.String(), rt, err)
+		}
+	}
+}

@@ -22,6 +22,14 @@ type IC struct {
 	n  int
 	l  *CSR // lower triangle including diagonal; diagonal last in each row
 	lt *CSR // Lᵀ; diagonal first in each row
+
+	// Level schedules and prebuilt sweep stages for the parallel applyTeam
+	// path (see levels.go). rowsCur stages the active level's row list; z
+	// and r stage the operands so the sweeps allocate nothing.
+	fwd, bwd           levelSchedule
+	rowsCur            []int
+	z, r               []float64
+	fwdStage, bwdStage func(lo, hi int)
 }
 
 // NewIC factors the symmetric matrix a into a plain IC(0) preconditioner.
@@ -127,7 +135,9 @@ func newIC(a *CSR, omega float64) (*IC, error) {
 			}
 		}
 	}
-	return &IC{n: n, l: l, lt: transposeCSR(l)}, nil
+	m := &IC{n: n, l: l, lt: transposeCSR(l)}
+	m.buildSchedules()
+	return m, nil
 }
 
 // locate returns the index of (i, j) inside l's storage, or -1.
